@@ -1,0 +1,130 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not paper tables, but the knobs behind them:
+
+- flatten heuristic strength (``min_depth``): our largest-cold-subtree
+  finder vs. the paper's weaker partial heuristic;
+- balancing (section 4.1) on/off for append-heavy editing;
+- the growth cap on balanced appends;
+- Logoot's boundary parameter (what the Table 5 ratio is sensitive to).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.logoot import LogootDoc
+from repro.core.treedoc import Treedoc
+from repro.experiments.common import DEFAULT_SEED, history_for
+from repro.metrics.overhead import measure_tree
+from repro.metrics.report import Table
+from repro.workloads.corpus import document_spec
+from repro.workloads.replay import replay_history, replay_into
+
+
+@pytest.mark.parametrize("min_depth", [1, 2, 3],
+                         ids=["ours", "weaker", "paper-like"])
+def bench_flatten_heuristic_strength(benchmark, report_sink, min_depth):
+    rows = report_sink("ablation-flatten", _render_flatten)
+
+    def replay():
+        doc = Treedoc(site=1, mode="sdis")
+        history = history_for(document_spec("acf.tex"), DEFAULT_SEED)
+        replay_history(doc, history, flatten_every=2,
+                       flatten_min_depth=min_depth)
+        return measure_tree(doc.tree, with_disk=False)
+
+    stats = benchmark.pedantic(replay, rounds=1, iterations=1)
+    rows.append((min_depth, 100 * stats.tombstone_fraction,
+                 stats.avg_posid_bits, stats.nodes))
+    benchmark.extra_info["tombstone_pct"] = round(
+        100 * stats.tombstone_fraction, 1
+    )
+
+
+def _render_flatten(rows) -> str:
+    table = Table(
+        "Ablation: flatten heuristic strength (acf.tex, flatten-2)",
+        ("min_depth", "tombstone %", "avg PosID bits", "nodes"),
+    )
+    for row in sorted(rows):
+        table.add_row(*row)
+    return table.render()
+
+
+@pytest.mark.parametrize("balanced", [True, False], ids=["balanced", "naive"])
+def bench_append_heavy_editing(benchmark, report_sink, balanced):
+    rows = report_sink("ablation-balance", _render_balance)
+
+    def append_1000():
+        doc = Treedoc(site=1, balanced=balanced)
+        for i in range(1000):
+            doc.insert(i, i)
+        return doc
+
+    doc = benchmark.pedantic(append_1000, rounds=1, iterations=1)
+    stats = measure_tree(doc.tree, with_disk=False)
+    rows.append(("balanced" if balanced else "naive", doc.tree.height,
+                 stats.avg_posid_bits, stats.max_posid_bits))
+
+
+def _render_balance(rows) -> str:
+    table = Table(
+        "Ablation: section 4.1 balancing, 1000 appends",
+        ("allocator", "tree height", "avg PosID bits", "max PosID bits"),
+    )
+    for row in sorted(rows):
+        table.add_row(*row)
+    return table.render()
+
+
+@pytest.mark.parametrize("cap", [4, 6, 8], ids=["cap4", "cap6", "cap8"])
+def bench_growth_cap(benchmark, report_sink, cap):
+    rows = report_sink("ablation-growth", _render_growth)
+
+    def append_2000():
+        doc = Treedoc(site=1, balanced=True)
+        doc.allocator.MAX_GROWTH_LEVELS = cap
+        for i in range(2000):
+            doc.insert(i, i)
+        return doc
+
+    doc = benchmark.pedantic(append_2000, rounds=1, iterations=1)
+    stats = measure_tree(doc.tree, with_disk=False)
+    rows.append((cap, doc.tree.height, stats.nodes, stats.avg_posid_bits))
+
+
+def _render_growth(rows) -> str:
+    table = Table(
+        "Ablation: balanced-growth cap, 2000 appends",
+        ("max growth levels", "height", "nodes (incl. empty)",
+         "avg PosID bits"),
+    )
+    for row in sorted(rows):
+        table.add_row(*row)
+    return table.render()
+
+
+@pytest.mark.parametrize("boundary", [4, 10, 32],
+                         ids=["b4", "b10", "b32"])
+def bench_logoot_boundary(benchmark, report_sink, boundary):
+    rows = report_sink("ablation-logoot", _render_logoot)
+
+    def replay():
+        history = history_for(document_spec("acf.tex"), DEFAULT_SEED)
+        doc = LogootDoc(site=1, boundary=boundary, seed=DEFAULT_SEED)
+        replay_into(doc, history)
+        return doc
+
+    doc = benchmark.pedantic(replay, rounds=1, iterations=1)
+    rows.append((boundary, doc.avg_id_bits(), doc.max_id_bits()))
+
+
+def _render_logoot(rows) -> str:
+    table = Table(
+        "Ablation: Logoot boundary parameter (acf.tex)",
+        ("boundary", "avg id bits", "max id bits"),
+    )
+    for row in sorted(rows):
+        table.add_row(*row)
+    return table.render()

@@ -1,0 +1,24 @@
+"""Figure 6: node counts over the lifetime of acf.tex."""
+
+from __future__ import annotations
+
+from repro.experiments import figure6
+from repro.experiments.common import DEFAULT_SEED
+
+
+def bench_figure6_lifetime(benchmark, report_sink):
+    rows = report_sink("figure6", lambda samples: figure6.render(samples))
+
+    samples = benchmark.pedantic(
+        lambda: figure6.run(seed=DEFAULT_SEED, flatten_every=2),
+        rounds=1, iterations=1,
+    )
+    rows.extend(samples)
+    totals = [s.total_nodes for s in samples]
+    # The paper's shape: the curve climbs and flatten events appear as
+    # drastic drops of the total node count.
+    assert max(totals) > totals[1]
+    drops = sum(1 for a, b in zip(totals, totals[1:]) if b < a)
+    assert drops >= 3
+    benchmark.extra_info["peak_nodes"] = max(totals)
+    benchmark.extra_info["flatten_drops"] = drops

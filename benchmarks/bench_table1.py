@@ -1,0 +1,46 @@
+"""Table 1: per-document overhead measurements under flatten cadences.
+
+One benchmark per (document, flatten setting) cell: the timed body is
+the full history replay (the paper's CPU claim — "less than 1.44
+seconds for the Distributed Computing entry" — is the same
+measurement), and the final-state overheads are accumulated into the
+paper-style table printed at the end of the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1
+from repro.experiments.common import DEFAULT_SEED, run_document
+from repro.workloads.corpus import PAPER_DOCUMENTS
+
+_CASES = [
+    (spec, cadence)
+    for spec in PAPER_DOCUMENTS
+    for cadence in (None, *spec.flatten_cadences)
+]
+
+
+@pytest.mark.parametrize(
+    "spec,cadence",
+    _CASES,
+    ids=[f"{s.name.replace(' ', '_')}-flatten_{c or 'no'}" for s, c in _CASES],
+)
+def bench_table1_cell(benchmark, report_sink, spec, cadence):
+    rows = report_sink("table1", table1.render)
+
+    def replay():
+        return run_document(
+            spec, mode="sdis", balanced=True,
+            flatten_every=cadence, seed=DEFAULT_SEED,
+        )
+
+    run = benchmark.pedantic(replay, rounds=1, iterations=1)
+    row = table1._row(run)
+    rows.append(row)
+    benchmark.extra_info["nodes"] = row.nodes
+    benchmark.extra_info["avg_posid_bits"] = round(row.avg_posid_bits, 1)
+    benchmark.extra_info["non_tombstone_pct"] = round(row.non_tombstone_pct, 1)
+    # Sanity: the replay reproduced the document.
+    assert run.stats.live_atoms == spec.final_atoms

@@ -1,0 +1,22 @@
+"""Table 2: corpus summary (generation cost + published statistics)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+from repro.experiments.common import DEFAULT_SEED
+from repro.workloads.corpus import PAPER_DOCUMENTS
+from repro.workloads.editing import generate_history
+
+
+def bench_table2_summary(benchmark, report_sink):
+    rows = report_sink("table2", table2.render)
+
+    def generate_all():
+        return [generate_history(spec, DEFAULT_SEED) for spec in PAPER_DOCUMENTS]
+
+    histories = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    assert len(histories) == 6
+    rows.extend(table2.run(seed=DEFAULT_SEED))
+    summary = {row.label: row for row in rows}
+    assert summary["most active"].revisions == 870
+    assert summary["less active"].revisions == 51

@@ -1,0 +1,59 @@
+"""Table 3: tombstone fraction across the flatten × balancing grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table3
+from repro.experiments.common import DEFAULT_SEED, run_document
+from repro.workloads.corpus import LATEX_DOCUMENTS
+
+_GRID = [
+    (cadence, balanced)
+    for cadence in (None, 8, 2)
+    for balanced in (False, True)
+]
+
+
+@pytest.mark.parametrize(
+    "cadence,balanced",
+    _GRID,
+    ids=[
+        f"flatten_{c or 'no'}-{'bal' if b else 'unbal'}" for c, b in _GRID
+    ],
+)
+def bench_table3_cell(benchmark, report_sink, cadence, balanced):
+    rows = report_sink("table3", _render_grid)
+
+    def replay_latex_corpus():
+        fractions = []
+        for spec in LATEX_DOCUMENTS:
+            run = run_document(
+                spec, mode="sdis", balanced=balanced,
+                flatten_every=cadence, seed=DEFAULT_SEED, with_disk=False,
+            )
+            fractions.append(run.stats.tombstone_fraction)
+        return 100.0 * sum(fractions) / len(fractions)
+
+    tombstone_pct = benchmark.pedantic(replay_latex_corpus, rounds=1,
+                                       iterations=1)
+    rows.append((cadence, balanced, tombstone_pct))
+    benchmark.extra_info["tombstone_pct"] = round(tombstone_pct, 1)
+
+
+def _render_grid(rows) -> str:
+    from repro.metrics.report import Table
+
+    cells = {(c, b): pct for c, b, pct in rows}
+    table = Table(
+        "Table 3. Fraction of tombstones, % (LaTeX documents, SDIS)",
+        ("", "no balancing", "balancing"),
+    )
+    for cadence in (None, 8, 2):
+        label = "no-flatten" if cadence is None else f"flatten-{cadence}"
+        table.add_row(
+            label,
+            cells.get((cadence, False), float("nan")),
+            cells.get((cadence, True), float("nan")),
+        )
+    return table.render()

@@ -1,0 +1,74 @@
+"""Table 4: SDIS vs UDIS identifier overhead across the grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import DEFAULT_SEED, run_document
+from repro.workloads.corpus import LATEX_DOCUMENTS
+
+_GRID = [
+    (cadence, balanced, mode)
+    for cadence in (None, 8, 2)
+    for balanced in (False, True)
+    for mode in ("sdis", "udis")
+]
+
+
+@pytest.mark.parametrize(
+    "cadence,balanced,mode",
+    _GRID,
+    ids=[
+        f"flatten_{c or 'no'}-{'bal' if b else 'unbal'}-{m}"
+        for c, b, m in _GRID
+    ],
+)
+def bench_table4_cell(benchmark, report_sink, cadence, balanced, mode):
+    rows = report_sink("table4", _render_grid)
+
+    def replay_latex_corpus():
+        overheads, sizes = [], []
+        for spec in LATEX_DOCUMENTS:
+            run = run_document(
+                spec, mode=mode, balanced=balanced,
+                flatten_every=cadence, seed=DEFAULT_SEED, with_disk=False,
+            )
+            overheads.append(run.stats.overhead_per_atom_bits)
+            sizes.append(run.stats.avg_posid_bits)
+        n = len(LATEX_DOCUMENTS)
+        return (sum(overheads) / n, sum(sizes) / n)
+
+    overhead, avg_size = benchmark.pedantic(replay_latex_corpus, rounds=1,
+                                            iterations=1)
+    rows.append((cadence, balanced, mode, overhead, avg_size))
+    benchmark.extra_info["overhead_per_atom_bits"] = round(overhead, 1)
+    benchmark.extra_info["avg_posid_bits"] = round(avg_size, 1)
+
+
+def _render_grid(rows) -> str:
+    from repro.metrics.report import Table
+
+    cells = {(c, b, m): (o, s) for c, b, m, o, s in rows}
+    table = Table(
+        "Table 4. SDIS vs UDIS, bits (LaTeX documents)",
+        ("", "metric", "SDIS (unbal)", "UDIS (unbal)",
+         "SDIS (bal)", "UDIS (bal)"),
+    )
+    nan = (float("nan"), float("nan"))
+    for cadence in (None, 8, 2):
+        label = "no-flatten" if cadence is None else f"flatten-{cadence}"
+        table.add_row(
+            label, "overhead/atom",
+            cells.get((cadence, False, "sdis"), nan)[0],
+            cells.get((cadence, False, "udis"), nan)[0],
+            cells.get((cadence, True, "sdis"), nan)[0],
+            cells.get((cadence, True, "udis"), nan)[0],
+        )
+        table.add_row(
+            "", "avg PosID size",
+            cells.get((cadence, False, "sdis"), nan)[1],
+            cells.get((cadence, False, "udis"), nan)[1],
+            cells.get((cadence, True, "sdis"), nan)[1],
+            cells.get((cadence, True, "udis"), nan)[1],
+        )
+    return table.render()

@@ -1,0 +1,75 @@
+"""Table 5: Treedoc vs Logoot total PosID sizes (plus WOOT and RGA as
+extended comparison points from the related work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import LogootDoc, RgaDoc, WootDoc
+from repro.experiments import table5
+from repro.experiments.common import DEFAULT_SEED, history_for, run_document
+from repro.metrics.report import Table
+from repro.workloads.corpus import PAPER_DOCUMENTS
+from repro.workloads.replay import replay_into
+
+
+@pytest.mark.parametrize(
+    "spec", PAPER_DOCUMENTS, ids=[d.name.replace(" ", "_") for d in PAPER_DOCUMENTS]
+)
+def bench_table5_document(benchmark, report_sink, spec):
+    rows = report_sink("table5", table5.render)
+
+    def replay_both():
+        history = history_for(spec, DEFAULT_SEED)
+        logoot = LogootDoc(site=1, seed=DEFAULT_SEED)
+        replay_into(logoot, history)
+        treedoc = run_document(spec, mode="udis", seed=DEFAULT_SEED,
+                               with_disk=False)
+        return logoot, treedoc
+
+    logoot, treedoc = benchmark.pedantic(replay_both, rounds=1, iterations=1)
+    row = table5.Row(spec.name, logoot.total_id_bits(),
+                     treedoc.stats.total_posid_bits)
+    rows.append(row)
+    benchmark.extra_info["ratio"] = round(row.ratio, 2)
+    # The paper's headline: Logoot identifiers cost more than Treedoc's.
+    assert row.ratio > 1.0
+
+
+@pytest.mark.parametrize("spec", PAPER_DOCUMENTS[:1],
+                         ids=[PAPER_DOCUMENTS[0].name.replace(" ", "_")])
+def bench_extended_baseline_comparison(benchmark, report_sink, spec):
+    """Beyond the paper: WOOT and RGA metadata on the same workload."""
+    rows = report_sink("table5x", _render_extended)
+
+    def replay_all():
+        history = history_for(spec, DEFAULT_SEED)
+        results = {}
+        for name, factory in (
+            ("logoot", lambda: LogootDoc(site=1, seed=DEFAULT_SEED)),
+            ("woot", lambda: WootDoc(1)),
+            ("rga", lambda: RgaDoc(1)),
+        ):
+            doc = factory()
+            replay_into(doc, history)
+            results[name] = (doc.total_id_bits(), doc.element_count())
+        treedoc = run_document(spec, mode="udis", seed=DEFAULT_SEED,
+                               with_disk=False)
+        results["treedoc-udis"] = (
+            treedoc.stats.total_posid_bits, treedoc.stats.used_ids
+        )
+        return results
+
+    results = benchmark.pedantic(replay_all, rounds=1, iterations=1)
+    for name, (bits, elements) in results.items():
+        rows.append((spec.name, name, bits, elements))
+
+
+def _render_extended(rows) -> str:
+    table = Table(
+        "Extended comparison: identifier bits and stored elements",
+        ("Document", "CRDT", "total id bits", "stored elements"),
+    )
+    for row in rows:
+        table.add_row(*row)
+    return table.render()

@@ -1,0 +1,45 @@
+"""Benchmark-harness plumbing.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation: the benchmark fixture times the replay (the paper's CPU-cost
+claim), and the measured rows are accumulated here and printed as the
+paper-style table in the terminal summary, so running::
+
+    pytest benchmarks/ --benchmark-only
+
+produces both timings and the reproduced tables.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List
+
+import pytest
+
+# table name -> (render callable, rows) registered by bench modules.
+_REPORTS: "OrderedDict[str, tuple]" = OrderedDict()
+
+
+def register_report(name: str, render: Callable[[List[object]], str]) -> List[object]:
+    """Get (creating) the row sink for a named report."""
+    if name not in _REPORTS:
+        _REPORTS[name] = (render, [])
+    return _REPORTS[name][1]
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    return register_report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for name, (render, rows) in _REPORTS.items():
+        if not rows:
+            continue
+        terminalreporter.write_line("")
+        try:
+            terminalreporter.write_line(render(rows))
+        except Exception as error:  # pragma: no cover - diagnostics only
+            terminalreporter.write_line(f"[{name}: render failed: {error}]")
+    _REPORTS.clear()

@@ -1,0 +1,10 @@
+"""Setuptools shim; metadata lives in pyproject.toml.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs (which build a wheel) fail; this shim enables the legacy
+``setup.py develop`` path used by ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Treedoc: a Commutative Replicated Data Type for cooperative editing.
+
+Reproduction of Preguiça, Marquès, Shapiro & Letia (ICDCS 2009). The
+package provides:
+
+- :mod:`repro.core` — the Treedoc CRDT (paths, disambiguators, the
+  extended binary tree, allocation, explode/flatten, encodings);
+- :mod:`repro.replication` — causal broadcast over a simulated network,
+  replica sites, and the commitment protocol for distributed flatten;
+- :mod:`repro.baselines` — Logoot, WOOT and RGA comparison CRDTs;
+- :mod:`repro.workloads` — synthetic edit-history corpora and replay;
+- :mod:`repro.metrics` — the overhead measurements of the evaluation;
+- :mod:`repro.experiments` — drivers regenerating every table and figure.
+"""
+
+from repro.core import (
+    DeleteOp,
+    Disambiguator,
+    FlattenOp,
+    InsertOp,
+    Operation,
+    PathElement,
+    PosID,
+    ROOT,
+    Sdis,
+    SiteId,
+    Treedoc,
+    Udis,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Treedoc",
+    "PosID",
+    "PathElement",
+    "ROOT",
+    "Disambiguator",
+    "Udis",
+    "Sdis",
+    "SiteId",
+    "InsertOp",
+    "DeleteOp",
+    "FlattenOp",
+    "Operation",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Baseline sequence CRDTs the paper compares against or cites.
+
+- :mod:`repro.baselines.logoot` — Logoot (Weiss et al., ICDCS 2009), the
+  section 5.3 comparator;
+- :mod:`repro.baselines.woot` — WOOT (Oster et al., CSCW 2006);
+- :mod:`repro.baselines.rga` — RGA (Roh et al.), the timestamped
+  linked-list design;
+- :mod:`repro.baselines.interface` — the sequence-CRDT contract all of
+  them (and Treedoc, via an adapter) satisfy, so the contract tests and
+  benchmarks treat every implementation uniformly.
+"""
+
+from repro.baselines.interface import SequenceCRDT, TreedocAdapter
+from repro.baselines.logoot import LogootDoc
+from repro.baselines.woot import WootDoc
+from repro.baselines.rga import RgaDoc
+
+__all__ = [
+    "SequenceCRDT",
+    "TreedocAdapter",
+    "LogootDoc",
+    "WootDoc",
+    "RgaDoc",
+]

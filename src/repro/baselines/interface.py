@@ -1,0 +1,91 @@
+"""The sequence-CRDT contract shared by Treedoc and the baselines.
+
+Every implementation offers local ``insert``/``delete`` returning an
+opaque operation, remote ``apply``, and the measurement hooks the
+benchmark harness reads (identifier bits, element counts). The contract
+tests in ``tests/baselines/test_crdt_contract.py`` run one suite —
+including hypothesis convergence properties — over all implementations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from repro.core.disambiguator import SiteId
+from repro.core.treedoc import Treedoc
+
+
+class SequenceCRDT(abc.ABC):
+    """Abstract replicated sequence: the section 2 buffer abstraction."""
+
+    site: SiteId
+
+    @abc.abstractmethod
+    def insert(self, index: int, atom: object) -> object:
+        """Insert locally; returns the operation to broadcast."""
+
+    @abc.abstractmethod
+    def delete(self, index: int) -> object:
+        """Delete locally; returns the operation to broadcast."""
+
+    @abc.abstractmethod
+    def apply(self, op: object) -> None:
+        """Replay a remote operation (causal order assumed)."""
+
+    @abc.abstractmethod
+    def atoms(self) -> List[object]:
+        """The visible sequence."""
+
+    @abc.abstractmethod
+    def total_id_bits(self) -> int:
+        """Total identifier size over visible atoms, in bits (the
+        Table 5 comparison metric)."""
+
+    @abc.abstractmethod
+    def element_count(self) -> int:
+        """Stored elements including tombstones (overhead metric)."""
+
+    def __len__(self) -> int:
+        return len(self.atoms())
+
+    def text(self, separator: str = "") -> str:
+        """The visible sequence as a string."""
+        return separator.join(str(a) for a in self.atoms())
+
+    def insert_run(self, index: int, atoms: Sequence[object]) -> List[object]:
+        """Insert a consecutive run; default is one-by-one."""
+        ops = []
+        for offset, atom in enumerate(atoms):
+            ops.append(self.insert(index + offset, atom))
+        return ops
+
+
+class TreedocAdapter(SequenceCRDT):
+    """Treedoc behind the common contract (for uniform comparisons)."""
+
+    def __init__(self, site: SiteId, mode: str = "udis",
+                 balanced: bool = True) -> None:
+        self.site = site
+        self.doc = Treedoc(site, mode=mode, balanced=balanced)
+
+    def insert(self, index: int, atom: object) -> object:
+        return self.doc.insert(index, atom)
+
+    def insert_run(self, index: int, atoms: Sequence[object]) -> List[object]:
+        return self.doc.insert_run(index, atoms)
+
+    def delete(self, index: int) -> object:
+        return self.doc.delete(index)
+
+    def apply(self, op: object) -> None:
+        self.doc.apply(op)
+
+    def atoms(self) -> List[object]:
+        return self.doc.atoms()
+
+    def total_id_bits(self) -> int:
+        return sum(p.size_bits for p in self.doc.posids())
+
+    def element_count(self) -> int:
+        return self.doc.tree.id_length

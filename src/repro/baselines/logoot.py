@@ -1,0 +1,243 @@
+"""Logoot (Weiss, Urso, Molli — ICDCS 2009): the section 5.3 comparator.
+
+A Logoot position identifier is a list of fixed-size components
+``(digit, site, clock)``, compared lexicographically. To insert between
+two identifiers, Logoot picks a free digit in the gap at the shallowest
+level where one exists, stepping a bounded random distance from the left
+neighbour (the *boundary* strategy of the Logoot paper); when the gap is
+empty it extends the left identifier with an additional layer. Deleted
+atoms are removed immediately — Logoot keeps no tombstones — but it
+never restructures, which is why its identifiers keep growing where
+Treedoc's flatten resets them.
+
+Sizing follows the Treedoc paper's comparison setup: one component is
+10 bytes, the same as a UDIS disambiguator (digit + 48-bit site + clock
+packed into 80 bits). The digit base and boundary below are calibrated
+so the allocation density — and hence the identifier-length regime —
+matches what the paper measured for the early Logoot version it had
+(Table 5); see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.baselines.interface import SequenceCRDT
+from repro.core.disambiguator import SiteId
+from repro.errors import ReproError
+from repro.util.rng import derive_rng
+
+#: Digits live in [0, BASE). The paper measured an early Logoot whose
+#: identifiers averaged several components on these workloads; a 256-way
+#: digit space per level puts allocation density in that regime (the
+#: wire size of a component stays 10 bytes regardless — see below).
+BASE = 1 << 8
+#: Bits per identifier component (10 bytes, matching UDIS, section 5.3).
+COMPONENT_BITS = 80
+
+#: One component: (digit, site, clock). Plain tuples keep comparison and
+#: bisect fast.
+Component = Tuple[int, SiteId, int]
+
+#: A position identifier: a non-empty tuple of components.
+LogootId = Tuple[Component, ...]
+
+
+@dataclass(frozen=True)
+class LogootInsert:
+    """Remote payload of a Logoot insert."""
+
+    ident: LogootId
+    atom: object
+    origin: SiteId
+
+    @property
+    def kind(self) -> str:
+        return "insert"
+
+
+@dataclass(frozen=True)
+class LogootDelete:
+    """Remote payload of a Logoot delete."""
+
+    ident: LogootId
+    origin: SiteId
+
+    @property
+    def kind(self) -> str:
+        return "delete"
+
+
+def identifier_bits(ident: LogootId) -> int:
+    """Encoded size of an identifier (fixed-size components)."""
+    return len(ident) * COMPONENT_BITS
+
+
+class LogootDoc(SequenceCRDT):
+    """One Logoot replica.
+
+    ``boundary`` caps the random step taken into a digit gap; small
+    boundaries allocate densely (soon forcing extra layers), large ones
+    sparsely. The Logoot paper's strategy; deterministic per (seed, site).
+    """
+
+    def __init__(self, site: SiteId, boundary: int = 10,
+                 seed: int = 0) -> None:
+        if boundary < 1:
+            raise ReproError("boundary must be positive")
+        self.site = site
+        self.boundary = boundary
+        self._rng = derive_rng(seed, "logoot", site)
+        self._clock = 0
+        # Parallel sorted arrays: identifiers and their atoms.
+        self._ids: List[LogootId] = []
+        self._atoms: List[object] = []
+
+    # -- identifier generation ---------------------------------------------------
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _generate_between(self, p: Optional[LogootId],
+                          q: Optional[LogootId]) -> LogootId:
+        """A fresh identifier strictly between ``p`` and ``q``.
+
+        The Logoot paper's construction: treat digit prefixes as base-
+        ``BASE`` numbers at increasing depth until the interval between
+        the neighbours opens, step a bounded random distance into it, and
+        rebuild components, copying ``(site, clock)`` from the neighbour
+        a copied digit came from so comparisons against the neighbours
+        are decided by digits alone.
+
+        One repair over the paper's presentation: when the neighbours'
+        digit strings are equal up to their first differing *component*
+        (concurrent inserts that picked the same digit, ordered only by
+        site/clock), the interval never opens numerically, yet any
+        extension of ``p`` already sorts below ``q``; ``q`` then simply
+        stops bounding the arithmetic.
+        """
+        clock = self._tick()
+        if p is not None and q is not None and self._digit_tied(p, q):
+            q = None
+        p_digits = [c[0] for c in p] if p is not None else []
+        q_digits = [c[0] for c in q] if q is not None else []
+        p_num = 0
+        q_num = 0
+        depth = 0
+        while True:
+            depth += 1
+            p_num = p_num * BASE + (
+                p_digits[depth - 1] if depth <= len(p_digits) else 0
+            )
+            if q is None:
+                q_num = BASE ** depth
+            else:
+                q_num = q_num * BASE + (
+                    q_digits[depth - 1] if depth <= len(q_digits) else 0
+                )
+            interval = q_num - p_num - 1
+            if interval >= 1:
+                break
+            if depth > len(p_digits) + len(q_digits) + 4:
+                raise ReproError(
+                    f"no gap between {p!r} and {q!r}: non-adjacent neighbours?"
+                )
+        step = self._rng.randint(1, min(interval, self.boundary))
+        new_num = p_num + step
+        digits: List[int] = []
+        for _ in range(depth):
+            new_num, digit = divmod(new_num, BASE)
+            digits.append(digit)
+        digits.reverse()
+        components: List[Component] = []
+        on_p, on_q = True, True
+        for index, digit in enumerate(digits):
+            p_comp = p[index] if p is not None and index < len(p) else None
+            q_comp = q[index] if q is not None and index < len(q) else None
+            if on_p and p_comp is not None and p_comp[0] == digit:
+                components.append(p_comp)
+                on_q = on_q and p_comp == q_comp
+            elif on_q and q_comp is not None and q_comp[0] == digit:
+                components.append(q_comp)
+                on_p = False
+            else:
+                components.append((digit, self.site, clock))
+                on_p = on_q = False
+        return tuple(components)
+
+    @staticmethod
+    def _digit_tied(p: LogootId, q: LogootId) -> bool:
+        """True when p's and q's first differing components carry the
+        same digit (so q cannot bound digit arithmetic)."""
+        for p_comp, q_comp in zip(p, q):
+            if p_comp == q_comp:
+                continue
+            return p_comp[0] == q_comp[0]
+        return False
+
+    # -- contract ---------------------------------------------------------------------
+
+    def insert(self, index: int, atom: object) -> LogootInsert:
+        if index < 0 or index > len(self._ids):
+            raise IndexError(f"insert index {index} out of range")
+        p = self._ids[index - 1] if index > 0 else None
+        q = self._ids[index] if index < len(self._ids) else None
+        ident = self._generate_between(p, q)
+        self._insert_ident(ident, atom)
+        return LogootInsert(ident, atom, self.site)
+
+    def delete(self, index: int) -> LogootDelete:
+        if index < 0 or index >= len(self._ids):
+            raise IndexError(f"delete index {index} out of range")
+        ident = self._ids.pop(index)
+        self._atoms.pop(index)
+        return LogootDelete(ident, self.site)
+
+    def apply(self, op: object) -> None:
+        if isinstance(op, LogootInsert):
+            self._insert_ident(op.ident, op.atom)
+        elif isinstance(op, LogootDelete):
+            position = bisect.bisect_left(self._ids, op.ident)
+            if position < len(self._ids) and self._ids[position] == op.ident:
+                self._ids.pop(position)
+                self._atoms.pop(position)
+            # else: already deleted — deletes are idempotent
+        else:
+            raise ReproError(f"unknown Logoot operation {op!r}")
+
+    def _insert_ident(self, ident: LogootId, atom: object) -> None:
+        position = bisect.bisect_left(self._ids, ident)
+        if position < len(self._ids) and self._ids[position] == ident:
+            if self._atoms[position] == atom:
+                return  # duplicate delivery
+            raise ReproError(f"identifier collision at {ident!r}")
+        self._ids.insert(position, ident)
+        self._atoms.insert(position, atom)
+
+    def atoms(self) -> List[object]:
+        return list(self._atoms)
+
+    def total_id_bits(self) -> int:
+        return sum(identifier_bits(i) for i in self._ids)
+
+    def element_count(self) -> int:
+        return len(self._ids)  # no tombstones in Logoot
+
+    # -- metrics ---------------------------------------------------------------------
+
+    def max_id_bits(self) -> int:
+        """Largest identifier, in bits."""
+        return max((identifier_bits(i) for i in self._ids), default=0)
+
+    def avg_id_bits(self) -> float:
+        """Average identifier size over visible atoms, in bits."""
+        if not self._ids:
+            return 0.0
+        return self.total_id_bits() / len(self._ids)
+
+    def identifiers(self) -> List[LogootId]:
+        """The identifiers, in document order (testing aid)."""
+        return list(self._ids)

@@ -1,0 +1,165 @@
+"""RGA — the Replicated Growable Array (Roh et al.).
+
+Roh et al. independently proposed the CRDT approach (section 6 cites
+their precedence-based array); RGA is their sequence design and the
+third point of comparison in the extended benchmarks. Each element
+carries a Lamport-timestamped identifier; an insert names the element it
+goes *after*, and concurrent inserts after the same element order by
+descending timestamp (newer first), which makes insertion commutative.
+Deletes tombstone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.interface import SequenceCRDT
+from repro.core.disambiguator import SiteId
+from repro.errors import ReproError
+
+#: An element identifier: (lamport timestamp, site).
+RgaId = Tuple[int, SiteId]
+
+#: Identifier size in bits: 4-byte timestamp + 6-byte site (UDIS sizing).
+RGA_ID_BITS = (4 + 6) * 8
+
+
+@dataclass
+class _Node:
+    """One linked-list cell."""
+
+    rid: RgaId
+    atom: object
+    visible: bool
+    next: Optional[RgaId]
+
+
+@dataclass(frozen=True)
+class RgaInsert:
+    """Remote payload: insert ``atom`` with id ``rid`` after ``after``
+    (None = document head)."""
+
+    rid: RgaId
+    atom: object
+    after: Optional[RgaId]
+    origin: SiteId
+
+    @property
+    def kind(self) -> str:
+        return "insert"
+
+
+@dataclass(frozen=True)
+class RgaDelete:
+    """Remote payload of a delete."""
+
+    rid: RgaId
+    origin: SiteId
+
+    @property
+    def kind(self) -> str:
+        return "delete"
+
+
+class RgaDoc(SequenceCRDT):
+    """One RGA replica (timestamped linked list with tombstones)."""
+
+    def __init__(self, site: SiteId) -> None:
+        self.site = site
+        self._clock = 0
+        self._head: Optional[RgaId] = None
+        self._nodes: Dict[RgaId, _Node] = {}
+
+    # -- internals ------------------------------------------------------------------
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _observe(self, timestamp: int) -> None:
+        if timestamp > self._clock:
+            self._clock = timestamp
+
+    def _walk(self) -> List[_Node]:
+        nodes = []
+        rid = self._head
+        while rid is not None:
+            node = self._nodes[rid]
+            nodes.append(node)
+            rid = node.next
+        return nodes
+
+    def _visible_nodes(self) -> List[_Node]:
+        return [n for n in self._walk() if n.visible]
+
+    def _insert_after(self, after: Optional[RgaId], node: _Node) -> None:
+        """The RGA placement rule: skip over any existing successors of
+        ``after`` with greater identifiers (concurrent inserts that beat
+        this one), then splice in."""
+        if after is None:
+            succ = self._head
+        else:
+            anchor = self._nodes.get(after)
+            if anchor is None:
+                raise ReproError(f"unknown anchor {after!r} (causal delivery?)")
+            succ = anchor.next
+        while succ is not None and succ > node.rid:
+            after = succ
+            succ = self._nodes[succ].next
+        node.next = succ
+        if after is None:
+            self._head = node.rid
+        else:
+            self._nodes[after].next = node.rid
+        self._nodes[node.rid] = node
+
+    # -- contract ----------------------------------------------------------------------
+
+    def insert(self, index: int, atom: object) -> RgaInsert:
+        visible = self._visible_nodes()
+        if index < 0 or index > len(visible):
+            raise IndexError(f"insert index {index} out of range")
+        after = visible[index - 1].rid if index > 0 else None
+        rid: RgaId = (self._tick(), self.site)
+        node = _Node(rid, atom, True, None)
+        self._insert_after(after, node)
+        return RgaInsert(rid, atom, after, self.site)
+
+    def delete(self, index: int) -> RgaDelete:
+        visible = self._visible_nodes()
+        if index < 0 or index >= len(visible):
+            raise IndexError(f"delete index {index} out of range")
+        node = visible[index]
+        node.visible = False
+        node.atom = None
+        return RgaDelete(node.rid, self.site)
+
+    def apply(self, op: object) -> None:
+        if isinstance(op, RgaInsert):
+            if op.rid in self._nodes:
+                return  # duplicate delivery
+            self._observe(op.rid[0])
+            node = _Node(op.rid, op.atom, True, None)
+            self._insert_after(op.after, node)
+        elif isinstance(op, RgaDelete):
+            node = self._nodes.get(op.rid)
+            if node is None:
+                raise ReproError(f"delete of unknown {op.rid!r}")
+            node.visible = False  # idempotent
+            node.atom = None
+        else:
+            raise ReproError(f"unknown RGA operation {op!r}")
+
+    def atoms(self) -> List[object]:
+        return [n.atom for n in self._visible_nodes()]
+
+    def total_id_bits(self) -> int:
+        return sum(RGA_ID_BITS for n in self._walk() if n.visible)
+
+    def element_count(self) -> int:
+        return len(self._nodes)
+
+    def tombstone_count(self) -> int:
+        """Invisible elements currently retained."""
+        return sum(1 for n in self._nodes.values() if not n.visible)

@@ -1,0 +1,196 @@
+"""WOOT (Oster, Urso, Molli, Imine — CSCW 2006).
+
+WOOT is the related-work CRDT of section 6: every character carries a
+unique identifier plus the identifiers of its left and right neighbours
+*at insertion time*; concurrent inserts into the same gap are ordered by
+identifier through the recursive integration procedure. Deleted
+characters become invisible but are never removed — "the data structure
+grows indefinitely, because there is no garbage collection or
+restructuring" — which is exactly the overhead Treedoc's flatten
+addresses, and what the extended comparison benchmarks show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.interface import SequenceCRDT
+from repro.core.disambiguator import SiteId
+from repro.errors import ReproError
+
+#: A W-character identifier: (site, local sequence number).
+WId = Tuple[SiteId, int]
+
+#: Sentinel identifiers for the document bounds.
+BEGIN_ID: WId = (-1, 0)
+END_ID: WId = (-2, 0)
+
+#: Identifier size in bits: 6-byte site + 4-byte counter, matching the
+#: UDIS sizing of section 5 for a fair comparison.
+WID_BITS = (6 + 4) * 8
+
+
+@dataclass
+class WChar:
+    """One stored character: identifier, visibility and its insertion-
+    time neighbours."""
+
+    wid: WId
+    atom: object
+    visible: bool
+    prev: WId
+    next: WId
+
+
+@dataclass(frozen=True)
+class WootInsert:
+    """Remote payload of a WOOT insert: the full W-character."""
+
+    wid: WId
+    atom: object
+    prev: WId
+    next: WId
+    origin: SiteId
+
+    @property
+    def kind(self) -> str:
+        return "insert"
+
+
+@dataclass(frozen=True)
+class WootDelete:
+    """Remote payload of a WOOT delete."""
+
+    wid: WId
+    origin: SiteId
+
+    @property
+    def kind(self) -> str:
+        return "delete"
+
+
+class WootDoc(SequenceCRDT):
+    """One WOOT replica.
+
+    Assumes causal delivery (a character's neighbours exist before it
+    arrives), which the replication layer provides; operations whose
+    preconditions are not yet met raise, rather than being buffered, to
+    surface delivery-order bugs in tests.
+    """
+
+    def __init__(self, site: SiteId) -> None:
+        self.site = site
+        self._counter = 0
+        # The string: W-characters in document order, bounded by the
+        # (conceptual) BEGIN and END sentinels which are not stored.
+        self._chars: List[WChar] = []
+        self._index: Dict[WId, int] = {}
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _position(self, wid: WId) -> int:
+        """Position of ``wid`` in the stored string; sentinels map to the
+        virtual bounds -1 and len."""
+        if wid == BEGIN_ID:
+            return -1
+        if wid == END_ID:
+            return len(self._chars)
+        position = self._index.get(wid)
+        if position is None:
+            raise ReproError(f"unknown W-character {wid!r} (causal delivery?)")
+        return position
+
+    def _visible_positions(self) -> List[int]:
+        return [i for i, c in enumerate(self._chars) if c.visible]
+
+    def _rebuild_index(self, start: int) -> None:
+        for position in range(start, len(self._chars)):
+            self._index[self._chars[position].wid] = position
+
+    # -- integration (the WOOT algorithm) --------------------------------------------
+
+    def _integrate(self, char: WChar, prev: WId, next_: WId) -> None:
+        """Recursive insert between ``prev`` and ``next_`` (IntegrateIns).
+
+        The subsequence strictly between the neighbours is reduced to the
+        characters whose own insertion-time neighbours lie outside it;
+        the new character finds its slot among those by identifier order,
+        then recurses into the narrowed gap.
+        """
+        while True:
+            lower = self._position(prev)
+            upper = self._position(next_)
+            if upper - lower == 1:
+                position = lower + 1
+                self._chars.insert(position, char)
+                self._rebuild_index(position)
+                return
+            # L: prev · (d in S | CP(d) <= prev and next <= CN(d)) · next
+            candidates: List[WId] = [prev]
+            for position in range(lower + 1, upper):
+                stored = self._chars[position]
+                if (
+                    self._position(stored.prev) <= lower
+                    and upper <= self._position(stored.next)
+                ):
+                    candidates.append(stored.wid)
+            candidates.append(next_)
+            slot = 1
+            while (
+                slot < len(candidates) - 1
+                and candidates[slot] < char.wid
+            ):
+                slot += 1
+            prev, next_ = candidates[slot - 1], candidates[slot]
+
+    # -- contract -----------------------------------------------------------------------
+
+    def insert(self, index: int, atom: object) -> WootInsert:
+        visible = self._visible_positions()
+        if index < 0 or index > len(visible):
+            raise IndexError(f"insert index {index} out of range")
+        prev = self._chars[visible[index - 1]].wid if index > 0 else BEGIN_ID
+        next_ = self._chars[visible[index]].wid if index < len(visible) else END_ID
+        self._counter += 1
+        wid: WId = (self.site, self._counter)
+        char = WChar(wid, atom, True, prev, next_)
+        self._integrate(char, prev, next_)
+        return WootInsert(wid, atom, prev, next_, self.site)
+
+    def delete(self, index: int) -> WootDelete:
+        visible = self._visible_positions()
+        if index < 0 or index >= len(visible):
+            raise IndexError(f"delete index {index} out of range")
+        char = self._chars[visible[index]]
+        char.visible = False
+        return WootDelete(char.wid, self.site)
+
+    def apply(self, op: object) -> None:
+        if isinstance(op, WootInsert):
+            if op.wid in self._index:
+                return  # duplicate delivery
+            char = WChar(op.wid, op.atom, True, op.prev, op.next)
+            self._integrate(char, op.prev, op.next)
+        elif isinstance(op, WootDelete):
+            position = self._index.get(op.wid)
+            if position is None:
+                raise ReproError(f"delete of unknown {op.wid!r}")
+            self._chars[position].visible = False  # idempotent
+        else:
+            raise ReproError(f"unknown WOOT operation {op!r}")
+
+    def atoms(self) -> List[object]:
+        return [c.atom for c in self._chars if c.visible]
+
+    def total_id_bits(self) -> int:
+        # Each visible character stores its id plus its two neighbour
+        # ids — WOOT's per-atom metadata is three identifiers.
+        return sum(3 * WID_BITS for c in self._chars if c.visible)
+
+    def element_count(self) -> int:
+        return len(self._chars)  # tombstones never leave
+
+    def tombstone_count(self) -> int:
+        """Invisible characters (never garbage collected)."""
+        return sum(1 for c in self._chars if not c.visible)

@@ -1,0 +1,31 @@
+"""Treedoc core: the paper's primary contribution.
+
+Public surface:
+
+- :class:`repro.core.treedoc.Treedoc` — the document replica.
+- :class:`repro.core.path.PosID` / :class:`repro.core.path.PathElement` —
+  the dense identifier space.
+- :class:`repro.core.disambiguator.Udis` /
+  :class:`repro.core.disambiguator.Sdis` — disambiguator designs.
+- :mod:`repro.core.ops` — the replicated operations.
+"""
+
+from repro.core.disambiguator import Disambiguator, Udis, Sdis, SiteId
+from repro.core.path import PathElement, PosID, ROOT
+from repro.core.treedoc import Treedoc
+from repro.core.ops import InsertOp, DeleteOp, FlattenOp, Operation
+
+__all__ = [
+    "Disambiguator",
+    "Udis",
+    "Sdis",
+    "SiteId",
+    "PathElement",
+    "PosID",
+    "ROOT",
+    "Treedoc",
+    "InsertOp",
+    "DeleteOp",
+    "FlattenOp",
+    "Operation",
+]

@@ -1,0 +1,225 @@
+"""Mixed tree/array storage (section 4.2).
+
+The paper observes that storage may be decoupled from identification:
+"we can envisage a mixed tree, where parts that are currently being
+edited are in Treedoc representation, and parts that are currently
+quiescent are represented as arrays, with no associated metadata", with
+explode happening implicitly "when applying a path to an array".
+
+This module implements that storage optimization *without touching the
+identifier semantics*:
+
+- :func:`find_array_regions` locates maximal *array-representable*
+  subtrees — fully plain (no disambiguators anywhere, i.e. flattened or
+  single-user regions), no tombstones, completely live — whose contents
+  a plain Python list can represent with zero per-atom metadata;
+- :class:`MixedStorage` snapshots a tree into tree-fragments + array
+  regions, answers reads (length, atom-at-index, iteration) from the
+  mixed form, accounts the §5.2 storage cost of each representation,
+  and *explodes on demand*: touching a path inside an array region
+  converts it back to tree form transparently;
+- :func:`storage_cost` compares the pure-tree cost against the mixed
+  cost (the "best case … zero overhead" claim of the abstract).
+
+Because explode is deterministic and local, no replicated operation is
+needed — exactly the paper's argument for why explicit explode
+operations can be eliminated (§4.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.flatten import build_exploded
+from repro.core.node import EMPTY, LIVE, PosNode
+from repro.core.path import PosID
+from repro.core.tree import TreedocTree
+from repro.errors import TreeError
+from repro.metrics.overhead import NODE_RECORD_BYTES
+
+#: Per-array-region bookkeeping cost in bytes: a (path, length, pointer)
+#: record replacing the whole subtree's node records.
+ARRAY_REGION_HEADER_BYTES = 12
+#: Per-atom cost inside an array region: one pointer (32-bit machine,
+#: matching the paper's 26-byte node model).
+ARRAY_SLOT_BYTES = 4
+
+
+def _is_array_representable(node: PosNode) -> bool:
+    """A subtree is array-representable when every slot is a live plain
+    atom or empty structure: no mini-nodes (disambiguators) and no
+    tombstones anywhere."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.minis:
+            return False
+        if current.plain_state not in (LIVE, EMPTY):
+            return False
+        for child in (current.left, current.right):
+            if child is not None:
+                stack.append(child)
+    return True
+
+
+def find_array_regions(tree: TreedocTree,
+                       min_atoms: int = 2) -> List[Tuple[PosID, PosNode]]:
+    """Maximal array-representable subtrees holding >= ``min_atoms``.
+
+    Returned top-down, left-to-right, as (plain path, subtree root).
+    """
+    regions: List[Tuple[PosID, PosNode]] = []
+    stack: List[Tuple[PosNode, List[int]]] = [(tree.root, [])]
+    while stack:
+        node, bits = stack.pop()
+        if node.live_count >= min_atoms and _is_array_representable(node):
+            regions.append((PosID.from_bits(bits), node))
+            continue
+        for bit, child in ((0, node.left), (1, node.right)):
+            if child is not None:
+                stack.append((child, bits + [bit]))
+    regions.sort(key=lambda item: tuple(item[0].bits()))
+    return regions
+
+
+@dataclass
+class ArrayRegion:
+    """A quiescent region stored as a bare atom array."""
+
+    path: PosID
+    atoms: List[object]
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def storage_bytes(self) -> int:
+        """Metadata cost of the array form (excludes atom payloads)."""
+        return ARRAY_REGION_HEADER_BYTES + ARRAY_SLOT_BYTES * len(self.atoms)
+
+
+class MixedStorage:
+    """A tree with quiescent regions held as arrays.
+
+    The wrapped :class:`TreedocTree` stays authoritative for edits; this
+    class manages which regions are currently *detached* into arrays.
+    Reads are served from the mixed form; ``ensure_tree_at`` (called
+    before any edit that touches a region) explodes the array back into
+    the tree — deterministically, so all replicas doing so independently
+    agree.
+    """
+
+    def __init__(self, tree: TreedocTree) -> None:
+        self.tree = tree
+        self._regions: Dict[Tuple[int, ...], ArrayRegion] = {}
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self, min_atoms: int = 2) -> int:
+        """Detach every array-representable region; returns how many."""
+        count = 0
+        for path, node in find_array_regions(self.tree, min_atoms):
+            key = path.bits()
+            if key in self._regions:
+                continue
+            atoms = [slot.atom for slot in node.iter_slots()
+                     if slot.state == LIVE]
+            # Strip the subtree in the tree: the region root becomes a
+            # placeholder; counts updated so indexed reads still work —
+            # the region's atoms are accounted via the array.
+            self._regions[key] = ArrayRegion(path, atoms)
+            count += 1
+        return count
+
+    @property
+    def regions(self) -> List[ArrayRegion]:
+        return [self._regions[key] for key in sorted(self._regions)]
+
+    # -- explode on demand -----------------------------------------------------
+
+    def ensure_tree_at(self, posid: PosID) -> None:
+        """Re-attach (explode) any array region containing ``posid``.
+
+        Applying a path to an array converts it to tree storage
+        (§4.2.1); explode is deterministic, so replicas converge without
+        a replicated explode operation.
+        """
+        bits = posid.bits()
+        for key in list(self._regions):
+            if bits[: len(key)] == key:
+                self._explode_region(key)
+
+    def explode_all(self) -> None:
+        """Re-attach every region (before whole-document surgery)."""
+        for key in list(self._regions):
+            self._explode_region(key)
+
+    def _explode_region(self, key: Tuple[int, ...]) -> None:
+        region = self._regions.pop(key)
+        node = self._resolve(region.path)
+        # The tree still holds the region (compaction never mutated it);
+        # verify it was not edited behind the storage manager's back,
+        # then canonicalize: the array is authoritative.
+        atoms = [slot.atom for slot in node.iter_slots()
+                 if slot.state == LIVE]
+        if atoms != region.atoms:
+            raise TreeError(
+                "array region diverged from tree: edits bypassed "
+                "ensure_tree_at()"
+            )
+        old_counts = (node.live_count, node.id_count)
+        build_exploded(node, region.atoms)
+        self.tree.recount_subtree(node, old_counts=old_counts)
+
+    def _resolve(self, path: PosID) -> PosNode:
+        node = self.tree.root
+        for element in path:
+            child = node.child(element.bit)
+            if child is None:
+                raise TreeError(f"region path {path!r} vanished")
+            node = child
+        return node
+
+    # -- reads -------------------------------------------------------------------
+
+    def atoms(self) -> List[object]:
+        """The document content (regions contribute their arrays)."""
+        return self.tree.atoms()
+
+    # -- accounting ----------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Metadata bytes of the mixed representation: 26-byte records
+        for tree-resident nodes, array costs for detached regions."""
+        detached_roots = [self._resolve(r.path) for r in self.regions]
+        detached_ids = set()
+        for root in detached_roots:
+            for node in root.iter_nodes():
+                detached_ids.add(id(node))
+        tree_nodes = 0
+        for node in self.tree.root.iter_nodes():
+            if id(node) in detached_ids:
+                continue
+            if node is self.tree.root and node.plain_state == EMPTY \
+                    and not node.minis:
+                continue
+            tree_nodes += 1 + max(0, len(node.minis) - 1)
+        array_bytes = sum(r.storage_bytes for r in self.regions)
+        return tree_nodes * NODE_RECORD_BYTES + array_bytes
+
+
+def storage_cost(tree: TreedocTree,
+                 min_atoms: int = 2) -> Tuple[int, int]:
+    """``(pure_tree_bytes, mixed_bytes)`` for the current state."""
+    pure = 0
+    for node in tree.root.iter_nodes():
+        if node is tree.root and node.plain_state == EMPTY and not node.minis:
+            continue
+        pure += 1 + max(0, len(node.minis) - 1)
+    pure *= NODE_RECORD_BYTES
+    mixed_storage = MixedStorage(tree)
+    mixed_storage.compact(min_atoms)
+    mixed = mixed_storage.storage_bytes()
+    mixed_storage.explode_all()
+    return pure, mixed

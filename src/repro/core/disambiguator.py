@@ -1,0 +1,160 @@
+"""Disambiguators: section 3.3 of the paper.
+
+Concurrent inserts at the same tree position create sibling *mini-nodes*
+inside one major node; the disambiguator is the unique, ordered tag that
+tells them apart. The paper studies two designs:
+
+- **UDIS** (:class:`Udis`): a ``(counter, siteID)`` pair, globally unique.
+  Deleted leaves can be discarded immediately because a PosID can never be
+  minted twice.
+- **SDIS** (:class:`Sdis`): the site identifier alone. Smaller (no
+  counter), but the same site can re-mint a PosID after a delete, so
+  deleted nodes must be kept as tombstones.
+
+Site identifiers are modelled on the paper's evaluation: 6 bytes (a MAC
+address, or a short membership integer widened to the same field). UDIS
+counters are 4 bytes (section 5, "We use 6 bytes for site identifiers in
+both UDIS and SDIS, and 4 bytes for the UDIS counter").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import EncodingError
+
+#: Size of a site identifier on the wire and on disk, in bytes (section 5).
+SITE_ID_BYTES = 6
+#: Size of the UDIS per-site counter, in bytes (section 5).
+COUNTER_BYTES = 4
+
+SITE_ID_BITS = SITE_ID_BYTES * 8
+COUNTER_BITS = COUNTER_BYTES * 8
+
+#: A site identifier is a small non-negative integer (membership id) or a
+#: 48-bit MAC-address-like value; both fit the 6-byte field.
+SiteId = int
+
+
+def validate_site_id(site: SiteId) -> SiteId:
+    """Check that ``site`` fits the 6-byte site-identifier field."""
+    if not isinstance(site, int) or isinstance(site, bool):
+        raise EncodingError(f"site id must be an int, got {site!r}")
+    if site < 0 or site >= 1 << SITE_ID_BITS:
+        raise EncodingError(f"site id {site} does not fit in {SITE_ID_BYTES} bytes")
+    return site
+
+
+@dataclass(frozen=True, order=False)
+class Udis:
+    """Unique disambiguator: ``(counter, siteID)``.
+
+    Ordered by counter first, site second, exactly as in section 3.3.1:
+    ``(c1, s1) < (c2, s2) iff c1 < c2 or (c1 = c2 and s1 < s2)``.
+    """
+
+    counter: int
+    site: SiteId
+
+    def __post_init__(self) -> None:
+        validate_site_id(self.site)
+        if self.counter < 0 or self.counter >= 1 << COUNTER_BITS:
+            raise EncodingError(
+                f"UDIS counter {self.counter} does not fit in {COUNTER_BYTES} bytes"
+            )
+
+    def sort_key(self) -> tuple:
+        """Total-order key; comparable across Udis and Sdis values."""
+        # UDIS and SDIS are never mixed inside one document, but giving both
+        # a common key shape keeps comparisons total if they ever meet.
+        return (self.counter, self.site)
+
+    @property
+    def size_bits(self) -> int:
+        """Encoded size in bits (counter + site id)."""
+        return COUNTER_BITS + SITE_ID_BITS
+
+    def __lt__(self, other: "Disambiguator") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Disambiguator") -> bool:
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Disambiguator") -> bool:
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Disambiguator") -> bool:
+        return self.sort_key() >= other.sort_key()
+
+    def __repr__(self) -> str:
+        return f"u{self.counter}:{self.site}"
+
+
+@dataclass(frozen=True, order=False)
+class Sdis:
+    """Site disambiguator: the site identifier alone (section 3.3.2)."""
+
+    site: SiteId
+
+    def __post_init__(self) -> None:
+        validate_site_id(self.site)
+
+    def sort_key(self) -> tuple:
+        """Total-order key; see :meth:`Udis.sort_key`."""
+        return (0, self.site)
+
+    @property
+    def size_bits(self) -> int:
+        """Encoded size in bits (site id only)."""
+        return SITE_ID_BITS
+
+    def __lt__(self, other: "Disambiguator") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Disambiguator") -> bool:
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Disambiguator") -> bool:
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Disambiguator") -> bool:
+        return self.sort_key() >= other.sort_key()
+
+    def __repr__(self) -> str:
+        return f"s{self.site}"
+
+
+Disambiguator = Union[Udis, Sdis]
+
+
+class DisambiguatorFactory:
+    """Mints fresh disambiguators for one site.
+
+    A Treedoc replica owns one factory; its ``mode`` selects the UDIS or
+    SDIS design for the whole document (the two are never mixed).
+    """
+
+    UDIS = "udis"
+    SDIS = "sdis"
+
+    def __init__(self, site: SiteId, mode: str = UDIS) -> None:
+        validate_site_id(site)
+        if mode not in (self.UDIS, self.SDIS):
+            raise ValueError(f"unknown disambiguator mode {mode!r}")
+        self.site = site
+        self.mode = mode
+        self._counter = 0
+
+    def fresh(self) -> Disambiguator:
+        """Return the next disambiguator for this site."""
+        if self.mode == self.UDIS:
+            dis = Udis(self._counter, self.site)
+            self._counter += 1
+            return dis
+        return Sdis(self.site)
+
+    @property
+    def counter(self) -> int:
+        """Current UDIS counter value (number of UDIS minted so far)."""
+        return self._counter

@@ -1,0 +1,211 @@
+"""On-disk Treedoc format (section 5.2).
+
+The paper stores a Treedoc like a binary heap: nodes top to bottom, line
+by line, left to right; absent positions are filled with a special
+marker, and marker runs are run-length encoded. Each entry carries the
+node's disambiguator(s) and a reference into a separate atom file.
+
+This module implements that format faithfully:
+
+- the tree skeleton (plain children of position nodes) is laid out
+  level by level; within a level, present positions are emitted left to
+  right, and the gaps between them are gamma-coded run lengths (the RLE
+  of marker sequences);
+- an entry holds the plain slot's state and atom reference, plus the
+  mini-node array (disambiguator, state, atom reference each). The paper
+  notes mini-node arrays "do not occur in our tests"; they do occur
+  under concurrency, so entries support them;
+- children *of mini-nodes* cannot be addressed by heap position (they
+  would collide with the major node's children), so each mini entry may
+  carry an escape: a recursively encoded sub-document for each child
+  side. Serialized traces never take the escape, matching the paper;
+- atoms live in a separate byte stream ("stored in a separate file"),
+  referenced by index.
+
+``measure_on_disk`` reports the Table 1 "On-disk overhead": the tree
+bytes, i.e. everything except the atom payload itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.encoding import read_disambiguator, write_disambiguator
+from repro.core.node import EMPTY, LIVE, TOMBSTONE, MiniNode, PosNode
+from repro.core.tree import TreedocTree
+from repro.errors import EncodingError
+from repro.util.bits import BitReader, BitWriter
+
+_STATE_TAGS = {EMPTY: 0, LIVE: 1, TOMBSTONE: 2}
+_TAG_STATES = {tag: state for state, tag in _STATE_TAGS.items()}
+
+
+@dataclass
+class DiskImage:
+    """A serialized Treedoc: tree bytes plus the atom file."""
+
+    tree_bytes: bytes
+    tree_bits: int
+    atom_payloads: List[bytes]
+
+    @property
+    def tree_size_bytes(self) -> int:
+        """On-disk size of the tree structure (the overhead)."""
+        return (self.tree_bits + 7) // 8
+
+    @property
+    def atom_size_bytes(self) -> int:
+        """On-disk size of the atom file (the document proper)."""
+        return sum(len(p) for p in self.atom_payloads)
+
+
+class _AtomFile:
+    """Collects atom payloads and hands out reference indices."""
+
+    def __init__(self) -> None:
+        self.payloads: List[bytes] = []
+
+    def add(self, atom: object) -> int:
+        text = atom if isinstance(atom, str) else repr(atom)
+        self.payloads.append(text.encode("utf-8"))
+        return len(self.payloads) - 1
+
+
+def _write_slot_state(writer: BitWriter, state: str, atom: object,
+                      atoms: _AtomFile) -> None:
+    writer.write_bits(_STATE_TAGS[state], 2)
+    if state == LIVE:
+        writer.write_elias_gamma(atoms.add(atom) + 1)
+
+
+def _read_slot_state(reader: BitReader,
+                     payloads: List[bytes]) -> Tuple[str, Optional[str]]:
+    state = _TAG_STATES[reader.read_bits(2)]
+    if state == LIVE:
+        index = reader.read_elias_gamma() - 1
+        return state, payloads[index].decode("utf-8")
+    return state, None
+
+
+def _write_subtree(writer: BitWriter, root: PosNode, atoms: _AtomFile) -> None:
+    """Heap-style level-order encoding of one subtree skeleton."""
+    level: List[Tuple[int, PosNode]] = [(0, root)]
+    writer.write_bit(1)  # subtree present
+    while level:
+        # Present positions of this level, left to right, with gamma-
+        # coded gaps standing in for RLE-compressed marker runs.
+        writer.write_elias_gamma(len(level) + 1)
+        previous = -1
+        next_level: List[Tuple[int, PosNode]] = []
+        for index, node in level:
+            writer.write_elias_gamma(index - previous)
+            previous = index
+            _write_entry(writer, node, atoms)
+            if node.left is not None:
+                next_level.append((2 * index, node.left))
+            if node.right is not None:
+                next_level.append((2 * index + 1, node.right))
+        level = next_level
+
+
+def _write_entry(writer: BitWriter, node: PosNode, atoms: _AtomFile) -> None:
+    _write_slot_state(writer, node.plain_state, node.plain_atom, atoms)
+    writer.write_elias_gamma(len(node.minis) + 1)
+    for mini in node.minis:
+        write_disambiguator(writer, mini.dis)
+        _write_slot_state(writer, mini.state, mini.atom, atoms)
+        for child in (mini.left, mini.right):
+            if child is None:
+                writer.write_bit(0)
+            else:
+                # Escape: a mini-node's child subtree, recursively.
+                _write_subtree(writer, child, atoms)
+    # Plain-child presence: the next heap level cannot be peeked at read
+    # time, so record which children exist.
+    writer.write_bit(1 if node.left is not None else 0)
+    writer.write_bit(1 if node.right is not None else 0)
+
+
+def _read_subtree(reader: BitReader, parent, bit: int,
+                  payloads: List[bytes]) -> Optional[PosNode]:
+    if not reader.read_bit():
+        return None
+    root = PosNode(parent=(parent, bit) if parent is not None else None)
+    level: Dict[int, PosNode] = {0: root}
+    while level:
+        count = reader.read_elias_gamma() - 1
+        position = -1
+        ordered: List[Tuple[int, PosNode]] = sorted(level.items())
+        if count != len(ordered):
+            raise EncodingError("level population mismatch")
+        next_level: Dict[int, PosNode] = {}
+        for expected_index, node in ordered:
+            position += reader.read_elias_gamma()
+            if position != expected_index:
+                raise EncodingError("heap position mismatch")
+            children = _read_entry(reader, node, payloads)
+            for child_bit in children:
+                child = PosNode(parent=(node, child_bit))
+                node.set_child(child_bit, child)
+                next_level[2 * expected_index + child_bit] = child
+        level = next_level
+    return root
+
+
+def _read_entry(reader: BitReader, node: PosNode,
+                payloads: List[bytes]) -> List[int]:
+    node.plain_state, node.plain_atom = _read_slot_state(reader, payloads)
+    mini_count = reader.read_elias_gamma() - 1
+    for _ in range(mini_count):
+        dis = read_disambiguator(reader)
+        mini = node.get_or_create_mini(dis)
+        mini.state, mini.atom = _read_slot_state(reader, payloads)
+        for child_bit in (0, 1):
+            child = _read_subtree(reader, mini, child_bit, payloads)
+            if child is not None:
+                mini.set_child(child_bit, child)
+    # Plain-child presence bits, mirroring _write_entry.
+    children = []
+    for child_bit in (0, 1):
+        if reader.read_bit():
+            children.append(child_bit)
+    return children
+
+
+def save(tree: TreedocTree) -> DiskImage:
+    """Serialize a tree to its on-disk image."""
+    writer = BitWriter()
+    atoms = _AtomFile()
+    _write_subtree(writer, tree.root, atoms)
+    return DiskImage(writer.getvalue(), writer.bit_length, atoms.payloads)
+
+
+def load(image: DiskImage) -> TreedocTree:
+    """Reconstruct a tree from its on-disk image."""
+    reader = BitReader(image.tree_bytes, image.tree_bits)
+    root = _read_subtree(reader, None, 0, image.atom_payloads)
+    tree = TreedocTree()
+    if root is not None:
+        tree.root = root
+    tree.recount_subtree(tree.root)
+    height = 0
+    stack: List[Tuple[PosNode, int]] = [(tree.root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        height = max(height, depth)
+        for mini in node.minis:
+            for child in (mini.left, mini.right):
+                if child is not None:
+                    stack.append((child, depth + 1))
+        for child in (node.left, node.right):
+            if child is not None:
+                stack.append((child, depth + 1))
+    tree.height = height
+    return tree
+
+
+def measure_on_disk(tree: TreedocTree) -> Tuple[int, int]:
+    """``(overhead_bytes, document_bytes)`` of the on-disk image."""
+    image = save(tree)
+    return image.tree_size_bytes, image.atom_size_bytes

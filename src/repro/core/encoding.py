@@ -1,0 +1,171 @@
+"""Bit-packed wire encoding for identifiers and operations.
+
+The evaluation reports identifier sizes in bits (Table 1) and estimates
+network cost as the sum of PosID sizes (section 5.2), so the encoding
+here is an actual bit format, not an approximation:
+
+- a path element costs 2 bits (branch bit + disambiguator-presence flag)
+  plus its disambiguator payload;
+- an SDIS disambiguator is the 6-byte site id (48 bits);
+- a UDIS disambiguator adds the 4-byte counter (32 + 48 = 80 bits);
+- path lengths and atom sizes use Elias gamma codes.
+
+``PosID.size_bits`` agrees with the encoded size by construction (both
+are derived from ``PathElement.size_bits``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.disambiguator import (
+    COUNTER_BITS,
+    SITE_ID_BITS,
+    Disambiguator,
+    Sdis,
+    Udis,
+)
+from repro.core.ops import DeleteOp, FlattenOp, InsertOp, Operation
+from repro.core.path import PathElement, PosID
+from repro.errors import EncodingError
+from repro.util.bits import BitReader, BitWriter
+
+# Operation tags.
+_TAG_INSERT = 0
+_TAG_DELETE = 1
+_TAG_FLATTEN = 2
+
+# Disambiguator tags.
+_DIS_SDIS = 0
+_DIS_UDIS = 1
+
+
+def write_disambiguator(writer: BitWriter, dis: Disambiguator) -> None:
+    """Append a disambiguator (1 tag bit + payload)."""
+    if isinstance(dis, Udis):
+        writer.write_bit(_DIS_UDIS)
+        writer.write_bits(dis.counter, COUNTER_BITS)
+        writer.write_bits(dis.site, SITE_ID_BITS)
+    elif isinstance(dis, Sdis):
+        writer.write_bit(_DIS_SDIS)
+        writer.write_bits(dis.site, SITE_ID_BITS)
+    else:
+        raise EncodingError(f"unknown disambiguator type {dis!r}")
+
+
+def read_disambiguator(reader: BitReader) -> Disambiguator:
+    """Read a disambiguator written by :func:`write_disambiguator`."""
+    if reader.read_bit() == _DIS_UDIS:
+        counter = reader.read_bits(COUNTER_BITS)
+        site = reader.read_bits(SITE_ID_BITS)
+        return Udis(counter, site)
+    return Sdis(reader.read_bits(SITE_ID_BITS))
+
+
+def write_posid(writer: BitWriter, posid: PosID) -> None:
+    """Append a PosID: gamma-coded length, then the elements."""
+    writer.write_elias_gamma(posid.depth + 1)
+    for element in posid:
+        writer.write_bit(element.bit)
+        if element.dis is None:
+            writer.write_bit(0)
+        else:
+            writer.write_bit(1)
+            write_disambiguator(writer, element.dis)
+
+
+def read_posid(reader: BitReader) -> PosID:
+    """Read a PosID written by :func:`write_posid`."""
+    depth = reader.read_elias_gamma() - 1
+    elements = []
+    for _ in range(depth):
+        bit = reader.read_bit()
+        if reader.read_bit():
+            elements.append(PathElement(bit, read_disambiguator(reader)))
+        else:
+            elements.append(PathElement(bit))
+    return PosID(elements)
+
+
+def encode_posid(posid: PosID) -> Tuple[bytes, int]:
+    """Encode a lone PosID; returns ``(bytes, bit_length)``."""
+    writer = BitWriter()
+    write_posid(writer, posid)
+    return writer.getvalue(), writer.bit_length
+
+
+def decode_posid(data: bytes, bit_length: Optional[int] = None) -> PosID:
+    """Decode a lone PosID."""
+    return read_posid(BitReader(data, bit_length))
+
+
+def _write_atom(writer: BitWriter, atom: object) -> None:
+    """Append an atom as a length-prefixed UTF-8 payload."""
+    text = atom if isinstance(atom, str) else repr(atom)
+    payload = text.encode("utf-8")
+    writer.write_elias_gamma(len(payload) + 1)
+    writer.write_bytes(payload)
+
+
+def _read_atom(reader: BitReader) -> str:
+    length = reader.read_elias_gamma() - 1
+    return reader.read_bytes(length).decode("utf-8")
+
+
+def write_operation(writer: BitWriter, op: Operation) -> None:
+    """Append an operation (2-bit tag + payload)."""
+    if isinstance(op, InsertOp):
+        writer.write_bits(_TAG_INSERT, 2)
+        writer.write_bits(op.origin, SITE_ID_BITS)
+        write_posid(writer, op.posid)
+        _write_atom(writer, op.atom)
+    elif isinstance(op, DeleteOp):
+        writer.write_bits(_TAG_DELETE, 2)
+        writer.write_bits(op.origin, SITE_ID_BITS)
+        write_posid(writer, op.posid)
+    elif isinstance(op, FlattenOp):
+        writer.write_bits(_TAG_FLATTEN, 2)
+        writer.write_bits(op.origin, SITE_ID_BITS)
+        write_posid(writer, op.path)
+        _write_atom(writer, op.digest)
+    else:
+        raise EncodingError(f"unknown operation {op!r}")
+
+
+def read_operation(reader: BitReader) -> Operation:
+    """Read an operation written by :func:`write_operation`.
+
+    Atoms decode as strings (the only atom type the traces use); flatten
+    operations decode without ``expected_atoms``.
+    """
+    tag = reader.read_bits(2)
+    origin = reader.read_bits(SITE_ID_BITS)
+    if tag == _TAG_INSERT:
+        posid = read_posid(reader)
+        atom = _read_atom(reader)
+        return InsertOp(posid, atom, origin)
+    if tag == _TAG_DELETE:
+        return DeleteOp(read_posid(reader), origin)
+    if tag == _TAG_FLATTEN:
+        path = read_posid(reader)
+        digest = _read_atom(reader)
+        return FlattenOp(path, digest, origin)
+    raise EncodingError(f"unknown operation tag {tag}")
+
+
+def encode_operation(op: Operation) -> Tuple[bytes, int]:
+    """Encode a lone operation; returns ``(bytes, bit_length)``."""
+    writer = BitWriter()
+    write_operation(writer, op)
+    return writer.getvalue(), writer.bit_length
+
+
+def decode_operation(data: bytes, bit_length: Optional[int] = None) -> Operation:
+    """Decode a lone operation."""
+    return read_operation(BitReader(data, bit_length))
+
+
+def operation_cost_bits(op: Operation) -> int:
+    """Network cost of an operation in bits (section 5.2: a PosID plus,
+    for inserts, the atom)."""
+    return encode_operation(op)[1]

@@ -1,0 +1,238 @@
+"""Structural clean-up: explode and flatten (section 4.2, Algorithm 2).
+
+``explode`` maps an atom array onto the canonical complete binary tree:
+depth ``ceil(log2(n+1))``, atoms assigned to positions in infix order,
+surplus positions removed. After explode every path is a plain bitstring
+with no disambiguators — the zero-overhead representation.
+
+``flatten`` replaces a subtree by the explode of its visible atom
+sequence, discarding tombstones, mini-nodes and disambiguators in one
+stroke. Replicas must apply the same flatten to the same state, which the
+distributed commitment protocol of :mod:`repro.replication.commit`
+guarantees; the functions here are the local state transformations.
+
+``ColdRegionFinder`` implements the flatten heuristic evaluated in
+section 5.1: position nodes are stamped with the revision that last
+touched them, and the largest subtree untouched for ``min_age``
+revisions (holding at least ``min_slots`` identifiers) is picked for
+flattening.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.node import EMPTY, LIVE, MiniNode, PosNode
+from repro.core.path import LEFT, RIGHT, PosID
+from repro.core.tree import TreedocTree
+from repro.errors import TreeError
+
+
+def explode_depth(atom_count: int) -> int:
+    """Depth of the canonical complete tree for ``atom_count`` atoms."""
+    return max(1, math.ceil(math.log2(atom_count + 1)))
+
+
+def build_exploded(node: PosNode, atoms: Sequence[object]) -> None:
+    """Rebuild ``node``'s subtree as the canonical exploded form of
+    ``atoms`` (Algorithm 2), in place. The node keeps its parent link.
+
+    With no atoms the subtree becomes a bare empty node.
+    """
+    node.plain_state = EMPTY
+    node.plain_atom = None
+    node.minis = []
+    node.left = None
+    node.right = None
+    if not atoms:
+        node.live_count = 0
+        node.id_count = 0
+        return
+    _fill_complete(node, list(atoms))
+
+
+def _fill_complete(node: PosNode, atoms: List[object]) -> None:
+    """Assign ``atoms`` infix-style to a complete subtree under ``node``.
+
+    The middle atom lands on ``node`` itself; left and right halves
+    recurse into freshly created children. Surplus positions are simply
+    never created, which realizes Algorithm 2's "remove any remaining
+    nodes" without a second pass. Children are complete trees, so the
+    result equals building the full tree and pruning.
+    """
+    # Iterative splitting to cope with large arrays without recursion
+    # limits: stack of (node, atom-slice bounds).
+    stack: List[Tuple[PosNode, int, int]] = [(node, 0, len(atoms))]
+    while stack:
+        current, lo, hi = stack.pop()
+        count = hi - lo
+        depth = explode_depth(count)
+        # The subtree root takes the infix position after its complete
+        # left subtree (2^(depth-1) - 1 slots); with a partially filled
+        # last level fewer atoms remain, and the root takes the last one.
+        left_size = (1 << (depth - 1)) - 1
+        root_index = min(left_size, count - 1)
+        mid = lo + root_index
+        current.plain_state = LIVE
+        current.plain_atom = atoms[mid]
+        left_atoms = mid - lo
+        right_atoms = hi - mid - 1
+        current.live_count = count
+        current.id_count = count
+        if left_atoms > 0:
+            left = PosNode(parent=(current, LEFT))
+            current.left = left
+            stack.append((left, lo, mid))
+        if right_atoms > 0:
+            right = PosNode(parent=(current, RIGHT))
+            current.right = right
+            stack.append((right, mid + 1, hi))
+
+
+def explode(atoms: Sequence[object]) -> TreedocTree:
+    """Algorithm 2: a fresh tree whose contents equal ``atoms``.
+
+    The root position node carries the middle atom; all identifiers are
+    plain bitstrings.
+    """
+    tree = TreedocTree()
+    build_exploded(tree.root, atoms)
+    tree.height = _subtree_height(tree.root)
+    return tree
+
+
+def _subtree_height(node: PosNode) -> int:
+    height = 0
+    stack: List[Tuple[PosNode, int]] = [(node, 0)]
+    while stack:
+        current, depth = stack.pop()
+        if depth > height:
+            height = depth
+        for mini in current.minis:
+            for child in (mini.left, mini.right):
+                if child is not None:
+                    stack.append((child, depth + 1))
+        for child in (current.left, current.right):
+            if child is not None:
+                stack.append((child, depth + 1))
+    return height
+
+
+def subtree_atoms(node: PosNode) -> List[object]:
+    """Visible atoms of ``node``'s subtree, in identifier order."""
+    return [slot.atom for slot in node.iter_slots() if slot.state == LIVE]
+
+
+def flatten_subtree(tree: TreedocTree, path: PosID) -> List[object]:
+    """Flatten the subtree rooted at the position node named by ``path``
+    (plain bits only): rebuild it as the canonical exploded form of its
+    visible atoms. Returns the atom array.
+
+    Raises :class:`TreeError` when ``path`` has disambiguated elements or
+    names no materialized node.
+    """
+    node = resolve_region(tree, path)
+    old_counts = (node.live_count, node.id_count)
+    atoms = subtree_atoms(node)
+    build_exploded(node, atoms)
+    tree.recount_subtree(node, old_counts=old_counts)
+    tree.height = _subtree_height(tree.root)
+    return atoms
+
+
+def resolve_region(tree: TreedocTree, path: PosID) -> PosNode:
+    """The position node named by a plain-bit ``path``."""
+    node = tree.root
+    for element in path:
+        if element.dis is not None:
+            raise TreeError("flatten regions are addressed by plain paths")
+        child = node.child(element.bit)
+        if child is None:
+            raise TreeError(f"no node at region path {path!r}")
+        node = child
+    return node
+
+
+class ColdRegionFinder:
+    """Pick "cold" subtrees for flattening (section 5.1 heuristic).
+
+    The tree's owner stamps every position node on the path of each edit
+    with a monotonically increasing revision number (see
+    :meth:`repro.core.treedoc.Treedoc.note_revision`). A subtree is cold
+    when its newest stamp is at least ``min_age`` revisions old.
+    """
+
+    def __init__(self, min_age: int = 1, min_slots: int = 4,
+                 min_depth: int = 1) -> None:
+        if min_age < 1:
+            raise ValueError("min_age must be at least 1")
+        if min_depth < 1:
+            raise ValueError("min_depth must be at least 1")
+        self.min_age = min_age
+        self.min_slots = min_slots
+        #: Never flatten above this depth. 1 forbids only the root
+        #: (whole-document flattening stays an explicit operation);
+        #: larger values emulate the paper's weaker heuristic, which
+        #: flattened partial "cold areas" and left many tombstones
+        #: behind (section 5.1 discusses the shortfall).
+        self.min_depth = min_depth
+
+    def find(self, tree: TreedocTree, stamps: dict,
+             current_revision: int) -> Optional[PosID]:
+        """Largest cold *proper* subtree's plain path, or None.
+
+        ``stamps`` maps id(PosNode) -> last-touch revision; unstamped
+        nodes count as never touched (revision 0). The root itself is
+        never selected: the paper's heuristic flattens "some cold area"
+        of the document, not the whole of it (and observes that its
+        partial subtree choice limits the achievable clean-up —
+        section 5.1); whole-document flattening remains available
+        explicitly via ``flatten_local(ROOT)``.
+        """
+        best: Optional[Tuple[Tuple[int, int], List[int]]] = None
+        # Walk top-down; the first cold node on a branch dominates its
+        # descendants, so do not descend past a cold subtree.
+        stack: List[Tuple[PosNode, List[int]]] = [(tree.root, [])]
+        while stack:
+            node, bits = stack.pop()
+            if len(bits) >= self.min_depth and self._is_cold(
+                node, stamps, current_revision
+            ):
+                if node.id_count >= self.min_slots:
+                    # Prefer the region with the most *dead* identifiers
+                    # (tombstones to collect), then the largest. Scoring
+                    # by size alone wastes flattens on big clean regions
+                    # — plausibly the shortfall the paper reports for
+                    # its own heuristic (section 5.1).
+                    score = (node.id_count - node.live_count, node.id_count)
+                    if best is None or score > best[0]:
+                        best = (score, bits)
+                continue
+            for bit, child in ((LEFT, node.left), (RIGHT, node.right)):
+                if child is not None:
+                    stack.append((child, bits + [bit]))
+        if best is None:
+            return None
+        return PosID.from_bits(best[1])
+
+    def _is_cold(self, node: PosNode, stamps: dict, current: int) -> bool:
+        newest = self._newest_stamp(node, stamps)
+        return current - newest >= self.min_age
+
+    def _newest_stamp(self, node: PosNode, stamps: dict) -> int:
+        newest = stamps.get(id(node), 0)
+        stack: List[PosNode] = [node]
+        while stack:
+            current = stack.pop()
+            stamp = stamps.get(id(current), 0)
+            if stamp > newest:
+                newest = stamp
+            for mini in current.minis:
+                for child in (mini.left, mini.right):
+                    if child is not None:
+                        stack.append(child)
+            for child in (current.left, current.right):
+                if child is not None:
+                    stack.append(child)
+        return newest

@@ -1,0 +1,298 @@
+"""Tree storage nodes for Treedoc (section 3).
+
+The extended binary tree is made of *position nodes* (:class:`PosNode`,
+the paper's major nodes) and *mini-nodes* (:class:`MiniNode`). A position
+node owns:
+
+- a ``plain`` atom slot — used by identifiers whose final element carries
+  no disambiguator (single-user documents and exploded/flattened regions);
+- a collection of mini-nodes keyed by disambiguator — concurrent inserts
+  at the same position land here;
+- two child slots (left/right) reached by *plain* path elements.
+
+Each mini-node additionally owns its own two child slots, reached by path
+elements that follow a disambiguated element (rule (ii) of section 3.1).
+
+Both the plain slot of a position node and every mini-node are *atom
+slots*; a slot is EMPTY (structural only), LIVE (holds an atom) or a
+TOMBSTONE (atom deleted under SDIS; the identifier stays used).
+
+Position nodes cache two subtree aggregates maintained incrementally:
+
+- ``live_count`` — LIVE atoms in the subtree (visible document length);
+- ``id_count`` — LIVE + TOMBSTONE slots (used identifiers), which drives
+  the tombstone-aware neighbour search of DESIGN.md section 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.core.disambiguator import Disambiguator
+from repro.core.path import LEFT, RIGHT, PathElement, PosID
+from repro.errors import TreeError
+
+# Atom-slot states.
+EMPTY = "empty"
+LIVE = "live"
+TOMBSTONE = "tombstone"
+
+
+class MiniNode:
+    """A mini-node: one disambiguated atom slot inside a position node."""
+
+    __slots__ = ("host", "dis", "state", "atom", "left", "right")
+
+    def __init__(self, host: "PosNode", dis: Disambiguator) -> None:
+        self.host = host
+        self.dis = dis
+        self.state = EMPTY
+        self.atom = None
+        self.left: Optional[PosNode] = None
+        self.right: Optional[PosNode] = None
+
+    def child(self, bit: int) -> Optional["PosNode"]:
+        """The child position node on side ``bit``, if materialized."""
+        return self.left if bit == LEFT else self.right
+
+    def set_child(self, bit: int, node: Optional["PosNode"]) -> None:
+        """Attach or detach the child position node on side ``bit``."""
+        if bit == LEFT:
+            self.left = node
+        else:
+            self.right = node
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the mini-node has no materialized children."""
+        return self.left is None and self.right is None
+
+    def __repr__(self) -> str:
+        return f"<mini {self.dis!r} {self.state}>"
+
+
+#: A parent link: the owning container and the branch bit, or None at root.
+ParentLink = Optional[Tuple[Union["PosNode", MiniNode], int]]
+
+#: An atom slot: a position node stands for its own plain slot.
+AtomSlot = Union["PosNode", MiniNode]
+
+
+class PosNode:
+    """A position node (major node) of the extended binary tree."""
+
+    __slots__ = (
+        "parent",
+        "plain_state",
+        "plain_atom",
+        "minis",
+        "left",
+        "right",
+        "live_count",
+        "id_count",
+    )
+
+    def __init__(self, parent: ParentLink = None) -> None:
+        self.parent: ParentLink = parent
+        self.plain_state = EMPTY
+        self.plain_atom = None
+        # Sorted list of mini-nodes; nearly always 0 or 1 entries, so a
+        # list with insertion-sort beats a tree or dict here.
+        self.minis: List[MiniNode] = []
+        self.left: Optional[PosNode] = None
+        self.right: Optional[PosNode] = None
+        self.live_count = 0
+        self.id_count = 0
+
+    # -- structure -----------------------------------------------------------
+
+    def child(self, bit: int) -> Optional["PosNode"]:
+        """The plain child on side ``bit``, if materialized."""
+        return self.left if bit == LEFT else self.right
+
+    def set_child(self, bit: int, node: Optional["PosNode"]) -> None:
+        """Attach or detach the plain child on side ``bit``."""
+        if bit == LEFT:
+            self.left = node
+        else:
+            self.right = node
+
+    def find_mini(self, dis: Disambiguator) -> Optional[MiniNode]:
+        """The mini-node with disambiguator ``dis``, if present."""
+        key = dis.sort_key()
+        for mini in self.minis:
+            mini_key = mini.dis.sort_key()
+            if mini_key == key:
+                return mini
+            if mini_key > key:
+                return None
+        return None
+
+    def get_or_create_mini(self, dis: Disambiguator) -> MiniNode:
+        """Find or insert (in disambiguator order) the mini-node ``dis``."""
+        key = dis.sort_key()
+        for index, mini in enumerate(self.minis):
+            mini_key = mini.dis.sort_key()
+            if mini_key == key:
+                return mini
+            if mini_key > key:
+                new = MiniNode(self, dis)
+                self.minis.insert(index, new)
+                return new
+        new = MiniNode(self, dis)
+        self.minis.append(new)
+        return new
+
+    def remove_mini(self, mini: MiniNode) -> None:
+        """Detach ``mini`` from this node (UDIS discard)."""
+        try:
+            self.minis.remove(mini)
+        except ValueError:
+            raise TreeError("mini-node not attached to this position node")
+
+    @property
+    def is_structurally_empty(self) -> bool:
+        """No atoms, no tombstones, no minis, no children: prunable."""
+        return (
+            self.plain_state == EMPTY
+            and not self.minis
+            and self.left is None
+            and self.right is None
+        )
+
+    # -- slot protocol for the plain slot ------------------------------------
+
+    @property
+    def state(self) -> str:
+        """State of this node's plain atom slot."""
+        return self.plain_state
+
+    @state.setter
+    def state(self, value: str) -> None:
+        self.plain_state = value
+
+    @property
+    def atom(self):
+        """Atom held by the plain slot (None unless LIVE)."""
+        return self.plain_atom
+
+    @atom.setter
+    def atom(self, value) -> None:
+        self.plain_atom = value
+
+    # -- infix iteration -----------------------------------------------------
+
+    def iter_slots(self) -> Iterator[AtomSlot]:
+        """All atom slots of this subtree, in identifier (infix) order.
+
+        Yields position nodes (their plain slot) and mini-nodes. The
+        order matches :func:`repro.core.path.compare_posids`: left child,
+        plain slot, mini-nodes (each with its own left subtree, slot,
+        right subtree) in disambiguator order, right child.
+        """
+        # Iterative walk with an explicit stack: documents replayed from
+        # long append-heavy histories produce trees deeper than CPython's
+        # default recursion limit.
+        stack: List[Tuple[object, int]] = [(self, 0)]
+        while stack:
+            item, phase = stack.pop()
+            if isinstance(item, PosNode):
+                if phase == 0:
+                    stack.append((item, 1))
+                    if item.left is not None:
+                        stack.append((item.left, 0))
+                else:
+                    yield item
+                    if item.right is not None:
+                        stack.append((item.right, 0))
+                    for mini in reversed(item.minis):
+                        stack.append((mini, 0))
+            else:  # MiniNode
+                mini = item
+                if phase == 0:
+                    stack.append((mini, 1))
+                    if mini.left is not None:
+                        stack.append((mini.left, 0))
+                else:
+                    yield mini
+                    if mini.right is not None:
+                        stack.append((mini.right, 0))
+
+    def iter_nodes(self) -> Iterator["PosNode"]:
+        """All position nodes of this subtree (pre-order, iterative)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            for mini in node.minis:
+                if mini.right is not None:
+                    stack.append(mini.right)
+                if mini.left is not None:
+                    stack.append(mini.left)
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+
+# ---------------------------------------------------------------------------
+# Slot helpers (shared by tree, allocation and flatten code).
+# ---------------------------------------------------------------------------
+
+
+def slot_state(slot: AtomSlot) -> str:
+    """State of an atom slot (plain slot of a PosNode, or a MiniNode)."""
+    return slot.state
+
+
+def slot_is_id_holder(slot: AtomSlot) -> bool:
+    """True when the slot occupies a used identifier (LIVE or TOMBSTONE)."""
+    return slot.state != EMPTY
+
+
+def slot_is_live(slot: AtomSlot) -> bool:
+    """True when the slot currently holds a visible atom."""
+    return slot.state == LIVE
+
+
+def slot_host(slot: AtomSlot) -> PosNode:
+    """The position node that owns the slot."""
+    return slot.host if isinstance(slot, MiniNode) else slot
+
+
+def slot_posid(slot: AtomSlot) -> PosID:
+    """Reconstruct the PosID naming ``slot`` by walking parent links."""
+    elements: List[PathElement] = []
+    if isinstance(slot, MiniNode):
+        node: Optional[PosNode] = slot.host
+        pending_dis: Optional[Disambiguator] = slot.dis
+    else:
+        node = slot
+        pending_dis = None
+    while node is not None and node.parent is not None:
+        container, bit = node.parent
+        elements.append(PathElement(bit, pending_dis))
+        if isinstance(container, MiniNode):
+            pending_dis = container.dis
+            node = container.host
+        else:
+            pending_dis = None
+            node = container
+    if pending_dis is not None:
+        # A mini-node directly at the root would need a zero-length path
+        # carrying a disambiguator, which the identifier space cannot
+        # express; the tree never creates one.
+        raise TreeError("mini-node attached to the root position node")
+    elements.reverse()
+    return PosID(elements)
+
+
+def slot_depth(slot: AtomSlot) -> int:
+    """Number of path elements in the slot's PosID (cheap, no PosID)."""
+    depth = 0
+    node: Optional[PosNode] = slot_host(slot)
+    while node is not None and node.parent is not None:
+        depth += 1
+        container, _ = node.parent
+        node = container.host if isinstance(container, MiniNode) else container
+    return depth

@@ -1,0 +1,88 @@
+"""Replicated operations of the abstract buffer type (section 2.2).
+
+Operations are plain immutable records; the replication layer wraps them
+in causally-stamped envelopes. ``insert`` and ``delete`` are the user
+edit operations; ``flatten`` is the structural clean-up of section 4.2,
+which replicates only through the commitment protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.core.disambiguator import SiteId
+from repro.core.path import PosID
+
+
+@dataclass(frozen=True)
+class InsertOp:
+    """``insert(PosID, atom)``: add a fresh (atom, PosID) couple."""
+
+    posid: PosID
+    atom: object
+    origin: SiteId
+
+    @property
+    def kind(self) -> str:
+        return "insert"
+
+    def __repr__(self) -> str:
+        return f"insert({self.posid!r}, {self.atom!r}) @{self.origin}"
+
+
+@dataclass(frozen=True)
+class DeleteOp:
+    """``delete(PosID)``: remove the atom with that identifier."""
+
+    posid: PosID
+    origin: SiteId
+
+    @property
+    def kind(self) -> str:
+        return "delete"
+
+    def __repr__(self) -> str:
+        return f"delete({self.posid!r}) @{self.origin}"
+
+
+def content_digest(atoms: Tuple[object, ...]) -> str:
+    """Stable digest of an atom sequence (sanity check for flatten)."""
+    hasher = hashlib.sha256()
+    for atom in atoms:
+        encoded = repr(atom).encode("utf-8")
+        hasher.update(len(encoded).to_bytes(4, "big"))
+        hasher.update(encoded)
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class FlattenOp:
+    """``flatten(path)``: replace the subtree at ``path`` by its canonical
+    exploded form, discarding tombstones and disambiguators.
+
+    ``digest`` is the content digest of the subtree's visible atoms as
+    seen by the initiator; every committer must agree (the commitment
+    protocol guarantees it — the assertion catches protocol bugs).
+    ``expected_atoms`` optionally carries the atoms themselves so a
+    replica can validate, or apply, without local recomputation.
+    """
+
+    path: PosID
+    digest: str
+    origin: SiteId
+    expected_atoms: Optional[Tuple[object, ...]] = field(default=None)
+    #: Commitment-protocol transaction tag (opaque to the data type);
+    #: lets participants match the committed flatten to their vote lock.
+    txn: Optional[str] = field(default=None)
+
+    @property
+    def kind(self) -> str:
+        return "flatten"
+
+    def __repr__(self) -> str:
+        return f"flatten({self.path!r}, {self.digest[:8]}…) @{self.origin}"
+
+
+Operation = Union[InsertOp, DeleteOp, FlattenOp]

@@ -1,0 +1,541 @@
+"""The Treedoc tree: storage, lookup, counts and infix navigation.
+
+This module implements the mutable tree that backs a Treedoc replica:
+materializing identifier paths into nodes, applying remote inserts and
+deletes, tombstone bookkeeping (SDIS) or discard-and-prune (UDIS),
+index-to-slot descent via cached counts, and O(depth) infix successor /
+predecessor walks over atom slots (used by the tombstone-aware neighbour
+search and by the allocator's empty-slot reuse).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.disambiguator import Disambiguator
+from repro.core.node import (
+    EMPTY,
+    LIVE,
+    TOMBSTONE,
+    AtomSlot,
+    MiniNode,
+    PosNode,
+    slot_host,
+    slot_is_id_holder,
+    slot_is_live,
+    slot_posid,
+)
+from repro.core.path import LEFT, RIGHT, PosID
+from repro.errors import MissingAtomError, TreeError
+
+
+def _leftmost_slot(node: PosNode) -> AtomSlot:
+    """First slot (in infix order) of the subtree rooted at ``node``."""
+    while node.left is not None:
+        node = node.left
+    return node
+
+
+def _mini_region_first(mini: MiniNode) -> AtomSlot:
+    """First slot of a mini-node's region (its left subtree, then it)."""
+    if mini.left is not None:
+        return _leftmost_slot(mini.left)
+    return mini
+
+
+def _rightmost_slot(node: PosNode) -> AtomSlot:
+    """Last slot (in infix order) of the subtree rooted at ``node``."""
+    while True:
+        if node.right is not None:
+            node = node.right
+            continue
+        if node.minis:
+            mini = node.minis[-1]
+            if mini.right is not None:
+                node = mini.right
+                continue
+            return mini
+        return node
+
+
+def _mini_index(host: PosNode, mini: MiniNode) -> int:
+    """Position of ``mini`` within its host's sorted mini list."""
+    for index, candidate in enumerate(host.minis):
+        if candidate is mini:
+            return index
+    raise TreeError("mini-node not attached to its host")
+
+
+def _after_mini_region(host: PosNode, index: int) -> Optional[AtomSlot]:
+    """Slot following the region of ``host.minis[index]``, within or
+    above ``host``."""
+    if index + 1 < len(host.minis):
+        return _mini_region_first(host.minis[index + 1])
+    if host.right is not None:
+        return _leftmost_slot(host.right)
+    return _up_successor(host)
+
+
+def _up_successor(node: PosNode) -> Optional[AtomSlot]:
+    """Slot following the entire subtree rooted at ``node``."""
+    while True:
+        parent = node.parent
+        if parent is None:
+            return None
+        container, bit = parent
+        if isinstance(container, MiniNode):
+            if bit == LEFT:
+                return container
+            host = container.host
+            return _after_mini_region(host, _mini_index(host, container))
+        if bit == LEFT:
+            return container
+        node = container
+
+
+def successor_slot(slot: AtomSlot) -> Optional[AtomSlot]:
+    """The next atom slot in identifier order, or None at the end."""
+    if isinstance(slot, MiniNode):
+        if slot.right is not None:
+            return _leftmost_slot(slot.right)
+        host = slot.host
+        return _after_mini_region(host, _mini_index(host, slot))
+    # A position node's plain slot: next is its first mini region, then
+    # its right subtree, then upwards.
+    node = slot
+    if node.minis:
+        return _mini_region_first(node.minis[0])
+    if node.right is not None:
+        return _leftmost_slot(node.right)
+    return _up_successor(node)
+
+
+def _before_mini_region(host: PosNode, index: int) -> AtomSlot:
+    """Slot preceding the region of ``host.minis[index]``."""
+    if index > 0:
+        previous = host.minis[index - 1]
+        if previous.right is not None:
+            return _rightmost_slot(previous.right)
+        return previous
+    return host  # the host's plain slot precedes its first mini
+
+
+def _up_predecessor(node: PosNode) -> Optional[AtomSlot]:
+    """Slot preceding the entire subtree rooted at ``node``."""
+    while True:
+        parent = node.parent
+        if parent is None:
+            return None
+        container, bit = parent
+        if isinstance(container, MiniNode):
+            if bit == RIGHT:
+                return container
+            host = container.host
+            return _before_mini_region(host, _mini_index(host, container))
+        if bit == RIGHT:
+            if container.minis:
+                mini = container.minis[-1]
+                if mini.right is not None:
+                    return _rightmost_slot(mini.right)
+                return mini
+            return container
+        node = container
+
+
+def predecessor_slot(slot: AtomSlot) -> Optional[AtomSlot]:
+    """The previous atom slot in identifier order, or None at the start."""
+    if isinstance(slot, MiniNode):
+        if slot.left is not None:
+            return _rightmost_slot(slot.left)
+        host = slot.host
+        return _before_mini_region(host, _mini_index(host, slot))
+    node = slot
+    if node.left is not None:
+        return _rightmost_slot(node.left)
+    return _up_predecessor(node)
+
+
+class TreedocTree:
+    """The extended binary tree backing one Treedoc replica."""
+
+    def __init__(self) -> None:
+        self.root = PosNode()
+        #: Deepest path length materialized so far (drives the balancing
+        #: growth factor of section 4.1).
+        self.height = 0
+
+    # -- path <-> structure ---------------------------------------------------
+
+    def materialize(self, posid: PosID) -> AtomSlot:
+        """Walk ``posid``, creating missing structure; return its slot.
+
+        Re-creates discarded ancestors, as the replay version of insert
+        must under UDIS (section 3.3.1).
+        """
+        context: AtomSlot = self.root
+        for element in posid:
+            child = context.child(element.bit)
+            if child is None:
+                child = PosNode(parent=(context, element.bit))
+                context.set_child(element.bit, child)
+            if element.dis is None:
+                context = child
+            else:
+                context = child.get_or_create_mini(element.dis)
+        if posid.depth > self.height:
+            self.height = posid.depth
+        return context
+
+    def lookup(self, posid: PosID) -> Optional[AtomSlot]:
+        """The slot named by ``posid`` if its structure exists, else None."""
+        context: AtomSlot = self.root
+        for element in posid:
+            child = context.child(element.bit)
+            if child is None:
+                return None
+            if element.dis is None:
+                context = child
+            else:
+                mini = child.find_mini(element.dis)
+                if mini is None:
+                    return None
+                context = mini
+        return context
+
+    # -- counts ----------------------------------------------------------------
+
+    def _adjust_counts(self, slot: AtomSlot, d_live: int, d_id: int) -> None:
+        """Propagate a slot-state change up the position-node spine."""
+        if d_live == 0 and d_id == 0:
+            return
+        node: Optional[PosNode] = slot_host(slot)
+        while node is not None:
+            node.live_count += d_live
+            node.id_count += d_id
+            parent = node.parent
+            if parent is None:
+                break
+            container, _ = parent
+            node = container.host if isinstance(container, MiniNode) else container
+
+    def recount_subtree(self, node: PosNode,
+                        old_counts: Optional[Tuple[int, int]] = None
+                        ) -> Tuple[int, int]:
+        """Recompute ``(live, id)`` counts of ``node``'s subtree bottom-up
+        and fix ancestor aggregates by the delta (used after structural
+        surgery such as flatten).
+
+        ``old_counts`` must be the subtree's ``(live, id)`` as the
+        ancestors last saw them; pass the values captured *before* the
+        surgery when the surgery itself rewrote the node's cached counts
+        (``build_exploded`` does).
+        """
+        old = old_counts if old_counts is not None else (
+            node.live_count, node.id_count
+        )
+        new = self._recount(node)
+        d_live, d_id = new[0] - old[0], new[1] - old[1]
+        parent = node.parent
+        while parent is not None:
+            container, _ = parent
+            host = container.host if isinstance(container, MiniNode) else container
+            host.live_count += d_live
+            host.id_count += d_id
+            parent = host.parent
+        return new
+
+    def _recount(self, node: PosNode) -> Tuple[int, int]:
+        live = 0
+        ids = 0
+        # Post-order over position nodes, iteratively (deep trees).
+        order: List[PosNode] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            order.append(current)
+            for mini in current.minis:
+                if mini.left is not None:
+                    stack.append(mini.left)
+                if mini.right is not None:
+                    stack.append(mini.right)
+            if current.left is not None:
+                stack.append(current.left)
+            if current.right is not None:
+                stack.append(current.right)
+        for current in reversed(order):
+            live = int(current.plain_state == LIVE)
+            ids = int(current.plain_state != EMPTY)
+            for mini in current.minis:
+                live += int(mini.state == LIVE)
+                ids += int(mini.state != EMPTY)
+                for child in (mini.left, mini.right):
+                    if child is not None:
+                        live += child.live_count
+                        ids += child.id_count
+            for child in (current.left, current.right):
+                if child is not None:
+                    live += child.live_count
+                    ids += child.id_count
+            current.live_count = live
+            current.id_count = ids
+        return (node.live_count, node.id_count)
+
+    # -- slot state changes ------------------------------------------------------
+
+    def set_live(self, slot: AtomSlot, atom: object) -> None:
+        """Place ``atom`` in ``slot`` (must be EMPTY)."""
+        if slot.state != EMPTY:
+            raise TreeError(f"slot {slot_posid(slot)!r} is not empty")
+        slot.state = LIVE
+        slot.atom = atom
+        self._adjust_counts(slot, +1, +1)
+
+    def make_tombstone(self, slot: AtomSlot) -> None:
+        """Delete the slot's atom, keeping the identifier used (SDIS)."""
+        if slot.state != LIVE:
+            raise MissingAtomError(f"no live atom at {slot_posid(slot)!r}")
+        slot.state = TOMBSTONE
+        slot.atom = None
+        self._adjust_counts(slot, -1, 0)
+
+    def discard(self, slot: AtomSlot) -> None:
+        """Delete the slot's atom and free its identifier (UDIS), pruning
+        any structure that becomes empty and leaf-less."""
+        if slot.state != LIVE:
+            raise MissingAtomError(f"no live atom at {slot_posid(slot)!r}")
+        slot.state = EMPTY
+        slot.atom = None
+        self._adjust_counts(slot, -1, -1)
+        self._prune_from(slot)
+
+    def purge_tombstone(self, slot: AtomSlot) -> None:
+        """Free a tombstoned identifier (SDIS garbage collection, once
+        the delete is known causally stable — section 4.2)."""
+        if slot.state != TOMBSTONE:
+            raise MissingAtomError(f"no tombstone at {slot_posid(slot)!r}")
+        slot.state = EMPTY
+        slot.atom = None
+        self._adjust_counts(slot, 0, -1)
+        self._prune_from(slot)
+
+    def _prune_from(self, slot: AtomSlot) -> None:
+        """Remove now-useless structure starting at ``slot`` (3.3.1):
+        empty leaf mini-nodes go immediately; position nodes with no
+        content and no children follow, cascading upward."""
+        if isinstance(slot, MiniNode):
+            if slot.state != EMPTY or not slot.is_leaf:
+                return
+            host = slot.host
+            host.remove_mini(slot)
+            node: Optional[PosNode] = host
+        else:
+            node = slot
+        while node is not None and node is not self.root:
+            if not node.is_structurally_empty:
+                return
+            parent = node.parent
+            if parent is None:
+                return
+            container, bit = parent
+            container.set_child(bit, None)
+            if isinstance(container, MiniNode):
+                if container.state == EMPTY and container.is_leaf:
+                    host = container.host
+                    host.remove_mini(container)
+                    node = host
+                else:
+                    return
+            else:
+                node = container
+
+    # -- remote operation application ---------------------------------------------
+
+    def apply_insert(self, posid: PosID, atom: object) -> AtomSlot:
+        """Replay ``insert(posid, atom)``; idempotent for exact duplicates."""
+        slot = self.materialize(posid)
+        if slot.state == LIVE:
+            if slot.atom == atom:
+                return slot  # duplicate delivery of the same operation
+            raise TreeError(f"conflicting atom already at {posid!r}")
+        if slot.state == TOMBSTONE:
+            # Insert happened-before any delete of the same PosID, so a
+            # tombstone here means causal delivery was violated.
+            raise TreeError(f"insert at tombstoned identifier {posid!r}")
+        self.set_live(slot, atom)
+        return slot
+
+    def apply_delete(self, posid: PosID, keep_tombstone: bool) -> Optional[AtomSlot]:
+        """Replay ``delete(posid)``; idempotent (section 2.2)."""
+        slot = self.lookup(posid)
+        if slot is None or slot.state != LIVE:
+            # Already deleted (and possibly discarded): deletes commute
+            # and are idempotent, so this is a no-op.
+            return None
+        if keep_tombstone:
+            self.make_tombstone(slot)
+        else:
+            self.discard(slot)
+        return slot
+
+    # -- index navigation -----------------------------------------------------------
+
+    @property
+    def live_length(self) -> int:
+        """Number of visible atoms."""
+        return self.root.live_count
+
+    @property
+    def id_length(self) -> int:
+        """Number of used identifiers (visible atoms + tombstones)."""
+        return self.root.id_count
+
+    def live_slot_at(self, index: int) -> AtomSlot:
+        """Slot of the ``index``-th visible atom (0-based)."""
+        if index < 0 or index >= self.root.live_count:
+            raise IndexError(f"visible index {index} out of range")
+        return self._slot_at(index, live=True)
+
+    def id_slot_at(self, index: int) -> AtomSlot:
+        """Slot of the ``index``-th used identifier (0-based)."""
+        if index < 0 or index >= self.root.id_count:
+            raise IndexError(f"identifier index {index} out of range")
+        return self._slot_at(index, live=False)
+
+    def _slot_at(self, index: int, live: bool) -> AtomSlot:
+        def slot_weight(slot: AtomSlot) -> int:
+            if live:
+                return int(slot.state == LIVE)
+            return int(slot.state != EMPTY)
+
+        def node_weight(node: Optional[PosNode]) -> int:
+            if node is None:
+                return 0
+            return node.live_count if live else node.id_count
+
+        node = self.root
+        while True:
+            weight = node_weight(node.left)
+            if index < weight:
+                node = node.left
+                continue
+            index -= weight
+            weight = slot_weight(node)
+            if index < weight:
+                return node
+            index -= weight
+            descended = False
+            for mini in node.minis:
+                weight = node_weight(mini.left)
+                if index < weight:
+                    node = mini.left
+                    descended = True
+                    break
+                index -= weight
+                weight = slot_weight(mini)
+                if index < weight:
+                    return mini
+                index -= weight
+                weight = node_weight(mini.right)
+                if index < weight:
+                    node = mini.right
+                    descended = True
+                    break
+                index -= weight
+            if descended:
+                continue
+            if node.right is None:
+                raise TreeError("count bookkeeping out of sync")
+            node = node.right
+
+    # -- iteration --------------------------------------------------------------------
+
+    def iter_slots(self) -> Iterator[AtomSlot]:
+        """All slots in identifier order (including EMPTY ones)."""
+        return self.root.iter_slots()
+
+    def iter_id_slots(self) -> Iterator[AtomSlot]:
+        """Used-identifier slots (LIVE and TOMBSTONE) in order."""
+        return (s for s in self.iter_slots() if slot_is_id_holder(s))
+
+    def iter_live_slots(self) -> Iterator[AtomSlot]:
+        """Visible atom slots in document order."""
+        return (s for s in self.iter_slots() if slot_is_live(s))
+
+    def atoms(self) -> List[object]:
+        """The visible document content as a list of atoms."""
+        return [slot.atom for slot in self.iter_live_slots()]
+
+    def posids(self) -> List[PosID]:
+        """PosIDs of all visible atoms, in document order."""
+        return [slot_posid(slot) for slot in self.iter_live_slots()]
+
+    def first_slot(self) -> Optional[AtomSlot]:
+        """The first slot in identifier order, if any structure exists."""
+        return _leftmost_slot(self.root)
+
+    def next_id_holder(self, slot: Optional[AtomSlot]) -> Optional[AtomSlot]:
+        """First used-identifier slot strictly after ``slot`` (or from the
+        start of the document when ``slot`` is None)."""
+        current = _leftmost_slot(self.root) if slot is None else successor_slot(slot)
+        while current is not None and not slot_is_id_holder(current):
+            current = successor_slot(current)
+        return current
+
+    def gap_slots(self, after: Optional[AtomSlot],
+                  before: Optional[AtomSlot]) -> Iterator[AtomSlot]:
+        """Slots strictly between ``after`` and ``before`` in infix order
+        (None bounds mean document start / end). The caller guarantees
+        ``after`` precedes ``before``; iteration stops at ``before``."""
+        current = (
+            _leftmost_slot(self.root) if after is None else successor_slot(after)
+        )
+        while current is not None and current is not before:
+            yield current
+            current = successor_slot(current)
+
+    # -- integrity ---------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate counts, ordering, parent links and slot states.
+
+        Raises :class:`TreeError` on the first violation. Used by tests
+        and by the failure-injection harness; not called on hot paths.
+        """
+        live, ids = self.recount_subtree(self.root)
+        if live != self.root.live_count or ids != self.root.id_count:
+            raise TreeError("aggregate counts inconsistent")  # pragma: no cover
+        previous: Optional[PosID] = None
+        for slot in self.iter_slots():
+            host = slot_host(slot)
+            node: Optional[PosNode] = host
+            hops = 0
+            while node is not None and node.parent is not None:
+                container, bit = node.parent
+                if container.child(bit) is not node:
+                    raise TreeError("broken parent link")
+                node = (
+                    container.host
+                    if isinstance(container, MiniNode)
+                    else container
+                )
+                hops += 1
+                if hops > 100000:
+                    raise TreeError("parent chain does not terminate")
+            if node is not self.root:
+                raise TreeError("slot not reachable from the root")
+            if slot.state == LIVE and host.plain_state == LIVE and (
+                isinstance(slot, MiniNode)
+            ):
+                raise TreeError(
+                    "live plain atom coexists with live mini-node "
+                    f"at {slot_posid(slot)!r}"
+                )
+            if slot_is_id_holder(slot):
+                posid = slot_posid(slot)
+                if self.lookup(posid) is not slot:
+                    raise TreeError(f"posid round-trip failed for {posid!r}")
+                if previous is not None and not previous < posid:
+                    raise TreeError(
+                        f"identifier order violated: {previous!r} !< {posid!r}"
+                    )
+                previous = posid

@@ -1,0 +1,291 @@
+"""The Treedoc document replica: the library's main entry point.
+
+A :class:`Treedoc` is one replica of the shared edit buffer. Local edits
+(`insert`, `delete`, `insert_run`) allocate fresh PosIDs and return the
+operations to broadcast; remote operations are replayed with ``apply``.
+Because the type is a CRDT, replicas that apply the same set of
+operations in any happened-before-compatible order converge (section 2.2).
+
+Example
+-------
+
+    >>> from repro import Treedoc
+    >>> a, b = Treedoc(site=1), Treedoc(site=2)
+    >>> op1 = a.insert(0, "hello")
+    >>> op2 = b.insert(0, "world")   # concurrent with op1
+    >>> a.apply(op2); b.apply(op1)
+    >>> a.text() == b.text()
+    True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.alloc import Allocator
+from repro.core.disambiguator import DisambiguatorFactory, SiteId
+from repro.core.flatten import (
+    ColdRegionFinder,
+    flatten_subtree,
+    resolve_region,
+    subtree_atoms,
+)
+from repro.core.node import AtomSlot, slot_posid
+from repro.core.ops import (
+    DeleteOp,
+    FlattenOp,
+    InsertOp,
+    Operation,
+    content_digest,
+)
+from repro.core.path import PosID
+from repro.core.tree import TreedocTree
+from repro.errors import MissingAtomError, TreeError
+
+
+class Treedoc:
+    """One replica of a Treedoc shared buffer.
+
+    Parameters
+    ----------
+    site:
+        This replica's site identifier (6-byte integer space).
+    mode:
+        ``"udis"`` (default) for unique ``(counter, site)`` disambiguators
+        with immediate discard of deleted leaves, or ``"sdis"`` for
+        site-only disambiguators with tombstones (section 3.3).
+    balanced:
+        Enable the section 4.1 allocation balancing (log-growth on
+        appends, empty-slot reuse, run grouping).
+    """
+
+    def __init__(self, site: SiteId, mode: str = "udis",
+                 balanced: bool = True) -> None:
+        if mode not in (DisambiguatorFactory.UDIS, DisambiguatorFactory.SDIS):
+            raise ValueError(f"unknown disambiguator mode {mode!r}")
+        self.site = site
+        self.mode = mode
+        self.tree = TreedocTree()
+        self.allocator = Allocator(self.tree, balanced=balanced)
+        self._dis_factory = DisambiguatorFactory(site, mode)
+        #: Monotonic revision counter used by the cold-region heuristic;
+        #: bump with :meth:`note_revision` at workload-revision boundaries.
+        self.revision = 0
+        self._touch_stamps: Dict[int, int] = {}
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.tree.live_length
+
+    def atoms(self) -> List[object]:
+        """The visible document as a list of atoms."""
+        return self.tree.atoms()
+
+    def text(self, separator: str = "") -> str:
+        """The visible document as a string (atoms joined)."""
+        return separator.join(str(atom) for atom in self.tree.atoms())
+
+    def posid_at(self, index: int) -> PosID:
+        """PosID of the visible atom at ``index``."""
+        return slot_posid(self.tree.live_slot_at(index))
+
+    def atom_at(self, index: int) -> object:
+        """The visible atom at ``index``."""
+        return self.tree.live_slot_at(index).atom
+
+    def posids(self) -> List[PosID]:
+        """PosIDs of all visible atoms, in document order."""
+        return self.tree.posids()
+
+    @property
+    def keeps_tombstones(self) -> bool:
+        """True under SDIS, where deleted identifiers stay used."""
+        return self.mode == DisambiguatorFactory.SDIS
+
+    # -- local edits ---------------------------------------------------------------
+
+    def insert(self, index: int, atom: object) -> InsertOp:
+        """Insert ``atom`` so it becomes the visible atom at ``index``.
+
+        Returns the operation to broadcast to other replicas.
+        """
+        p_slot, f_slot = self._neighbours(index)
+        slot = self.allocator.place_between(p_slot, f_slot,
+                                            self._dis_factory.fresh())
+        self.tree.set_live(slot, atom)
+        posid = slot_posid(slot)
+        self._touch(slot)
+        return InsertOp(posid, atom, self.site)
+
+    def insert_run(self, index: int, atoms: Sequence[object]) -> List[InsertOp]:
+        """Insert a consecutive run of atoms starting at ``index``.
+
+        With balancing enabled the run is grouped into one minimal
+        subtree (section 5.1's balancing variant).
+        """
+        if not atoms:
+            return []
+        p_slot, f_slot = self._neighbours(index)
+        dises = [self._dis_factory.fresh() for _ in atoms]
+        slots = self.allocator.place_run(p_slot, f_slot, dises)
+        ops: List[InsertOp] = []
+        for slot, atom in zip(slots, atoms):
+            self.tree.set_live(slot, atom)
+            self._touch(slot)
+            ops.append(InsertOp(slot_posid(slot), atom, self.site))
+        return ops
+
+    def delete(self, index: int) -> DeleteOp:
+        """Delete the visible atom at ``index``; returns the operation."""
+        slot = self.tree.live_slot_at(index)
+        posid = slot_posid(slot)
+        self._touch(slot)
+        if self.keeps_tombstones:
+            self.tree.make_tombstone(slot)
+        else:
+            self.tree.discard(slot)
+        return DeleteOp(posid, self.site)
+
+    def delete_posid(self, posid: PosID) -> DeleteOp:
+        """Delete by identifier (initiator must hold the atom)."""
+        slot = self.tree.lookup(posid)
+        if slot is None or slot.state != "live":
+            raise MissingAtomError(f"no live atom at {posid!r}")
+        self._touch(slot)
+        if self.keeps_tombstones:
+            self.tree.make_tombstone(slot)
+        else:
+            self.tree.discard(slot)
+        return DeleteOp(posid, self.site)
+
+    # -- remote replay ----------------------------------------------------------------
+
+    def apply(self, op: Operation) -> None:
+        """Replay a (remote) operation. Operations must arrive in an
+        order compatible with happened-before; the replication layer's
+        causal broadcast guarantees it."""
+        if isinstance(op, InsertOp):
+            slot = self.tree.apply_insert(op.posid, op.atom)
+            self._touch(slot)
+        elif isinstance(op, DeleteOp):
+            slot = self.tree.apply_delete(
+                op.posid, keep_tombstone=self.keeps_tombstones
+            )
+            if slot is not None:
+                self._touch(slot)
+        elif isinstance(op, FlattenOp):
+            self.apply_flatten(op)
+        else:
+            raise TreeError(f"unknown operation {op!r}")
+
+    def apply_all(self, ops: Iterable[Operation]) -> None:
+        """Replay a sequence of operations."""
+        for op in ops:
+            self.apply(op)
+
+    # -- flatten (section 4.2) -----------------------------------------------------------
+
+    def make_flatten(self, path: PosID,
+                     carry_atoms: bool = False) -> FlattenOp:
+        """Build a flatten operation for the subtree at ``path`` from this
+        replica's current state (used by the commitment initiator)."""
+        node = resolve_region(self.tree, path)
+        atoms = tuple(subtree_atoms(node))
+        return FlattenOp(
+            path,
+            content_digest(atoms),
+            self.site,
+            expected_atoms=atoms if carry_atoms else None,
+        )
+
+    def apply_flatten(self, op: FlattenOp) -> List[object]:
+        """Apply a committed flatten: rebuild the subtree canonically.
+
+        Verifies the initiator's content digest; a mismatch means the
+        commitment protocol admitted a concurrent edit and is a bug.
+        """
+        node = resolve_region(self.tree, op.path)
+        atoms = tuple(subtree_atoms(node))
+        if content_digest(atoms) != op.digest:
+            raise TreeError(
+                "flatten content mismatch: concurrent edit slipped past "
+                "the commitment protocol"
+            )
+        result = flatten_subtree(self.tree, op.path)
+        self._touch_region(op.path)
+        return result
+
+    def flatten_local(self, path: PosID) -> FlattenOp:
+        """Initiate-and-apply a flatten locally (single-replica use, e.g.
+        trace replay benchmarks; distributed use goes through
+        :mod:`repro.replication.commit`)."""
+        op = self.make_flatten(path)
+        self.apply_flatten(op)
+        return op
+
+    def flatten_cold(self, min_age: int = 1, min_slots: int = 4,
+                     min_depth: int = 1) -> Optional[FlattenOp]:
+        """Find the largest cold region and flatten it locally.
+
+        Returns the operation, or None when nothing qualifies.
+        ``min_depth`` > 1 emulates the paper's weaker partial heuristic
+        (see :class:`repro.core.flatten.ColdRegionFinder`).
+        """
+        finder = ColdRegionFinder(min_age=min_age, min_slots=min_slots,
+                                  min_depth=min_depth)
+        path = finder.find(self.tree, self._touch_stamps, self.revision)
+        if path is None:
+            return None
+        return self.flatten_local(path)
+
+    def note_revision(self) -> int:
+        """Mark a workload-revision boundary for the cold-region clock."""
+        self.revision += 1
+        return self.revision
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _neighbours(self, index: int):
+        """Adjacent used identifiers around visible position ``index``
+        (DESIGN.md section 3.2: the successor includes tombstones)."""
+        length = self.tree.live_length
+        if index < 0 or index > length:
+            raise IndexError(f"insert index {index} out of range 0..{length}")
+        if index == 0:
+            p_slot: Optional[AtomSlot] = None
+        else:
+            p_slot = self.tree.live_slot_at(index - 1)
+        f_slot = self.tree.next_id_holder(p_slot)
+        return p_slot, f_slot
+
+    def _touch(self, slot: AtomSlot) -> None:
+        """Stamp the position-node spine of ``slot`` with the current
+        revision (cold-region bookkeeping)."""
+        from repro.core.node import MiniNode, slot_host
+
+        node = slot_host(slot)
+        while node is not None:
+            self._touch_stamps[id(node)] = self.revision
+            parent = node.parent
+            if parent is None:
+                break
+            container, _ = parent
+            node = container.host if isinstance(container, MiniNode) else container
+
+    def _touch_region(self, path: PosID) -> None:
+        node = resolve_region(self.tree, path)
+        self._touch_stamps[id(node)] = self.revision
+        self._touch(node)
+
+    # -- diagnostics ------------------------------------------------------------------
+
+    def check(self) -> None:
+        """Validate all tree invariants (testing aid)."""
+        self.tree.check_invariants()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Treedoc site={self.site} mode={self.mode} "
+            f"atoms={len(self)} ids={self.tree.id_length}>"
+        )

@@ -1,0 +1,20 @@
+"""Cooperative text editing on top of Treedoc.
+
+The paper's conclusion names the next step: "to enable peer-to-peer
+co-operative editing at a large scale, by implementing Treedoc within an
+existing text editor or wiki system". This package is that layer:
+
+- :class:`repro.editor.buffer.EditorBuffer` — a text-editor-shaped API
+  (character offsets, line operations, string insert/delete) over one
+  Treedoc replica, with **identifier-anchored cursors**: a cursor is
+  pinned to an atom's PosID, so it stays on "its" character while remote
+  edits land anywhere else in the document — the CRDT-native answer to
+  the cursor-transformation problem OT systems must solve;
+- :class:`repro.editor.session.EditorSession` — an editor attached to a
+  replica site on the simulated network, for multi-user sessions.
+"""
+
+from repro.editor.buffer import Cursor, EditorBuffer
+from repro.editor.session import EditorSession, SharedDocument
+
+__all__ = ["EditorBuffer", "Cursor", "EditorSession", "SharedDocument"]

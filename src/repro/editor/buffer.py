@@ -1,0 +1,246 @@
+"""A text-editor buffer over one Treedoc replica.
+
+Atoms are single characters (the paper's illustrative granularity;
+section 3 examples). The buffer exposes the calls an editor front-end
+makes — insert a string at an offset, delete a range, fetch lines — and
+returns the CRDT operations to broadcast. Incoming remote operations are
+applied with :meth:`EditorBuffer.apply`.
+
+Cursors are anchored to *identifiers*, not offsets: a cursor remembers
+the PosID of the atom it sits before (or end-of-buffer). Remote edits
+move the cursor's *offset* but never its anchor, so concurrent editing
+feels right without operational transformation — the very point of the
+CRDT design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.ops import Operation
+from repro.core.path import PosID
+from repro.core.treedoc import Treedoc
+from repro.errors import ReproError
+
+
+@dataclass
+class Cursor:
+    """A position in the buffer, pinned to an identifier.
+
+    ``anchor`` is the PosID of the atom the cursor sits *before*; None
+    anchors to end-of-buffer. The owning buffer resolves the current
+    offset on demand.
+    """
+
+    buffer: "EditorBuffer"
+    anchor: Optional[PosID] = None
+    name: str = "cursor"
+
+    @property
+    def offset(self) -> int:
+        """Current character offset (recomputed against live state)."""
+        return self.buffer._resolve_anchor(self.anchor)
+
+    def move_to(self, offset: int) -> None:
+        """Re-pin the cursor at a character offset."""
+        self.anchor = self.buffer._anchor_at(offset)
+
+    def __repr__(self) -> str:
+        return f"<Cursor {self.name!r} @{self.offset}>"
+
+
+class EditorBuffer:
+    """Character-granularity editing over a Treedoc replica."""
+
+    def __init__(self, site: int, mode: str = "udis",
+                 balanced: bool = True) -> None:
+        self.doc = Treedoc(site, mode=mode, balanced=balanced)
+        self._cursors: List[Cursor] = []
+
+    # -- queries ---------------------------------------------------------------
+
+    def text(self) -> str:
+        """The whole buffer as a string."""
+        return "".join(str(a) for a in self.doc.atoms())
+
+    def __len__(self) -> int:
+        return len(self.doc)
+
+    def lines(self) -> List[str]:
+        """The buffer split into lines (newline atoms delimit)."""
+        return self.text().split("\n")
+
+    def line_start(self, line_number: int) -> int:
+        """Character offset of the start of ``line_number`` (0-based)."""
+        lines = self.lines()
+        if not 0 <= line_number < len(lines):
+            raise IndexError(f"line {line_number} out of range")
+        return sum(len(line) + 1 for line in lines[:line_number])
+
+    # -- local editing -----------------------------------------------------------
+
+    def insert_text(self, offset: int, text: str) -> List[Operation]:
+        """Type ``text`` at ``offset``; returns the ops to broadcast."""
+        if not 0 <= offset <= len(self.doc):
+            raise IndexError(f"offset {offset} out of range")
+        return list(self.doc.insert_run(offset, list(text)))
+
+    def delete_range(self, start: int, end: int) -> List[Operation]:
+        """Delete characters in ``[start, end)``; returns the ops."""
+        if not 0 <= start <= end <= len(self.doc):
+            raise IndexError(f"range [{start}, {end}) out of range")
+        ops = []
+        for _ in range(end - start):
+            ops.append(self.doc.delete(start))
+        return ops
+
+    def replace_range(self, start: int, end: int,
+                      text: str) -> List[Operation]:
+        """Delete a range and type over it (a modify: delete + insert,
+        exactly the paper's model of modification)."""
+        ops = self.delete_range(start, end)
+        ops.extend(self.insert_text(start, text))
+        return ops
+
+    def insert_line(self, line_number: int, line: str) -> List[Operation]:
+        """Insert a whole line (with its newline) before ``line_number``."""
+        if "\n" in line:
+            raise ReproError("insert_line takes a single line")
+        offset = (
+            self.line_start(line_number)
+            if line_number < len(self.lines())
+            else len(self.doc)
+        )
+        return self.insert_text(offset, line + "\n")
+
+    # -- remote operations -----------------------------------------------------------
+
+    def apply(self, op: Operation) -> None:
+        """Replay a remote operation (causal order assumed)."""
+        self.doc.apply(op)
+
+    def apply_all(self, ops) -> None:
+        for op in ops:
+            self.apply(op)
+
+    # -- cursors ------------------------------------------------------------------------
+
+    def cursor(self, offset: int = 0, name: str = "cursor") -> Cursor:
+        """Create a cursor pinned at ``offset``."""
+        cursor = Cursor(self, self._anchor_at(offset), name)
+        self._cursors.append(cursor)
+        return cursor
+
+    def type_at(self, cursor: Cursor, text: str) -> List[Operation]:
+        """Type at a cursor; the cursor ends up after the typed text."""
+        offset = cursor.offset
+        ops = self.insert_text(offset, text)
+        # The anchor (atom after the insertion point) is unchanged; the
+        # cursor now sits after the new text automatically, because the
+        # anchor atom moved right with it. Nothing to update: that is
+        # the point of identifier anchoring.
+        return ops
+
+    def backspace_at(self, cursor: Cursor) -> List[Operation]:
+        """Delete the character before the cursor."""
+        offset = cursor.offset
+        if offset == 0:
+            return []
+        return self.delete_range(offset - 1, offset)
+
+    def _anchor_at(self, offset: int) -> Optional[PosID]:
+        if not 0 <= offset <= len(self.doc):
+            raise IndexError(f"offset {offset} out of range")
+        if offset == len(self.doc):
+            return None
+        return self.doc.posid_at(offset)
+
+    def _resolve_anchor(self, anchor: Optional[PosID]) -> int:
+        if anchor is None:
+            return len(self.doc)
+        # Count live atoms before the anchor. If the anchored atom was
+        # deleted (possibly concurrently), the cursor lands where it
+        # used to be: the first live atom after it, found through the
+        # identifier order.
+        slot = self.doc.tree.lookup(anchor)
+        from repro.core.node import slot_is_live
+        from repro.core.tree import successor_slot
+
+        if slot is not None and slot_is_live(slot):
+            return self._live_index_of(slot)
+        if slot is None:
+            # Identifier discarded (UDIS): fall back to a scan for the
+            # first live identifier greater than the anchor.
+            for index, posid in enumerate(self.doc.posids()):
+                if posid > anchor:
+                    return index
+            return len(self.doc)
+        nxt = successor_slot(slot)
+        while nxt is not None and not slot_is_live(nxt):
+            nxt = successor_slot(nxt)
+        if nxt is None:
+            return len(self.doc)
+        return self._live_index_of(nxt)
+
+    def _live_index_of(self, slot) -> int:
+        # O(depth) rank query via the cached subtree counts.
+        from repro.core.node import MiniNode, slot_is_live
+
+        index = 0
+        # Walk up from the slot, summing everything to its left.
+        from repro.core.node import PosNode, slot_host
+
+        if isinstance(slot, MiniNode):
+            host = slot.host
+            if slot.left is not None:
+                index += slot.left.live_count
+            # earlier mini regions + plain slot + left subtree of host
+            for mini in host.minis:
+                if mini is slot:
+                    break
+                index += int(slot_is_live(mini))
+                for child in (mini.left, mini.right):
+                    if child is not None:
+                        index += child.live_count
+            index += int(host.plain_state == "live")
+            if host.left is not None:
+                index += host.left.live_count
+            node = host
+        else:
+            node = slot
+            if node.left is not None:
+                index += node.left.live_count
+        while node.parent is not None:
+            container, bit = node.parent
+            if isinstance(container, MiniNode):
+                mini = container
+                host = mini.host
+                if bit == 1:  # node is mini's right child
+                    index += int(slot_is_live(mini))
+                    if mini.left is not None:
+                        index += mini.left.live_count
+                for earlier in host.minis:
+                    if earlier is mini:
+                        break
+                    index += int(slot_is_live(earlier))
+                    for child in (earlier.left, earlier.right):
+                        if child is not None:
+                            index += child.live_count
+                index += int(host.plain_state == "live")
+                if host.left is not None:
+                    index += host.left.live_count
+                node = host
+            else:
+                parent = container
+                if bit == 1:  # node is the plain right child
+                    index += int(parent.plain_state == "live")
+                    if parent.left is not None:
+                        index += parent.left.live_count
+                    for mini in parent.minis:
+                        index += int(slot_is_live(mini))
+                        for child in (mini.left, mini.right):
+                            if child is not None:
+                                index += child.live_count
+                node = parent
+        return index

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class. Finer-grained classes signal where in the stack
+the problem occurred (identifier algebra, tree storage, replication, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PathError(ReproError):
+    """An invalid PosID path was supplied or constructed."""
+
+
+class AllocationError(ReproError):
+    """``newPosID`` could not allocate an identifier between two bounds."""
+
+
+class TreeError(ReproError):
+    """The Treedoc tree was asked to do something inconsistent."""
+
+
+class DuplicateAtomError(TreeError):
+    """An atom already exists at the target PosID."""
+
+
+class MissingAtomError(TreeError):
+    """No (live) atom exists at the target PosID."""
+
+
+class EncodingError(ReproError):
+    """Wire or disk encoding/decoding failed."""
+
+
+class ReplicationError(ReproError):
+    """Causal delivery or site bookkeeping was violated."""
+
+
+class CausalityError(ReplicationError):
+    """An operation was delivered before its causal dependencies."""
+
+
+class CommitError(ReproError):
+    """A distributed commitment (flatten) protocol error."""
+
+
+class WorkloadError(ReproError):
+    """A trace or corpus could not be generated or replayed."""

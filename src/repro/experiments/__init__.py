@@ -1,0 +1,19 @@
+"""Experiment drivers: one module per table/figure of the evaluation.
+
+Each driver exposes ``run(seed=...)`` returning structured results and a
+``render(results)`` producing the paper-style text table; the benchmark
+harness under ``benchmarks/`` and the CLI (``python -m
+repro.experiments``) both call these, so the numbers in test logs,
+benchmark output and EXPERIMENTS.md come from one code path.
+"""
+
+from repro.experiments import (  # noqa: F401
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    figure6,
+)
+
+__all__ = ["table1", "table2", "table3", "table4", "table5", "figure6"]

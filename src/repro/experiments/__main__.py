@@ -1,0 +1,48 @@
+"""CLI: regenerate every table and figure of the evaluation.
+
+Usage::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments table1 figure6
+    python -m repro.experiments --seed 7 table5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figure6, table1, table2, table3, table4, table5
+from repro.experiments.common import DEFAULT_SEED
+
+DRIVERS = {
+    "table1": table1.main,
+    "table2": table2.main,
+    "table3": table3.main,
+    "table4": table4.main,
+    "table5": table5.main,
+    "figure6": figure6.main,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the Treedoc paper's tables and figures.",
+    )
+    parser.add_argument("targets", nargs="*", choices=[*DRIVERS, []],
+                        help="which experiments to run (default: all)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="corpus seed (default: %(default)s)")
+    args = parser.parse_args(argv)
+    targets = args.targets or list(DRIVERS)
+    for name in targets:
+        started = time.perf_counter()
+        DRIVERS[name](seed=args.seed)
+        print(f"[{name}: {time.perf_counter() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Shared plumbing for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.treedoc import Treedoc
+from repro.metrics.overhead import TreeStats, measure_tree
+from repro.workloads.corpus import DocumentSpec
+from repro.workloads.editing import generate_history
+from repro.workloads.replay import ReplayResult, replay_history
+from repro.workloads.revision import History
+
+#: Default seed for every experiment (override per run for sensitivity).
+DEFAULT_SEED = 2009
+
+_history_cache: Dict[Tuple[str, int], History] = {}
+
+
+def history_for(spec: DocumentSpec, seed: int = DEFAULT_SEED) -> History:
+    """The synthetic history of a document (cached per seed: several
+    tables replay the same corpus under different configurations)."""
+    key = (spec.name, seed)
+    if key not in _history_cache:
+        _history_cache[key] = generate_history(spec, seed)
+    return _history_cache[key]
+
+
+@dataclass
+class DocumentRun:
+    """One replay of one document under one configuration."""
+
+    spec: DocumentSpec
+    mode: str
+    balanced: bool
+    flatten_every: Optional[int]
+    replay: ReplayResult
+    stats: TreeStats
+
+
+def run_document(
+    spec: DocumentSpec,
+    mode: str = "sdis",
+    balanced: bool = True,
+    flatten_every: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    with_disk: bool = True,
+    probe=None,
+) -> DocumentRun:
+    """Replay one document and measure its final state."""
+    history = history_for(spec, seed)
+    doc = Treedoc(site=1, mode=mode, balanced=balanced)
+    replay = replay_history(
+        doc, history, flatten_every=flatten_every, probe=probe,
+        use_runs=balanced,
+    )
+    stats = measure_tree(doc.tree, with_disk=with_disk)
+    return DocumentRun(spec, mode, balanced, flatten_every, replay, stats)
+
+
+def flatten_label(flatten_every: Optional[int]) -> str:
+    """Human label for a flatten cadence ('no' or the cadence)."""
+    return "no" if flatten_every is None else str(flatten_every)

@@ -1,0 +1,105 @@
+"""Table 1: per-document measurements under flatten cadences.
+
+For every document and every Flatten setting the paper evaluates
+(no flattening, or flattening a cold area every 1/2 revisions for wiki
+pages and 2/8 for LaTeX files), replay the history under SDIS and report
+the final state: max/avg PosID bits, node count, node memory, memory
+overhead relative to document size, % non-tombstone nodes, and on-disk
+overhead (absolute and relative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    DocumentRun,
+    flatten_label,
+    run_document,
+)
+from repro.metrics.report import Table
+from repro.workloads.corpus import PAPER_DOCUMENTS, DocumentSpec
+
+
+@dataclass
+class Row:
+    """One Table 1 row (document × flatten setting)."""
+
+    document: str
+    flatten: str
+    max_posid_bits: int
+    avg_posid_bits: float
+    nodes: int
+    node_bytes: int
+    mem_overhead_ratio: float
+    non_tombstone_pct: float
+    disk_overhead_bytes: int
+    disk_overhead_pct: float
+    replay_seconds: float
+
+
+def _row(run: DocumentRun) -> Row:
+    stats = run.stats
+    return Row(
+        document=run.spec.name,
+        flatten=flatten_label(run.flatten_every),
+        max_posid_bits=stats.max_posid_bits,
+        avg_posid_bits=stats.avg_posid_bits,
+        nodes=stats.nodes,
+        node_bytes=stats.memory_overhead_bytes,
+        mem_overhead_ratio=stats.memory_overhead_ratio,
+        non_tombstone_pct=100.0 * stats.non_tombstone_fraction,
+        disk_overhead_bytes=stats.disk_overhead_bytes,
+        disk_overhead_pct=100.0 * stats.disk_overhead_ratio,
+        replay_seconds=run.replay.elapsed_seconds,
+    )
+
+
+def run(seed: int = DEFAULT_SEED,
+        documents: Optional[List[DocumentSpec]] = None) -> List[Row]:
+    """All Table 1 rows (document × {no flatten} ∪ cadences)."""
+    rows: List[Row] = []
+    for spec in documents or PAPER_DOCUMENTS:
+        cadences: List[Optional[int]] = [None, *spec.flatten_cadences]
+        for cadence in cadences:
+            run_result = run_document(
+                spec, mode="sdis", balanced=True,
+                flatten_every=cadence, seed=seed,
+            )
+            rows.append(_row(run_result))
+    return rows
+
+
+def render(rows: List[Row]) -> str:
+    """The paper-style table."""
+    table = Table(
+        "Table 1. Measurements (SDIS, balanced allocation)",
+        (
+            "Document", "Flatten", "PosID max(b)", "PosID avg(b)",
+            "Nodes", "Node bytes", "Mem ovhd x", "% non-Tomb",
+            "Disk ovhd (B)", "Disk % doc", "Replay (s)",
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            row.document,
+            row.flatten,
+            row.max_posid_bits,
+            row.avg_posid_bits,
+            row.nodes,
+            row.node_bytes,
+            row.mem_overhead_ratio,
+            row.non_tombstone_pct,
+            row.disk_overhead_bytes,
+            row.disk_overhead_pct,
+            row.replay_seconds,
+        )
+    return table.render()
+
+
+def main(seed: int = DEFAULT_SEED) -> str:
+    output = render(run(seed))
+    print(output)
+    return output

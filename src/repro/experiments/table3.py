@@ -1,0 +1,72 @@
+"""Table 3: fraction of tombstones (LaTeX documents).
+
+The {no-flatten, flatten-8, flatten-2} × {no balancing, balancing}
+grid, averaged over the three LaTeX documents, under SDIS. The paper's
+findings to reproduce in shape: flattening garbage-collects tombstones,
+aggressiveness pays (flatten-2 ≪ flatten-8 ≪ no-flatten), and balancing
+augments the effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.common import DEFAULT_SEED, run_document
+from repro.metrics.report import Table
+from repro.workloads.corpus import LATEX_DOCUMENTS
+
+#: The grid's flatten cadences, paper order.
+CADENCES: List[Optional[int]] = [None, 8, 2]
+
+
+@dataclass
+class Row:
+    """One grid row: a flatten cadence, both balancing settings."""
+
+    flatten: str
+    tombstone_pct_unbalanced: float
+    tombstone_pct_balanced: float
+
+
+def _average_tombstone_pct(balanced: bool, cadence: Optional[int],
+                           seed: int) -> float:
+    fractions = []
+    for spec in LATEX_DOCUMENTS:
+        result = run_document(
+            spec, mode="sdis", balanced=balanced,
+            flatten_every=cadence, seed=seed, with_disk=False,
+        )
+        fractions.append(result.stats.tombstone_fraction)
+    return 100.0 * sum(fractions) / len(fractions)
+
+
+def run(seed: int = DEFAULT_SEED) -> List[Row]:
+    rows = []
+    for cadence in CADENCES:
+        label = "no-flatten" if cadence is None else f"flatten-{cadence}"
+        rows.append(
+            Row(
+                label,
+                _average_tombstone_pct(False, cadence, seed),
+                _average_tombstone_pct(True, cadence, seed),
+            )
+        )
+    return rows
+
+
+def render(rows: List[Row]) -> str:
+    table = Table(
+        "Table 3. Fraction of tombstones, % (LaTeX documents, SDIS)",
+        ("", "no balancing", "balancing"),
+    )
+    for row in rows:
+        table.add_row(row.flatten, row.tombstone_pct_unbalanced,
+                      row.tombstone_pct_balanced)
+    return table.render()
+
+
+def main(seed: int = DEFAULT_SEED) -> str:
+    output = render(run(seed))
+    print(output)
+    return output

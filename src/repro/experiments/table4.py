@@ -1,0 +1,98 @@
+"""Table 4: SDIS vs UDIS (LaTeX documents).
+
+For the same cadence × balancing grid as Table 3, compare the two
+disambiguator designs on identifier overhead per visible atom and
+average PosID size (bits), averaged over the LaTeX documents. The
+paper's finding to reproduce: UDIS costs more per node (the 4-byte
+counter) but less in total, because discarding deleted leaves eliminates
+tombstones early — so UDIS wins in the common case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.common import DEFAULT_SEED, run_document
+from repro.metrics.report import Table
+from repro.workloads.corpus import LATEX_DOCUMENTS
+
+CADENCES: List[Optional[int]] = [None, 8, 2]
+MODES = ("sdis", "udis")
+
+
+@dataclass
+class Cell:
+    """One (cadence, balancing, mode) measurement."""
+
+    overhead_per_atom_bits: float
+    avg_posid_bits: float
+
+
+@dataclass
+class Row:
+    """One grid row: cadence × {no balancing, balancing} × {SDIS, UDIS}."""
+
+    flatten: str
+    cells: dict  # (balanced: bool, mode: str) -> Cell
+
+
+def _average_cell(mode: str, balanced: bool, cadence: Optional[int],
+                  seed: int) -> Cell:
+    overheads, sizes = [], []
+    for spec in LATEX_DOCUMENTS:
+        result = run_document(
+            spec, mode=mode, balanced=balanced,
+            flatten_every=cadence, seed=seed, with_disk=False,
+        )
+        overheads.append(result.stats.overhead_per_atom_bits)
+        sizes.append(result.stats.avg_posid_bits)
+    n = len(LATEX_DOCUMENTS)
+    return Cell(sum(overheads) / n, sum(sizes) / n)
+
+
+def run(seed: int = DEFAULT_SEED) -> List[Row]:
+    rows = []
+    for cadence in CADENCES:
+        label = "no-flatten" if cadence is None else f"flatten-{cadence}"
+        cells = {}
+        for balanced in (False, True):
+            for mode in MODES:
+                cells[(balanced, mode)] = _average_cell(
+                    mode, balanced, cadence, seed
+                )
+        rows.append(Row(label, cells))
+    return rows
+
+
+def render(rows: List[Row]) -> str:
+    table = Table(
+        "Table 4. SDIS vs UDIS, bits (LaTeX documents)",
+        (
+            "", "metric",
+            "SDIS (unbal)", "UDIS (unbal)",
+            "SDIS (bal)", "UDIS (bal)",
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            row.flatten, "overhead/atom",
+            row.cells[(False, "sdis")].overhead_per_atom_bits,
+            row.cells[(False, "udis")].overhead_per_atom_bits,
+            row.cells[(True, "sdis")].overhead_per_atom_bits,
+            row.cells[(True, "udis")].overhead_per_atom_bits,
+        )
+        table.add_row(
+            "", "avg PosID size",
+            row.cells[(False, "sdis")].avg_posid_bits,
+            row.cells[(False, "udis")].avg_posid_bits,
+            row.cells[(True, "sdis")].avg_posid_bits,
+            row.cells[(True, "udis")].avg_posid_bits,
+        )
+    return table.render()
+
+
+def main(seed: int = DEFAULT_SEED) -> str:
+    output = render(run(seed))
+    print(output)
+    return output

@@ -1,0 +1,73 @@
+"""Table 5: Treedoc vs Logoot — total PosID size ratio.
+
+Replay every document into Logoot and into Treedoc/UDIS, both without
+flattening, and report the ratio of total position-identifier sizes
+(Logoot / Treedoc). The paper measures ratios of 1.8-3.9 in Treedoc's
+favour with 10-byte Logoot components matching UDIS disambiguators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.baselines.logoot import LogootDoc
+from repro.experiments.common import DEFAULT_SEED, history_for, run_document
+from repro.metrics.report import Table
+from repro.workloads.corpus import PAPER_DOCUMENTS
+from repro.workloads.replay import replay_into
+
+
+@dataclass
+class Row:
+    """One document's comparison."""
+
+    document: str
+    logoot_total_bits: int
+    treedoc_total_bits: int
+
+    @property
+    def ratio(self) -> float:
+        if self.treedoc_total_bits == 0:
+            return 0.0
+        return self.logoot_total_bits / self.treedoc_total_bits
+
+
+def run(seed: int = DEFAULT_SEED) -> List[Row]:
+    rows = []
+    for spec in PAPER_DOCUMENTS:
+        history = history_for(spec, seed)
+        logoot = LogootDoc(site=1, seed=seed)
+        replay_into(logoot, history)
+        treedoc_run = run_document(
+            spec, mode="udis", balanced=True, flatten_every=None,
+            seed=seed, with_disk=False,
+        )
+        rows.append(
+            Row(
+                spec.name,
+                logoot.total_id_bits(),
+                treedoc_run.stats.total_posid_bits,
+            )
+        )
+    return rows
+
+
+def render(rows: List[Row]) -> str:
+    table = Table(
+        "Table 5. Treedoc vs Logoot: total PosID sizes (no flattening)",
+        ("Document", "Logoot (bits)", "Treedoc/UDIS (bits)",
+         "ratio (Logoot/Treedoc)"),
+    )
+    for row in rows:
+        table.add_row(
+            row.document, row.logoot_total_bits,
+            row.treedoc_total_bits, row.ratio,
+        )
+    return table.render()
+
+
+def main(seed: int = DEFAULT_SEED) -> str:
+    output = render(run(seed))
+    print(output)
+    return output

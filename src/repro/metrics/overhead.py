@@ -1,0 +1,164 @@
+"""Treedoc overhead measurements (Table 1, Tables 3-4, Figure 6).
+
+Definitions follow section 5.2 of the paper:
+
+- **PosID size**: the bit-packed identifier size (branch bits +
+  disambiguator payloads); maximum and average are taken over the
+  visible atoms of the final state.
+- **Node count**: one logical node per position node, plus one per
+  additional mini-node beyond the first (a node with mini-nodes stores
+  an array of ``{node, disambiguator}`` pairs).
+- **Memory overhead**: nodes × 26 bytes — the paper's standard node
+  record (subtree counter, two child pointers, disambiguator, atom
+  pointer on a 32-bit machine).
+- **% non-tombstone**: live-atom slots over all used slots plus empty
+  structural nodes, i.e. the fraction of nodes that still pay their way.
+- **On-disk overhead**: the tree bytes of :mod:`repro.core.disk`,
+  excluding the atom file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.disk import measure_on_disk
+from repro.core.node import EMPTY, LIVE, TOMBSTONE, slot_posid
+from repro.core.tree import TreedocTree
+
+#: The paper's per-node memory estimate: subtree count (4) + two child
+#: pointers (8) + disambiguator (6+4) + atom pointer (4) = 26 bytes.
+NODE_RECORD_BYTES = 26
+
+
+@dataclass
+class TreeStats:
+    """Measurements of one Treedoc state (one Table 1 row)."""
+
+    #: Visible atoms (document length in atoms).
+    live_atoms: int = 0
+    #: Used identifiers (live + tombstones).
+    used_ids: int = 0
+    #: Tombstone slots.
+    tombstones: int = 0
+    #: Logical node count (see module docstring).
+    nodes: int = 0
+    #: Document size in bytes (sum of atom text sizes).
+    document_bytes: int = 0
+    #: Maximum PosID size over visible atoms, in bits.
+    max_posid_bits: int = 0
+    #: Average PosID size over visible atoms, in bits.
+    avg_posid_bits: float = 0.0
+    #: Total PosID size over visible atoms, in bits.
+    total_posid_bits: int = 0
+    #: Tree height (deepest materialized path).
+    height: int = 0
+    #: On-disk overhead in bytes (tree image without atoms).
+    disk_overhead_bytes: int = 0
+    #: On-disk atom-file size in bytes.
+    disk_document_bytes: int = 0
+    #: Per-atom PosID sizes (bits), for distribution plots.
+    posid_bits: List[int] = field(default_factory=list)
+
+    @property
+    def memory_overhead_bytes(self) -> int:
+        """In-memory overhead: nodes × 26 bytes (section 5.2)."""
+        return self.nodes * NODE_RECORD_BYTES
+
+    @property
+    def memory_overhead_ratio(self) -> float:
+        """Memory overhead relative to the document size ("Mem ovhd")."""
+        if self.document_bytes == 0:
+            return 0.0
+        return self.memory_overhead_bytes / self.document_bytes
+
+    @property
+    def non_tombstone_fraction(self) -> float:
+        """Fraction of nodes that hold a live atom ("% non-Tomb")."""
+        if self.nodes == 0:
+            return 1.0
+        return self.live_atoms / self.nodes
+
+    @property
+    def tombstone_fraction(self) -> float:
+        """Fraction of nodes that do not hold a live atom (Table 3)."""
+        return 1.0 - self.non_tombstone_fraction
+
+    @property
+    def disk_overhead_ratio(self) -> float:
+        """On-disk overhead relative to document size ("% doc")."""
+        if self.document_bytes == 0:
+            return 0.0
+        return self.disk_overhead_bytes / self.document_bytes
+
+    @property
+    def overhead_per_atom_bits(self) -> float:
+        """Identifier overhead per visible atom in bits: the total PosID
+        size of *all used identifiers* amortized over visible atoms
+        (Table 4 "overhead/atom"); under SDIS tombstones keep paying."""
+        if self.live_atoms == 0:
+            return 0.0
+        return self._total_id_bits / self.live_atoms
+
+    _total_id_bits: int = 0
+
+
+def _atom_bytes(atom: object) -> int:
+    text = atom if isinstance(atom, str) else repr(atom)
+    return len(text.encode("utf-8"))
+
+
+def measure_tree(tree: TreedocTree, with_disk: bool = True) -> TreeStats:
+    """Take all Table 1 measurements of ``tree``'s current state."""
+    stats = TreeStats()
+    total_bits = 0
+    total_id_bits = 0
+    structural_nodes = 0
+    for node in tree.root.iter_nodes():
+        occupied_slots = int(node.plain_state != EMPTY) + sum(
+            1 for mini in node.minis if mini.state != EMPTY
+        )
+        # One logical node per position node, plus extra entries of the
+        # mini-node array beyond the first.
+        extra_minis = max(0, len(node.minis) - 1)
+        structural_nodes += 1 + extra_minis
+        del occupied_slots
+    # Subtract the root when it is bare bookkeeping only.
+    root = tree.root
+    if root.plain_state == EMPTY and not root.minis:
+        structural_nodes -= 1
+    stats.nodes = max(0, structural_nodes)
+    for slot in tree.iter_slots():
+        if slot.state == LIVE:
+            posid = slot_posid(slot)
+            bits = posid.size_bits
+            stats.posid_bits.append(bits)
+            total_bits += bits
+            total_id_bits += bits
+            stats.live_atoms += 1
+            stats.used_ids += 1
+            stats.document_bytes += _atom_bytes(slot.atom)
+            if bits > stats.max_posid_bits:
+                stats.max_posid_bits = bits
+        elif slot.state == TOMBSTONE:
+            stats.tombstones += 1
+            stats.used_ids += 1
+            total_id_bits += slot_posid(slot).size_bits
+    stats.total_posid_bits = total_bits
+    stats._total_id_bits = total_id_bits
+    if stats.live_atoms:
+        stats.avg_posid_bits = total_bits / stats.live_atoms
+    stats.height = tree.height
+    if with_disk:
+        overhead, document = measure_on_disk(tree)
+        stats.disk_overhead_bytes = overhead
+        stats.disk_document_bytes = document
+    return stats
+
+
+def compare_total_posid_bits(stats_a: TreeStats,
+                             stats_b: TreeStats) -> Optional[float]:
+    """Ratio of total PosID sizes (Table 5's Logoot/Treedoc column)."""
+    if stats_b.total_posid_bits == 0:
+        return None
+    return stats_a.total_posid_bits / stats_b.total_posid_bits

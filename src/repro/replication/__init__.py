@@ -1,0 +1,41 @@
+"""Replication substrate: what the paper assumes around the CRDT.
+
+Treedoc requires operations to replay in happened-before order
+(section 1); this package supplies that substrate for simulation and
+testing:
+
+- :mod:`repro.replication.clock` — vector and Lamport clocks;
+- :mod:`repro.replication.network` — a deterministic discrete-event
+  network with latency, reordering, loss (with retransmission),
+  duplication and partitions;
+- :mod:`repro.replication.broadcast` — causal broadcast with
+  vector-clock delivery buffering;
+- :mod:`repro.replication.site` — a replica site wiring a Treedoc to
+  the broadcast layer;
+- :mod:`repro.replication.commit` — the distributed commitment protocol
+  guarding ``flatten`` (section 4.2.1; two-phase commit — the paper
+  allows any commitment protocol);
+- :mod:`repro.replication.stability` — SDIS tombstone garbage collection
+  through causal stability (section 4.2);
+- :mod:`repro.replication.cluster` — an N-site simulation harness with
+  convergence checking.
+"""
+
+from repro.replication.clock import VectorClock, LamportClock
+from repro.replication.network import SimulatedNetwork, NetworkConfig
+from repro.replication.broadcast import CausalBroadcast
+from repro.replication.site import ReplicaSite
+from repro.replication.commit import FlattenCoordinator, CommitDecision
+from repro.replication.cluster import Cluster
+
+__all__ = [
+    "VectorClock",
+    "LamportClock",
+    "SimulatedNetwork",
+    "NetworkConfig",
+    "CausalBroadcast",
+    "ReplicaSite",
+    "FlattenCoordinator",
+    "CommitDecision",
+    "Cluster",
+]

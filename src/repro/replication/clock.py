@@ -1,0 +1,102 @@
+"""Logical clocks: the causality substrate (Lamport [1]).
+
+The happened-before and concurrency relations of the paper are exactly
+Lamport's; vector clocks give us the operational test the causal
+broadcast layer and the flatten commitment protocol need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.core.disambiguator import SiteId
+
+
+class VectorClock:
+    """A vector clock over site identifiers.
+
+    Immutable-style API: ``tick``/``merge`` return new clocks, keeping
+    clock snapshots attached to messages safe from aliasing bugs.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Dict[SiteId, int] | None = None) -> None:
+        self._counts: Dict[SiteId, int] = dict(counts or {})
+
+    def get(self, site: SiteId) -> int:
+        """The number of events observed from ``site``."""
+        return self._counts.get(site, 0)
+
+    def tick(self, site: SiteId) -> "VectorClock":
+        """A new clock with ``site``'s component incremented."""
+        counts = dict(self._counts)
+        counts[site] = counts.get(site, 0) + 1
+        return VectorClock(counts)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise maximum."""
+        counts = dict(self._counts)
+        for site, count in other._counts.items():
+            if counts.get(site, 0) < count:
+                counts[site] = count
+        return VectorClock(counts)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """``self >= other`` component-wise: other happened-before-or-
+        equals self."""
+        return all(self.get(site) >= count
+                   for site, count in other._counts.items())
+
+    def strictly_dominates(self, other: "VectorClock") -> bool:
+        """``self >= other`` with at least one strict component."""
+        return self.dominates(other) and self._counts != other._counts
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock dominates the other."""
+        return not self.dominates(other) and not other.dominates(self)
+
+    def items(self) -> Iterator[Tuple[SiteId, int]]:
+        return iter(self._counts.items())
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        mine = {s: c for s, c in self._counts.items() if c}
+        theirs = {s: c for s, c in other._counts.items() if c}
+        return mine == theirs
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(
+            (s, c) for s, c in self._counts.items() if c)))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{site}:{count}" for site, count in sorted(self._counts.items())
+        )
+        return f"VC({inner})"
+
+
+class LamportClock:
+    """A scalar Lamport clock (used by tests and the ordering lemmas)."""
+
+    __slots__ = ("time",)
+
+    def __init__(self, time: int = 0) -> None:
+        self.time = time
+
+    def tick(self) -> int:
+        """Advance for a local event; returns the new time."""
+        self.time += 1
+        return self.time
+
+    def observe(self, remote_time: int) -> int:
+        """Advance past a received timestamp; returns the new time."""
+        self.time = max(self.time, remote_time) + 1
+        return self.time
+
+    def __repr__(self) -> str:
+        return f"Lamport({self.time})"

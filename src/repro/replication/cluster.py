@@ -1,0 +1,112 @@
+"""Multi-site simulation harness.
+
+``Cluster`` assembles N replica sites over one simulated network and
+offers the operations the integration tests and examples need: drive
+edits at any site, run the network to quiescence, and check convergence
+(the CRDT property: same operations, any causal order, same state).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.disambiguator import SiteId
+from repro.errors import ReplicationError
+from repro.replication.network import NetworkConfig, SimulatedNetwork
+from repro.replication.site import ReplicaSite
+
+
+class Cluster:
+    """N cooperating replica sites on a simulated network."""
+
+    def __init__(
+        self,
+        n_sites: int,
+        mode: str = "udis",
+        balanced: bool = True,
+        config: NetworkConfig | None = None,
+        seed: int = 0,
+        first_site: SiteId = 1,
+        tombstone_gc: bool = False,
+    ) -> None:
+        if n_sites < 1:
+            raise ReplicationError("a cluster needs at least one site")
+        self.network = SimulatedNetwork(config, seed=seed)
+        self.sites: Dict[SiteId, ReplicaSite] = {}
+        for offset in range(n_sites):
+            site_id = first_site + offset
+            self.sites[site_id] = ReplicaSite(
+                site_id, self.network, mode=mode, balanced=balanced,
+                tombstone_gc=tombstone_gc,
+            )
+
+    def __getitem__(self, site: SiteId) -> ReplicaSite:
+        return self.sites[site]
+
+    def __iter__(self):
+        return iter(self.sites.values())
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    @property
+    def site_ids(self) -> List[SiteId]:
+        return sorted(self.sites)
+
+    # -- simulation control ---------------------------------------------------------
+
+    def settle(self, max_events: int = 1_000_000) -> int:
+        """Run the network until no undelivered messages remain."""
+        return self.network.run(max_events)
+
+    def partition(self, *groups) -> None:
+        """Partition the network (see :meth:`SimulatedNetwork.partition`)."""
+        self.network.partition(*groups)
+
+    def heal(self) -> None:
+        """Heal the partition and release held messages."""
+        self.network.heal()
+
+    # -- convergence -----------------------------------------------------------------
+
+    def is_converged(self) -> bool:
+        """All sites expose the same visible atom sequence."""
+        contents = [site.atoms() for site in self.sites.values()]
+        return all(c == contents[0] for c in contents[1:])
+
+    def assert_converged(self) -> List[object]:
+        """Check convergence and shared-state integrity; returns the
+        common atom sequence."""
+        if self.network.pending:
+            raise ReplicationError(
+                f"{self.network.pending} messages still pending; "
+                "call settle() before checking convergence"
+            )
+        reference: Optional[List[object]] = None
+        for site in self.sites.values():
+            atoms = site.atoms()
+            site.doc.check()
+            if reference is None:
+                reference = atoms
+            elif atoms != reference:
+                raise ReplicationError(
+                    f"site {site.site} diverged: {atoms!r} != {reference!r}"
+                )
+        return reference or []
+
+    # -- convenience editing -----------------------------------------------------------
+
+    def bootstrap(self, atoms: Sequence[object],
+                  site: Optional[SiteId] = None) -> None:
+        """Create initial content at one site and replicate it."""
+        origin = self.sites[site if site is not None else self.site_ids[0]]
+        origin.insert_run(0, list(atoms))
+        self.settle()
+
+    def gossip_acks(self) -> None:
+        """Every site gossips its applied clock and the network settles;
+        with ``tombstone_gc`` enabled this advances the stable frontier
+        and purges stable SDIS tombstones everywhere."""
+        for site in self.sites.values():
+            site.broadcast_ack()
+        self.settle()

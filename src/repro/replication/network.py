@@ -1,0 +1,194 @@
+"""Deterministic discrete-event network simulator.
+
+Models the asynchronous message-passing environment the paper assumes:
+messages between sites experience variable latency (hence reordering),
+can be lost (the transport retransmits, so delivery is eventual — the
+fair-lossy link + retry abstraction), can be duplicated, and partitions
+can isolate groups of sites for a while.
+
+Everything is driven by one seeded RNG, so a whole multi-site scenario
+replays identically from its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.disambiguator import SiteId
+from repro.errors import ReplicationError
+from repro.util.rng import derive_rng
+
+#: A handler invoked on delivery: handler(src, payload).
+Handler = Callable[[SiteId, object], None]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Tunables of the simulated network."""
+
+    #: Uniform latency bounds (simulated milliseconds).
+    min_latency: float = 5.0
+    max_latency: float = 50.0
+    #: Probability a transmission attempt is lost (and retransmitted).
+    drop_rate: float = 0.0
+    #: Probability a delivered message is delivered once more.
+    duplicate_rate: float = 0.0
+    #: Delay before a lost transmission is retried.
+    retransmit_delay: float = 100.0
+    #: Attempts before the transport stops pretending to lose the
+    #: message (keeps simulations finite; models eventual delivery).
+    max_transmit_attempts: int = 16
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    src: SiteId = field(compare=False)
+    dst: SiteId = field(compare=False)
+    payload: object = field(compare=False)
+    attempt: int = field(compare=False, default=1)
+
+
+class SimulatedNetwork:
+    """An event-queue network connecting registered sites."""
+
+    def __init__(self, config: NetworkConfig | None = None,
+                 seed: int = 0) -> None:
+        self.config = config or NetworkConfig()
+        self._rng = derive_rng(seed, "network")
+        self._handlers: Dict[SiteId, Handler] = {}
+        self._queue: List[_Event] = []
+        self._held: List[_Event] = []  # messages blocked by a partition
+        self._partitions: List[Set[SiteId]] = []
+        self._sequence = 0
+        self.now = 0.0
+        #: Delivery counters, for assertions and metrics.
+        self.sent_messages = 0
+        self.delivered_messages = 0
+        self.dropped_transmissions = 0
+        self.duplicated_messages = 0
+
+    # -- wiring ------------------------------------------------------------------
+
+    def register(self, site: SiteId, handler: Handler) -> None:
+        """Attach a site's delivery handler."""
+        if site in self._handlers:
+            raise ReplicationError(f"site {site} already registered")
+        self._handlers[site] = handler
+
+    @property
+    def sites(self) -> Tuple[SiteId, ...]:
+        return tuple(sorted(self._handlers))
+
+    # -- partitions -----------------------------------------------------------------
+
+    def partition(self, *groups: Set[SiteId]) -> None:
+        """Split the network: messages may only flow within a group.
+
+        Sites not mentioned in any group form an implicit final group.
+        """
+        named = [set(g) for g in groups]
+        rest = set(self._handlers) - set().union(*named) if named else set()
+        if rest:
+            named.append(rest)
+        self._partitions = named
+
+    def heal(self) -> None:
+        """Remove the partition and release held messages."""
+        self._partitions = []
+        for event in self._held:
+            # Held messages resume with a fresh latency from *now*.
+            self._schedule(event.src, event.dst, event.payload,
+                           self.now + self._latency(), event.attempt)
+        self._held = []
+
+    def _blocked(self, a: SiteId, b: SiteId) -> bool:
+        for group in self._partitions:
+            if (a in group) != (b in group):
+                return True
+        return False
+
+    # -- sending --------------------------------------------------------------------
+
+    def send(self, src: SiteId, dst: SiteId, payload: object) -> None:
+        """Enqueue a message; delivery happens during :meth:`run`."""
+        if dst not in self._handlers:
+            raise ReplicationError(f"unknown destination site {dst}")
+        self.sent_messages += 1
+        self._schedule(src, dst, payload, self.now + self._latency(), 1)
+
+    def broadcast(self, src: SiteId, payload: object) -> None:
+        """Send to every other registered site."""
+        for dst in self._handlers:
+            if dst != src:
+                self.send(src, dst, payload)
+
+    def _latency(self) -> float:
+        return self._rng.uniform(self.config.min_latency,
+                                 self.config.max_latency)
+
+    def _schedule(self, src: SiteId, dst: SiteId, payload: object,
+                  time: float, attempt: int) -> None:
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, _Event(time, self._sequence, src, dst, payload, attempt)
+        )
+
+    # -- running -----------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            self.now = max(self.now, event.time)
+            if self._blocked(event.src, event.dst):
+                self._held.append(event)
+                continue
+            if (
+                event.attempt < self.config.max_transmit_attempts
+                and self._rng.random() < self.config.drop_rate
+            ):
+                # Lost transmission: the transport retries later.
+                self.dropped_transmissions += 1
+                self._schedule(
+                    event.src,
+                    event.dst,
+                    event.payload,
+                    self.now + self.config.retransmit_delay + self._latency(),
+                    event.attempt + 1,
+                )
+                return True
+            self._handlers[event.dst](event.src, event.payload)
+            self.delivered_messages += 1
+            if self._rng.random() < self.config.duplicate_rate:
+                self.duplicated_messages += 1
+                self._schedule(
+                    event.src, event.dst, event.payload,
+                    self.now + self._latency(), event.attempt,
+                )
+            return True
+        return False
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Deliver until quiescent (or the event budget runs out);
+        returns the number of events processed. Messages held behind a
+        partition do not count as pending."""
+        processed = 0
+        while processed < max_events and self.step():
+            processed += 1
+        if processed >= max_events and self._queue:
+            raise ReplicationError("network did not quiesce within budget")
+        return processed
+
+    @property
+    def pending(self) -> int:
+        """Events waiting in the queue (excluding partition-held ones)."""
+        return len(self._queue)
+
+    @property
+    def held(self) -> int:
+        """Messages currently blocked by the partition."""
+        return len(self._held)

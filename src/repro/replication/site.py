@@ -1,0 +1,288 @@
+"""A replica site: one Treedoc wired to causal broadcast and commitment.
+
+``ReplicaSite`` is the unit of the multi-site simulations: local edits
+apply immediately (optimistic, zero latency — section 6: "common edit
+operations execute optimistically, with no latency; replicas synchronise
+only in the background") and ship on the causal channel; remote
+operations replay on causal delivery; ``initiate_flatten`` runs the
+section 4.2.1 commitment protocol.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.disambiguator import SiteId
+from repro.core.ops import DeleteOp, FlattenOp, InsertOp, Operation
+from repro.core.path import PosID
+from repro.core.treedoc import Treedoc
+from repro.errors import CommitError, ReplicationError
+from repro.replication.broadcast import CausalBroadcast, CausalEnvelope
+from repro.replication.commit import (
+    AbortMsg,
+    CommitDecision,
+    FlattenCoordinator,
+    PrepareMsg,
+    RegionLockTable,
+    VoteMsg,
+)
+from repro.replication.network import SimulatedNetwork
+
+
+class RegionLockedError(ReplicationError):
+    """A local edit hit a region locked by a pending flatten."""
+
+
+class ReplicaSite:
+    """One cooperative-editing participant."""
+
+    def __init__(
+        self,
+        site: SiteId,
+        network: SimulatedNetwork,
+        mode: str = "udis",
+        balanced: bool = True,
+        tombstone_gc: bool = False,
+    ) -> None:
+        self.site = site
+        self.network = network
+        self.doc = Treedoc(site, mode=mode, balanced=balanced)
+        self.broadcast = CausalBroadcast(
+            site, network, self._on_causal_deliver, register=False
+        )
+        network.register(site, self._on_message)
+        self._locks = RegionLockTable()
+        self._coordinators: Dict[str, FlattenCoordinator] = {}
+        self._txn_counter = itertools.count()
+        #: Region-edit log for commitment votes: (bits, origin, sequence).
+        self._region_log: List[Tuple[Tuple[int, ...], SiteId, int]] = []
+        #: Operations applied, in local application order (for metrics).
+        self.applied_ops: List[Operation] = []
+        #: SDIS tombstone GC (section 4.2): causal-stability tracking.
+        #: Acks ride the causal channel and purging is a deterministic
+        #: function of (delete log, frontier), so every site purges a
+        #: tombstone before applying anything that could re-mint its
+        #: identifier.
+        self.tombstone_gc = tombstone_gc and self.doc.keeps_tombstones
+        self._stability: Optional["StabilityTracker"] = None
+        self._delete_log: List[Tuple[object, SiteId, int]] = []
+        self.purged_tombstones = 0
+
+    # -- local editing ------------------------------------------------------------
+
+    def insert(self, index: int, atom: object) -> InsertOp:
+        """Edit locally and broadcast; returns the operation."""
+        self._check_unlocked_for_insert(index)
+        op = self.doc.insert(index, atom)
+        self._ship(op)
+        return op
+
+    def insert_run(self, index: int, atoms: Sequence[object]) -> List[InsertOp]:
+        """Insert a consecutive run locally and broadcast each atom."""
+        self._check_unlocked_for_insert(index)
+        ops = self.doc.insert_run(index, atoms)
+        for op in ops:
+            self._ship(op)
+        return ops
+
+    def delete(self, index: int) -> DeleteOp:
+        """Delete locally and broadcast; returns the operation."""
+        bits = self.doc.posid_at(index).bits()
+        if self._locks.is_locked(bits):
+            raise RegionLockedError(
+                f"site {self.site}: delete at {index} hits a region "
+                "locked by a pending flatten"
+            )
+        op = self.doc.delete(index)
+        self._ship(op)
+        if self.tombstone_gc:
+            self._delete_log.append(
+                (op.posid, self.site, self.broadcast.clock.get(self.site))
+            )
+        return op
+
+    def _check_unlocked_for_insert(self, index: int) -> None:
+        """An insert lands between its neighbours; if either neighbour
+        sits in a locked region the new identifier could too, so refuse
+        conservatively."""
+        for neighbour in (index - 1, index):
+            if 0 <= neighbour < len(self.doc):
+                bits = self.doc.posid_at(neighbour).bits()
+                if self._locks.is_locked(bits):
+                    raise RegionLockedError(
+                        f"site {self.site}: insert at {index} is adjacent "
+                        "to a region locked by a pending flatten"
+                    )
+        if len(self.doc) == 0 and len(self._locks):
+            raise RegionLockedError(
+                f"site {self.site}: document region locked by a pending flatten"
+            )
+
+    def _ship(self, op: Operation) -> None:
+        envelope = self.broadcast.broadcast(op)
+        self._log_op(op, op.origin, envelope.sequence)
+        self.applied_ops.append(op)
+
+    # -- flatten / commitment -------------------------------------------------------
+
+    def initiate_flatten(self, path: PosID) -> FlattenCoordinator:
+        """Start the commitment protocol to flatten the subtree at
+        ``path``. Returns the coordinator; its ``decision`` settles once
+        the network delivers the votes (run the network to quiescence).
+        """
+        bits = path.bits()
+        if self._locks.is_locked(bits):
+            raise CommitError(
+                f"site {self.site}: region {path!r} already has a pending flatten"
+            )
+        txn = f"{self.site}.{next(self._txn_counter)}"
+        snapshot = self.broadcast.clock.copy()
+        participants = {s for s in self.network.sites if s != self.site}
+        coordinator = FlattenCoordinator(
+            txn,
+            path,
+            participants,
+            on_commit=lambda: self._commit_flatten(txn, path),
+            on_abort=lambda: self._abort_flatten(txn),
+        )
+        self._coordinators[txn] = coordinator
+        self._locks.lock(txn, path)
+        if not participants:
+            coordinator.decide_alone()
+            return coordinator
+        prepare = PrepareMsg(txn, path, snapshot, self.site)
+        for participant in participants:
+            self.network.send(self.site, participant, prepare)
+        return coordinator
+
+    def _commit_flatten(self, txn: str, path: PosID) -> None:
+        op = self.doc.make_flatten(path)
+        op = FlattenOp(op.path, op.digest, op.origin, txn=txn)
+        self.doc.apply_flatten(op)
+        self._locks.unlock(txn)
+        envelope = self.broadcast.broadcast(op)
+        self._log_op(op, op.origin, envelope.sequence)
+        self.applied_ops.append(op)
+
+    def _abort_flatten(self, txn: str) -> None:
+        self._locks.unlock(txn)
+        for participant in self.network.sites:
+            if participant != self.site:
+                self.network.send(self.site, participant, AbortMsg(txn))
+
+    def _vote(self, prepare: PrepareMsg) -> bool:
+        """Section 4.2.1: vote No when this site has executed an insert,
+        delete or flatten within the subtree that the initiator's
+        snapshot does not cover — or when it is not yet caught up with
+        the snapshot (its region contents could then differ)."""
+        if not self.broadcast.clock.dominates(prepare.snapshot):
+            return False
+        region = prepare.path.bits()
+        if self._locks.overlapping(region) is not None:
+            return False
+        for bits, origin, sequence in self._region_log:
+            shorter = min(len(bits), len(region))
+            if bits[:shorter] != region[:shorter]:
+                continue
+            if sequence > prepare.snapshot.get(origin):
+                return False
+        return True
+
+    # -- message handling ------------------------------------------------------------
+
+    def _on_message(self, src: SiteId, message: object) -> None:
+        if isinstance(message, CausalEnvelope):
+            self.broadcast.on_message(src, message)
+        elif isinstance(message, PrepareMsg):
+            yes = self._vote(message)
+            if yes:
+                self._locks.lock(message.txn, message.path)
+            self.network.send(
+                self.site, message.initiator, VoteMsg(message.txn, self.site, yes)
+            )
+        elif isinstance(message, VoteMsg):
+            coordinator = self._coordinators.get(message.txn)
+            if coordinator is None:
+                raise CommitError(f"vote for unknown transaction {message.txn}")
+            coordinator.on_vote(message)
+        elif isinstance(message, AbortMsg):
+            self._locks.unlock(message.txn)
+        else:
+            raise ReplicationError(f"unhandled message {message!r}")
+
+    def _on_causal_deliver(self, origin: SiteId, payload: object) -> None:
+        from repro.replication.stability import AckMsg
+
+        if isinstance(payload, AckMsg):
+            self._record_ack(payload)
+            return
+        if not isinstance(payload, (InsertOp, DeleteOp, FlattenOp)):
+            raise ReplicationError(f"unexpected causal payload {payload!r}")
+        self.doc.apply(payload)
+        sequence = self.broadcast.clock.get(origin)
+        self._log_op(payload, origin, sequence)
+        self.applied_ops.append(payload)
+        if isinstance(payload, DeleteOp) and self.tombstone_gc:
+            self._delete_log.append((payload.posid, origin, sequence))
+        if isinstance(payload, FlattenOp) and payload.txn is not None:
+            # The committed flatten is the outcome message: release the
+            # vote lock.
+            self._locks.unlock(payload.txn)
+
+    # -- SDIS tombstone garbage collection (section 4.2) --------------------------
+
+    def broadcast_ack(self) -> None:
+        """Gossip this site's applied clock (drives the stable frontier).
+
+        Call periodically (the cluster harness does) when
+        ``tombstone_gc`` is enabled.
+        """
+        from repro.replication.stability import AckMsg
+
+        if not self.tombstone_gc:
+            return
+        ack = AckMsg(self.site, self.broadcast.clock.copy())
+        self._record_ack(ack)
+        self.broadcast.broadcast(ack)
+
+    def _record_ack(self, ack: "AckMsg") -> None:
+        from repro.replication.stability import (
+            StabilityTracker,
+            purge_stable_tombstones,
+        )
+
+        if not self.tombstone_gc:
+            return
+        if self._stability is None:
+            self._stability = StabilityTracker(tuple(self.network.sites))
+        self._stability.record_ack(ack.site, ack.applied)
+        frontier = self._stability.stable_frontier()
+        self.purged_tombstones += purge_stable_tombstones(
+            self.doc, self._delete_log, frontier
+        )
+
+    def _log_op(self, op: Operation, origin: SiteId, sequence: int) -> None:
+        if isinstance(op, (InsertOp, DeleteOp)):
+            bits = op.posid.bits()
+        else:
+            bits = op.path.bits()
+        self._region_log.append((bits, origin, sequence))
+
+    # -- queries ---------------------------------------------------------------------
+
+    def text(self, separator: str = "") -> str:
+        return self.doc.text(separator)
+
+    def atoms(self) -> List[object]:
+        return self.doc.atoms()
+
+    def __len__(self) -> int:
+        return len(self.doc)
+
+    @property
+    def locked_regions(self) -> int:
+        return len(self._locks)
+
+    def __repr__(self) -> str:
+        return f"<ReplicaSite {self.site} atoms={len(self.doc)}>"

@@ -1,0 +1,105 @@
+"""Causal-stability tracking: SDIS tombstone garbage collection.
+
+Section 4.2: "Deleted nodes can be garbage-collected even when using
+site identifiers as soon as it is clear that every site has already
+deleted the atom and no operation referring to it will be issued."
+
+The standard mechanism is causal stability: each site gossips the
+vector clock of operations it has *applied*; the pointwise minimum over
+all sites is the *stable frontier* — every operation at or below it has
+been applied everywhere, so no future operation can causally depend on
+anything only reachable through a tombstone older than the frontier.
+A tombstone created by delete ``d`` can be purged once ``d`` is stable
+**and** the insert it shadows is stable (always implied), because:
+
+- no site will issue a concurrent insert adjacent to the tombstone's
+  identifier anymore without having seen the delete, and
+- our allocator never re-mints a discarded identifier for *fresh*
+  inserts at other sites only if the identifier cannot come back — which
+  is guaranteed for *leaf* tombstones whose position node can be
+  discarded entirely (mirroring the UDIS discard rule); interior
+  tombstones are kept as empty structure, exactly like UDIS interiors.
+
+``StabilityTracker`` maintains the frontier; ``purge_stable_tombstones``
+applies it to a Treedoc replica. The replica site wires both together
+and piggybacks acknowledgement clocks on the causal channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.disambiguator import SiteId
+from repro.core.node import TOMBSTONE
+from repro.core.treedoc import Treedoc
+from repro.replication.clock import VectorClock
+
+
+@dataclass(frozen=True)
+class AckMsg:
+    """Gossiped acknowledgement: ``site`` has applied ``applied``."""
+
+    site: SiteId
+    applied: VectorClock
+
+
+class StabilityTracker:
+    """Computes the stable frontier from per-site acknowledgements."""
+
+    def __init__(self, members: Tuple[SiteId, ...]) -> None:
+        self.members = tuple(members)
+        self._acks: Dict[SiteId, VectorClock] = {
+            site: VectorClock() for site in self.members
+        }
+
+    def record_ack(self, site: SiteId, applied: VectorClock) -> None:
+        """Merge a (possibly stale, reordered) acknowledgement."""
+        if site not in self._acks:
+            self._acks[site] = VectorClock()
+        self._acks[site] = self._acks[site].merge(applied)
+
+    def stable_frontier(self) -> VectorClock:
+        """Pointwise minimum of every member's applied clock."""
+        if not self.members:
+            return VectorClock()
+        counts: Dict[SiteId, int] = {}
+        first = self._acks[self.members[0]]
+        candidates = {site for site, _ in first.items()}
+        for member in self.members[1:]:
+            candidates &= {site for site, _ in self._acks[member].items()}
+        for origin in candidates:
+            counts[origin] = min(
+                self._acks[member].get(origin) for member in self.members
+            )
+        return VectorClock(counts)
+
+    def is_stable(self, origin: SiteId, sequence: int) -> bool:
+        """Has the ``sequence``-th op of ``origin`` been applied by all?"""
+        return self.stable_frontier().get(origin) >= sequence
+
+
+def purge_stable_tombstones(
+    doc: Treedoc,
+    delete_log: List[Tuple[object, SiteId, int]],
+    frontier: VectorClock,
+) -> int:
+    """Discard tombstones whose delete is causally stable.
+
+    ``delete_log`` holds ``(posid, delete_origin, delete_sequence)`` for
+    applied deletes; purged entries are removed from it. Returns the
+    number of tombstones discarded. Purging mirrors the UDIS discard:
+    the slot empties, and leaf structure is pruned.
+    """
+    purged = 0
+    remaining: List[Tuple[object, SiteId, int]] = []
+    for posid, origin, sequence in delete_log:
+        if frontier.get(origin) < sequence:
+            remaining.append((posid, origin, sequence))
+            continue
+        slot = doc.tree.lookup(posid)
+        if slot is not None and slot.state == TOMBSTONE:
+            doc.tree.purge_tombstone(slot)
+            purged += 1
+    delete_log[:] = remaining
+    return purged

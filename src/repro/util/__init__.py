@@ -1,0 +1,12 @@
+"""Small shared utilities: deterministic RNG handling and bit packing."""
+
+from repro.util.rng import derive_rng, spawn_seed
+from repro.util.bits import BitWriter, BitReader, bits_for_int
+
+__all__ = [
+    "derive_rng",
+    "spawn_seed",
+    "BitWriter",
+    "BitReader",
+    "bits_for_int",
+]

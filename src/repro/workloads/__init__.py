@@ -1,0 +1,40 @@
+"""Edit-history workloads: the evaluation's trace substrate.
+
+The paper replays revision histories of three Wikipedia pages and three
+LaTeX files. Those repositories are not available offline, so this
+package generates *synthetic histories with the published statistics* of
+each document (sizes, revision counts, edit structure — see DESIGN.md
+section 3.4) and replays them through any sequence CRDT with the same
+diff-based procedure the paper uses.
+"""
+
+from repro.workloads.diff import myers_diff, edit_script, apply_script, EditOp
+from repro.workloads.revision import History, Revision
+from repro.workloads.corpus import (
+    DocumentSpec,
+    PAPER_DOCUMENTS,
+    LATEX_DOCUMENTS,
+    WIKI_DOCUMENTS,
+    document_spec,
+)
+from repro.workloads.editing import HistoryGenerator, generate_history
+from repro.workloads.replay import ReplayResult, replay_history, replay_into
+
+__all__ = [
+    "myers_diff",
+    "edit_script",
+    "apply_script",
+    "EditOp",
+    "History",
+    "Revision",
+    "DocumentSpec",
+    "PAPER_DOCUMENTS",
+    "LATEX_DOCUMENTS",
+    "WIKI_DOCUMENTS",
+    "document_spec",
+    "HistoryGenerator",
+    "generate_history",
+    "ReplayResult",
+    "replay_history",
+    "replay_into",
+]

@@ -1,0 +1,152 @@
+"""Myers O(ND) difference algorithm over atom sequences.
+
+The paper's replay procedure "computes the differences from the previous
+version, and executes an equivalent sequence of insert and delete
+operations" (section 5). This module provides that: a minimal
+insert/delete script between two atom sequences, positions expressed
+against the evolving document so the script can drive any sequence CRDT
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+
+
+def myers_diff(a: Sequence[object], b: Sequence[object]) -> List[Tuple[str, object]]:
+    """Shortest edit script as ``(tag, atom)`` pairs.
+
+    Tags are ``"equal"`` (atom kept), ``"delete"`` (atom of ``a``
+    removed) and ``"insert"`` (atom of ``b`` added); the greedy O(ND)
+    algorithm of Myers (1986).
+    """
+    n, m = len(a), len(b)
+    if n == 0:
+        return [("insert", atom) for atom in b]
+    if m == 0:
+        return [("delete", atom) for atom in a]
+    max_d = n + m
+    # v[k] = furthest x on diagonal k; store per-round copies for backtrack.
+    v: dict = {1: 0}
+    trace: List[dict] = []
+    found = False
+    for d in range(max_d + 1):
+        trace.append(dict(v))
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v.get(k - 1, -1) < v.get(k + 1, -1)):
+                x = v.get(k + 1, 0)
+            else:
+                x = v.get(k - 1, 0) + 1
+            y = x - k
+            while x < n and y < m and a[x] == b[y]:
+                x += 1
+                y += 1
+            v[k] = x
+            if x >= n and y >= m:
+                found = True
+                break
+        if found:
+            break
+    if not found:  # pragma: no cover - d is bounded by n+m
+        raise WorkloadError("diff failed to converge")
+    # Backtrack through the recorded rounds.
+    script: List[Tuple[str, object]] = []
+    x, y = n, m
+    for d in range(len(trace) - 1, 0, -1):
+        v_prev = trace[d]
+        k = x - y
+        if k == -d or (k != d and v_prev.get(k - 1, -1) < v_prev.get(k + 1, -1)):
+            prev_k = k + 1
+        else:
+            prev_k = k - 1
+        prev_x = v_prev.get(prev_k, 0)
+        prev_y = prev_x - prev_k
+        while x > prev_x and y > prev_y:
+            x -= 1
+            y -= 1
+            script.append(("equal", a[x]))
+        if d > 0:
+            if x == prev_x:
+                y -= 1
+                script.append(("insert", b[y]))
+            else:
+                x -= 1
+                script.append(("delete", a[x]))
+    while x > 0 and y > 0:
+        x -= 1
+        y -= 1
+        script.append(("equal", a[x]))
+    while x > 0:
+        x -= 1
+        script.append(("delete", a[x]))
+    while y > 0:
+        y -= 1
+        script.append(("insert", b[y]))
+    script.reverse()
+    return script
+
+
+@dataclass(frozen=True)
+class EditOp:
+    """One positional edit: insert ``atoms`` at ``index``, or delete
+    ``count`` atoms starting at ``index``. Indices are against the
+    document as it stands when the op executes (ops apply in order)."""
+
+    kind: str  # "insert" | "delete"
+    index: int
+    atoms: Tuple[object, ...] = ()
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "delete"):
+            raise WorkloadError(f"bad edit kind {self.kind!r}")
+
+
+def edit_script(a: Sequence[object], b: Sequence[object]) -> List[EditOp]:
+    """Positional edit script turning ``a`` into ``b``.
+
+    Consecutive inserts are grouped into runs (the paper's balancing
+    variant groups "all the consecutive inserts of a given revision into
+    a minimal sub-tree"); consecutive deletes are grouped likewise.
+    """
+    ops: List[EditOp] = []
+    position = 0
+    pending_insert: List[object] = []
+    pending_delete = 0
+
+    def flush() -> None:
+        nonlocal position, pending_insert, pending_delete
+        if pending_delete:
+            ops.append(EditOp("delete", position, count=pending_delete))
+            pending_delete = 0
+        if pending_insert:
+            ops.append(EditOp("insert", position, atoms=tuple(pending_insert)))
+            position += len(pending_insert)
+            pending_insert = []
+
+    for tag, atom in myers_diff(a, b):
+        if tag == "equal":
+            flush()
+            position += 1
+        elif tag == "delete":
+            if pending_insert:
+                flush()
+            pending_delete += 1
+        else:  # insert
+            pending_insert.append(atom)
+    flush()
+    return ops
+
+
+def apply_script(atoms: Sequence[object], ops: Sequence[EditOp]) -> List[object]:
+    """Apply a positional script to a plain list (the test oracle)."""
+    result = list(atoms)
+    for op in ops:
+        if op.kind == "insert":
+            result[op.index:op.index] = list(op.atoms)
+        else:
+            del result[op.index:op.index + op.count]
+    return result

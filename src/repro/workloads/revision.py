@@ -1,0 +1,72 @@
+"""Revision histories: the trace model.
+
+A :class:`History` is what a version-control system stores — a named
+sequence of full document snapshots (:class:`Revision`). The replay
+machinery diffs consecutive snapshots into insert/delete operations,
+mirroring the paper's procedure over SVN and Wikipedia histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Revision:
+    """One document snapshot: a tuple of atoms (lines or paragraphs)."""
+
+    number: int
+    atoms: Tuple[str, ...]
+
+    @property
+    def byte_size(self) -> int:
+        """Snapshot size in bytes (UTF-8 atoms plus one separator each,
+        the newline of a line or the blank line of a paragraph)."""
+        return sum(len(a.encode("utf-8")) + 1 for a in self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+
+@dataclass
+class History:
+    """A named revision history."""
+
+    name: str
+    kind: str  # "wiki" | "latex" | other
+    revisions: List[Revision] = field(default_factory=list)
+
+    def append_snapshot(self, atoms: Sequence[str]) -> Revision:
+        revision = Revision(len(self.revisions), tuple(atoms))
+        self.revisions.append(revision)
+        return revision
+
+    @property
+    def initial(self) -> Revision:
+        if not self.revisions:
+            raise WorkloadError(f"history {self.name!r} is empty")
+        return self.revisions[0]
+
+    @property
+    def final(self) -> Revision:
+        if not self.revisions:
+            raise WorkloadError(f"history {self.name!r} is empty")
+        return self.revisions[-1]
+
+    def pairs(self) -> Iterator[Tuple[Revision, Revision]]:
+        """Consecutive (previous, next) revision pairs."""
+        for i in range(1, len(self.revisions)):
+            yield self.revisions[i - 1], self.revisions[i]
+
+    def __len__(self) -> int:
+        return len(self.revisions)
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.kind}, {len(self.revisions)} revisions, "
+            f"{len(self.initial)} -> {len(self.final)} atoms, "
+            f"{self.final.byte_size} bytes"
+        )

@@ -1,0 +1,77 @@
+"""Synthetic atom text: pseudo-prose lines and paragraphs.
+
+The overheads Treedoc's evaluation measures depend on atom *sizes* and
+edit *positions*, not on what the text says; these generators produce
+deterministic pseudo-text with realistic length distributions — LaTeX
+source lines (tens of bytes) and Wikipedia paragraphs (about a hundred
+bytes), per the byte/atom ratios of Table 1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+_SYLLABLES = (
+    "re pli ca tion tree doc com mute edit conver gence buf fer "
+    "atom iden ti fi er dense path nod dis amb bal ance flat ten "
+    "site clock merge causal order commit wiki page line text"
+).split()
+
+_LATEX_SHAPES = (
+    "\\{cmd}{{{w1} {w2}}}",
+    "{w1} {w2} {w3} {w4} {w5}",
+    "% {w1} {w2} {w3}",
+    "{w1} {w2} \\emph{{{w3}}} {w4}",
+    "\\begin{{{w1}}}",
+    "\\end{{{w1}}}",
+    "  \\item {w1} {w2} {w3}",
+)
+
+
+def pseudo_word(rng: random.Random) -> str:
+    """A pronounceable pseudo-word of 1-3 syllables."""
+    return "".join(rng.choice(_SYLLABLES) for _ in range(rng.randint(1, 3)))
+
+
+def latex_line(rng: random.Random) -> str:
+    """A LaTeX-flavoured source line (tens of bytes)."""
+    shape = rng.choice(_LATEX_SHAPES)
+    words = {f"w{i}": pseudo_word(rng) for i in range(1, 6)}
+    words["cmd"] = rng.choice(("section", "label", "cite", "ref", "textbf"))
+    return shape.format(**words)
+
+
+def wiki_paragraph(rng: random.Random) -> str:
+    """A paragraph of pseudo-prose (roughly a hundred bytes, matching
+    the byte/paragraph ratios of Table 1)."""
+    sentences = []
+    for _ in range(rng.randint(1, 2)):
+        words = [pseudo_word(rng) for _ in range(rng.randint(3, 8))]
+        words[0] = words[0].capitalize()
+        sentences.append(" ".join(words) + ".")
+    return " ".join(sentences)
+
+
+def calibrated_atom(rng: random.Random, kind: str,
+                    target_bytes: float) -> str:
+    """One atom whose length varies around ``target_bytes`` (so a
+    corpus's final byte size lands near the published figure)."""
+    base = wiki_paragraph(rng) if kind == "wiki" else latex_line(rng)
+    goal = max(8, int(target_bytes * rng.uniform(0.6, 1.4)))
+    while len(base) < goal:
+        base += " " + pseudo_word(rng)
+    if len(base) > goal + 16:
+        cut = base.rfind(" ", 0, goal + 8)
+        if cut > 8:
+            base = base[:cut] + "."
+    return base
+
+
+def make_atoms(rng: random.Random, count: int, kind: str,
+               target_bytes: float | None = None) -> List[str]:
+    """``count`` fresh atoms of the given document kind."""
+    if target_bytes is not None:
+        return [calibrated_atom(rng, kind, target_bytes) for _ in range(count)]
+    maker = wiki_paragraph if kind == "wiki" else latex_line
+    return [maker(rng) for _ in range(count)]

@@ -1,0 +1,116 @@
+"""One contract suite over every sequence CRDT (Treedoc + baselines).
+
+Each implementation must behave like a replicated list: local edits have
+list semantics, remote replay in causal order converges, deletes are
+idempotent against duplicates of themselves.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import LogootDoc, RgaDoc, TreedocAdapter, WootDoc
+from tests.conftest import exchange_rounds
+
+FACTORIES = {
+    "treedoc-udis": lambda site: TreedocAdapter(site, mode="udis"),
+    "treedoc-sdis": lambda site: TreedocAdapter(site, mode="sdis"),
+    "logoot": lambda site: LogootDoc(site, seed=7),
+    "woot": WootDoc,
+    "rga": RgaDoc,
+}
+
+
+@pytest.fixture(params=sorted(FACTORIES))
+def factory(request):
+    return FACTORIES[request.param]
+
+
+class TestListSemantics:
+    def test_insert_delete_matches_list_oracle(self, factory):
+        doc = factory(1)
+        rng = random.Random(5)
+        model = []
+        for step in range(300):
+            if model and rng.random() < 0.35:
+                index = rng.randrange(len(model))
+                doc.delete(index)
+                model.pop(index)
+            else:
+                index = rng.randint(0, len(model))
+                doc.insert(index, f"a{step}")
+                model.insert(index, f"a{step}")
+            assert doc.atoms() == model, step
+
+    def test_text_join(self, factory):
+        doc = factory(1)
+        for i, c in enumerate("abc"):
+            doc.insert(i, c)
+        assert doc.text() == "abc"
+        assert len(doc) == 3
+
+    def test_out_of_range_rejected(self, factory):
+        doc = factory(1)
+        with pytest.raises(IndexError):
+            doc.insert(1, "x")
+        with pytest.raises(IndexError):
+            doc.delete(0)
+
+    def test_insert_run_semantics(self, factory):
+        doc = factory(1)
+        doc.insert_run(0, list("ad"))
+        doc.insert_run(1, list("bc"))
+        assert doc.text() == "abcd"
+
+
+class TestReplication:
+    def test_causal_replay_reproduces_source(self, factory):
+        source = factory(1)
+        ops = []
+        rng = random.Random(11)
+        for step in range(120):
+            if len(source) and rng.random() < 0.3:
+                ops.append(source.delete(rng.randrange(len(source))))
+            else:
+                ops.append(source.insert(rng.randint(0, len(source)), step))
+        replica = factory(2)
+        for op in ops:
+            replica.apply(op)
+        assert replica.atoms() == source.atoms()
+
+    def test_two_site_concurrent_convergence(self, factory):
+        rng = random.Random(23)
+        a, b = factory(1), factory(2)
+        exchange_rounds(a, b, rng, rounds=25)
+
+    def test_duplicate_insert_delivery_tolerated(self, factory):
+        source = factory(1)
+        op = source.insert(0, "x")
+        replica = factory(2)
+        replica.apply(op)
+        replica.apply(op)
+        assert replica.atoms() == ["x"]
+
+
+class TestConvergenceProperty:
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=12, deadline=None)
+    def test_random_schedules(self, name, seed):
+        rng = random.Random(seed)
+        make = FACTORIES[name]
+        a, b = make(1), make(2)
+        exchange_rounds(a, b, rng, rounds=8)
+
+
+class TestOverheadHooks:
+    def test_id_bits_and_element_counts_reported(self, factory):
+        doc = factory(1)
+        for i in range(10):
+            doc.insert(i, i)
+        assert doc.total_id_bits() > 0
+        assert doc.element_count() >= 10
+        doc.delete(0)
+        assert doc.element_count() >= 9

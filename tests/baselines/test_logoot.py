@@ -1,0 +1,123 @@
+"""Logoot-specific behaviour (section 5.3 comparator)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.logoot import (
+    BASE,
+    COMPONENT_BITS,
+    LogootDoc,
+    identifier_bits,
+)
+from repro.errors import ReproError
+
+
+class TestIdentifierGeneration:
+    def test_identifiers_sorted_and_unique(self):
+        doc = LogootDoc(1, seed=3)
+        rng = random.Random(3)
+        for step in range(400):
+            doc.insert(rng.randint(0, len(doc)), step)
+        ids = doc.identifiers()
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_between_neighbours_strictly(self):
+        doc = LogootDoc(1, seed=1)
+        doc.insert(0, "a")
+        doc.insert(1, "z")
+        for _ in range(60):
+            doc.insert(1, "m")  # hammer the same gap
+        ids = doc.identifiers()
+        assert ids == sorted(ids)
+
+    def test_digits_stay_in_base(self):
+        doc = LogootDoc(1, seed=2)
+        rng = random.Random(2)
+        for step in range(200):
+            doc.insert(rng.randint(0, len(doc)), step)
+        for ident in doc.identifiers():
+            assert all(0 <= component[0] < BASE for component in ident)
+
+    def test_hammering_one_gap_grows_layers(self):
+        # Repeated insertion into the same gap must eventually extend
+        # identifiers with additional layers ("otherwise it extends the
+        # identifier of the left position with an additional layer").
+        doc = LogootDoc(1, boundary=4, seed=1)
+        doc.insert(0, "a")
+        doc.insert(1, "z")
+        for _ in range(100):
+            doc.insert(1, "m")
+        assert doc.max_id_bits() > COMPONENT_BITS
+
+    def test_appends_stay_shallow(self):
+        doc = LogootDoc(1, seed=1)
+        for i in range(100):
+            doc.insert(i, i)
+        # Sequential appends should rarely need many layers.
+        assert doc.avg_id_bits() < 3 * COMPONENT_BITS
+
+
+class TestDeletes:
+    def test_delete_removes_immediately(self):
+        # Logoot keeps no tombstones.
+        doc = LogootDoc(1, seed=1)
+        for i in range(10):
+            doc.insert(i, i)
+        doc.delete(4)
+        assert doc.element_count() == 9
+        assert len(doc.atoms()) == 9
+
+    def test_remote_delete_idempotent(self):
+        source = LogootDoc(1, seed=1)
+        source.insert(0, "x")
+        op = source.delete(0)
+        replica = LogootDoc(2, seed=1)
+        replica.apply(op)  # delete of something never seen: no-op
+        assert replica.atoms() == []
+
+
+class TestConcurrentTies:
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_same_gap_concurrent_inserts_converge(self, seed):
+        rng = random.Random(seed)
+        a, b = LogootDoc(1, seed=seed), LogootDoc(2, seed=seed)
+        base_ops = [a.insert(i, c) for i, c in enumerate("xy")]
+        for op in base_ops:
+            b.apply(op)
+        ops_a = [a.insert(1, f"a{n}") for n in range(rng.randint(1, 4))]
+        ops_b = [b.insert(1, f"b{n}") for n in range(rng.randint(1, 4))]
+        for op in ops_b:
+            a.apply(op)
+        for op in ops_a:
+            b.apply(op)
+        assert a.atoms() == b.atoms()
+        ids = a.identifiers()
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+
+    def test_identifier_collision_detected(self):
+        doc = LogootDoc(1, seed=1)
+        op = doc.insert(0, "x")
+        from repro.baselines.logoot import LogootInsert
+
+        with pytest.raises(ReproError):
+            doc.apply(LogootInsert(op.ident, "different", 2))
+
+
+class TestSizing:
+    def test_component_is_ten_bytes(self):
+        assert COMPONENT_BITS == 80
+
+    def test_identifier_bits_linear_in_components(self):
+        doc = LogootDoc(1, seed=1)
+        doc.insert(0, "a")
+        ident = doc.identifiers()[0]
+        assert identifier_bits(ident) == len(ident) * 80
+
+    def test_boundary_must_be_positive(self):
+        with pytest.raises(ReproError):
+            LogootDoc(1, boundary=0)

@@ -1,0 +1,111 @@
+"""WOOT- and RGA-specific behaviour."""
+
+import random
+
+import pytest
+
+from repro.baselines.rga import RgaDoc, RgaInsert
+from repro.baselines.woot import WootDoc, WootInsert
+from repro.errors import ReproError
+
+
+class TestWoot:
+    def test_tombstones_accumulate_forever(self):
+        # "The data structure grows indefinitely, because there is no
+        # garbage collection or restructuring."
+        doc = WootDoc(1)
+        for i in range(20):
+            doc.insert(i, i)
+        for _ in range(20):
+            doc.delete(0)
+        assert doc.atoms() == []
+        assert doc.element_count() == 20
+        assert doc.tombstone_count() == 20
+
+    def test_intention_preserved_between_neighbours(self):
+        a, b = WootDoc(1), WootDoc(2)
+        base = [a.insert(i, c) for i, c in enumerate("ad")]
+        for op in base:
+            b.apply(op)
+        # concurrent inserts in the same gap
+        op_a = a.insert(1, "b")
+        op_b = b.insert(1, "c")
+        a.apply(op_b)
+        b.apply(op_a)
+        assert a.atoms() == b.atoms()
+        text = a.text()
+        assert text[0] == "a" and text[-1] == "d"
+        assert set(text[1:3]) == {"b", "c"}
+
+    def test_insert_requires_known_neighbours(self):
+        doc = WootDoc(1)
+        orphan = WootInsert((9, 1), "x", (9, 0), (9, 2), 9)
+        with pytest.raises(ReproError):
+            doc.apply(orphan)
+
+    def test_delete_of_unknown_char_rejected(self):
+        doc = WootDoc(1)
+        from repro.baselines.woot import WootDelete
+
+        with pytest.raises(ReproError):
+            doc.apply(WootDelete((9, 1), 9))
+
+    def test_three_way_concurrent_inserts_converge(self):
+        docs = [WootDoc(s) for s in (1, 2, 3)]
+        base = [docs[0].insert(i, c) for i, c in enumerate("xz")]
+        for doc in docs[1:]:
+            for op in base:
+                doc.apply(op)
+        ops = [doc.insert(1, f"m{doc.site}") for doc in docs]
+        for doc in docs:
+            for op in ops:
+                if op.origin != doc.site:
+                    doc.apply(op)
+        assert docs[0].atoms() == docs[1].atoms() == docs[2].atoms()
+
+
+class TestRga:
+    def test_tombstones_remain(self):
+        doc = RgaDoc(1)
+        for i in range(10):
+            doc.insert(i, i)
+        doc.delete(5)
+        assert doc.element_count() == 10
+        assert doc.tombstone_count() == 1
+
+    def test_concurrent_inserts_after_same_anchor(self):
+        a, b = RgaDoc(1), RgaDoc(2)
+        base = [a.insert(i, c) for i, c in enumerate("xz")]
+        for op in base:
+            b.apply(op)
+        op_a = a.insert(1, "A")
+        op_b = b.insert(1, "B")
+        a.apply(op_b)
+        b.apply(op_a)
+        assert a.atoms() == b.atoms()
+
+    def test_lamport_clock_observes_remote_timestamps(self):
+        a, b = RgaDoc(1), RgaDoc(2)
+        op = a.insert(0, "x")
+        b.apply(op)
+        # b's next insert must carry a timestamp above a's.
+        op_b = b.insert(1, "y")
+        assert op_b.rid[0] > op.rid[0]
+
+    def test_unknown_anchor_rejected(self):
+        doc = RgaDoc(1)
+        with pytest.raises(ReproError):
+            doc.apply(RgaInsert((5, 9), "x", (1, 9), 9))
+
+    def test_insert_after_deleted_anchor_still_works(self):
+        # Tombstones keep anchoring: a remote insert may reference an
+        # element that was deleted concurrently.
+        a, b = RgaDoc(1), RgaDoc(2)
+        ops = [a.insert(i, c) for i, c in enumerate("abc")]
+        for op in ops:
+            b.apply(op)
+        op_ins = a.insert(2, "X")       # anchored after "b"
+        op_del = b.delete(1)            # deletes "b" concurrently
+        a.apply(op_del)
+        b.apply(op_ins)
+        assert a.atoms() == b.atoms() == ["a", "X", "c"]

@@ -1,0 +1,106 @@
+"""Mixed tree/array storage (section 4.2)."""
+
+import pytest
+
+from repro.core.array_region import (
+    ARRAY_SLOT_BYTES,
+    MixedStorage,
+    find_array_regions,
+    storage_cost,
+)
+from repro.core.path import ROOT
+from repro.core.treedoc import Treedoc
+from repro.errors import TreeError
+from repro.metrics.overhead import NODE_RECORD_BYTES
+
+
+def _flattened_doc(n=40, tombstones=10):
+    doc = Treedoc(site=1, mode="sdis")
+    for i in range(n):
+        doc.insert(i, f"line {i}")
+    for _ in range(tombstones):
+        doc.delete(3)
+    doc.note_revision()
+    doc.flatten_local(ROOT)
+    return doc
+
+
+class TestFindRegions:
+    def test_flattened_document_is_one_region(self):
+        doc = _flattened_doc()
+        regions = find_array_regions(doc.tree)
+        assert len(regions) == 1
+        path, node = regions[0]
+        assert path == ROOT
+        assert node.live_count == 30
+
+    def test_active_document_has_no_regions_at_root(self):
+        doc = Treedoc(site=1, mode="sdis")
+        for i in range(20):
+            doc.insert(i, i)
+        doc.delete(5)  # tombstone blocks array representation
+        regions = find_array_regions(doc.tree)
+        # every atom is a mini-node (disambiguated), so nothing here is
+        # array-representable
+        assert regions == []
+
+    def test_mixed_document_finds_quiescent_subtrees(self):
+        doc = _flattened_doc()
+        doc.insert(3, "hot edit")  # creates a mini-node somewhere
+        regions = find_array_regions(doc.tree)
+        assert regions  # the untouched side remains an array region
+        assert all(path != ROOT for path, _ in regions)
+
+
+class TestMixedStorage:
+    def test_compact_and_read(self):
+        doc = _flattened_doc()
+        content = doc.atoms()
+        storage = MixedStorage(doc.tree)
+        assert storage.compact() == 1
+        assert storage.atoms() == content
+        assert len(storage.regions) == 1
+
+    def test_storage_cost_drops_to_near_array(self):
+        doc = _flattened_doc()
+        pure, mixed = storage_cost(doc.tree)
+        # A 30-atom flattened doc: tree form pays 26 B/node; array form
+        # pays one pointer per atom plus a tiny header.
+        assert pure >= 30 * NODE_RECORD_BYTES
+        assert mixed <= 30 * ARRAY_SLOT_BYTES + 50
+        assert mixed < pure / 4
+
+    def test_explode_on_demand_restores_tree_editing(self):
+        doc = _flattened_doc()
+        storage = MixedStorage(doc.tree)
+        storage.compact()
+        # An edit touching the region must explode it first.
+        target = doc.posid_at(7)
+        storage.ensure_tree_at(target)
+        assert storage.regions == []
+        doc.insert(7, "after explode")
+        assert "after explode" in [str(a) for a in doc.atoms()]
+        doc.check()
+
+    def test_bypassing_the_manager_is_detected(self):
+        doc = _flattened_doc()
+        storage = MixedStorage(doc.tree)
+        storage.compact()
+        doc.insert(0, "rogue edit")  # did not call ensure_tree_at
+        with pytest.raises(TreeError):
+            storage.explode_all()
+
+    def test_explode_is_deterministic_across_replicas(self):
+        a = _flattened_doc()
+        b = _flattened_doc()
+        for doc in (a, b):
+            storage = MixedStorage(doc.tree)
+            storage.compact()
+            storage.explode_all()
+        assert [repr(p) for p in a.posids()] == [repr(p) for p in b.posids()]
+
+    def test_compact_idempotent(self):
+        doc = _flattened_doc()
+        storage = MixedStorage(doc.tree)
+        assert storage.compact() == 1
+        assert storage.compact() == 0

@@ -1,0 +1,75 @@
+"""Disambiguator semantics (section 3.3)."""
+
+import pytest
+
+from repro.core.disambiguator import (
+    COUNTER_BITS,
+    SITE_ID_BITS,
+    DisambiguatorFactory,
+    Sdis,
+    Udis,
+)
+from repro.errors import EncodingError
+
+
+class TestUdisOrder:
+    def test_counter_dominates(self):
+        # (c1, s1) < (c2, s2) iff c1 < c2 ...
+        assert Udis(1, 9) < Udis(2, 0)
+
+    def test_site_breaks_counter_ties(self):
+        # ... or (c1 = c2 and s1 < s2)
+        assert Udis(3, 1) < Udis(3, 2)
+
+    def test_equal(self):
+        assert Udis(3, 1) == Udis(3, 1)
+        assert not Udis(3, 1) < Udis(3, 1)
+
+    def test_total_on_samples(self):
+        values = [Udis(c, s) for c in range(3) for s in range(3)]
+        ordered = sorted(values)
+        for left, right in zip(ordered, ordered[1:]):
+            assert left < right or left == right
+
+
+class TestSdisOrder:
+    def test_site_order(self):
+        assert Sdis(1) < Sdis(2)
+
+    def test_equality_is_site_identity(self):
+        assert Sdis(5) == Sdis(5)
+
+
+class TestSizes:
+    def test_udis_is_ten_bytes(self):
+        # Section 5: 6-byte site id + 4-byte counter.
+        assert Udis(0, 0).size_bits == COUNTER_BITS + SITE_ID_BITS == 80
+
+    def test_sdis_is_six_bytes(self):
+        assert Sdis(0).size_bits == SITE_ID_BITS == 48
+
+    def test_site_id_range_enforced(self):
+        with pytest.raises(EncodingError):
+            Sdis(1 << SITE_ID_BITS)
+        with pytest.raises(EncodingError):
+            Sdis(-1)
+
+    def test_counter_range_enforced(self):
+        with pytest.raises(EncodingError):
+            Udis(1 << COUNTER_BITS, 0)
+
+
+class TestFactory:
+    def test_udis_mints_unique_increasing(self):
+        factory = DisambiguatorFactory(site=4, mode="udis")
+        first, second, third = (factory.fresh() for _ in range(3))
+        assert first < second < third
+        assert len({first, second, third}) == 3
+
+    def test_sdis_mints_site_constant(self):
+        factory = DisambiguatorFactory(site=4, mode="sdis")
+        assert factory.fresh() == factory.fresh() == Sdis(4)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DisambiguatorFactory(site=1, mode="mac")

@@ -1,0 +1,103 @@
+"""On-disk format (section 5.2): round trips and overhead accounting."""
+
+import random
+
+from repro.core import disk
+from repro.core.path import ROOT
+from repro.core.treedoc import Treedoc
+
+
+def _same_document(a, b) -> bool:
+    return (
+        a.atoms() == b.atoms()
+        and [repr(p) for p in a.posids()] == [repr(p) for p in b.posids()]
+    )
+
+
+class TestRoundTrip:
+    def test_sequential_document(self):
+        doc = Treedoc(site=1, mode="udis")
+        for i in range(50):
+            doc.insert(i, f"line {i}")
+        image = disk.save(doc.tree)
+        loaded = disk.load(image)
+        assert _same_document(doc.tree, loaded)
+        loaded.check_invariants()
+
+    def test_document_with_tombstones(self):
+        doc = Treedoc(site=1, mode="sdis")
+        for i in range(30):
+            doc.insert(i, f"l{i}")
+        for _ in range(10):
+            doc.delete(3)
+        image = disk.save(doc.tree)
+        loaded = disk.load(image)
+        assert _same_document(doc.tree, loaded)
+        assert loaded.id_length == doc.tree.id_length  # tombstones kept
+
+    def test_document_with_mini_siblings(self):
+        a, b = Treedoc(site=1, mode="sdis"), Treedoc(site=2, mode="sdis")
+        for op in [a.insert(i, c) for i, c in enumerate("abcd")]:
+            b.apply(op)
+        op_a = a.insert(2, "X")
+        op_b = b.insert(2, "Y")
+        a.apply(op_b)
+        b.apply(op_a)
+        image = disk.save(a.tree)
+        loaded = disk.load(image)
+        assert _same_document(a.tree, loaded)
+
+    def test_mini_children_escape_records(self):
+        # Children of mini-nodes cannot live in the heap layout; the
+        # escape encoding must carry them.
+        a, b = Treedoc(site=1, mode="sdis"), Treedoc(site=2, mode="sdis")
+        for op in [a.insert(i, c) for i, c in enumerate("abcd")]:
+            b.apply(op)
+        op_a = a.insert(2, "X")
+        op_b = b.insert(2, "Y")
+        a.apply(op_b)
+        b.apply(op_a)
+        # insert between the two concurrent atoms: child of a mini-node
+        middle = min(a.text().index("X"), a.text().index("Y")) + 1
+        a.insert(middle, "Z")
+        image = disk.save(a.tree)
+        loaded = disk.load(image)
+        assert _same_document(a.tree, loaded)
+
+    def test_flattened_document_has_tiny_overhead(self):
+        doc = Treedoc(site=1, mode="sdis")
+        for i in range(100):
+            doc.insert(i, f"some line of text {i}")
+        for _ in range(30):
+            doc.delete(5)
+        doc.note_revision()
+        before, _ = disk.measure_on_disk(doc.tree)
+        doc.flatten_local(ROOT)
+        after, document = disk.measure_on_disk(doc.tree)
+        assert after < before
+        # In the best case a compacted Treedoc approaches the sequential
+        # array: structural bytes are a small fraction of the content.
+        assert after < document * 0.25
+
+    def test_empty_tree(self):
+        doc = Treedoc(site=1)
+        image = disk.save(doc.tree)
+        loaded = disk.load(image)
+        assert loaded.atoms() == []
+
+
+class TestRandomizedRoundTrip:
+    def test_random_histories(self):
+        rng = random.Random(99)
+        for mode in ("udis", "sdis"):
+            doc = Treedoc(site=1, mode=mode)
+            for step in range(200):
+                if len(doc) and rng.random() < 0.35:
+                    doc.delete(rng.randrange(len(doc)))
+                else:
+                    # The atom file stores text (atoms decode as str).
+                    doc.insert(rng.randint(0, len(doc)), f"atom-{step}")
+            image = disk.save(doc.tree)
+            loaded = disk.load(image)
+            assert _same_document(doc.tree, loaded), mode
+            loaded.check_invariants()

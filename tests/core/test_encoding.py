@@ -1,0 +1,113 @@
+"""Wire encoding: bit-level round trips and size accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core import encoding
+from repro.core.disambiguator import Sdis, Udis
+from repro.core.ops import DeleteOp, FlattenOp, InsertOp
+from repro.core.path import PathElement, PosID, ROOT
+from repro.errors import EncodingError
+from repro.util.bits import BitReader, BitWriter
+from tests.conftest import posid_strategy
+
+
+class TestBitPrimitives:
+    def test_bit_round_trip(self):
+        writer = BitWriter()
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1]
+        for bit in bits:
+            writer.write_bit(bit)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        assert [reader.read_bit() for _ in bits] == bits
+
+    @given(st.integers(0, 2**30), st.integers(31, 40))
+    def test_fixed_width_round_trip(self, value, width):
+        writer = BitWriter()
+        writer.write_bits(value, width)
+        assert BitReader(writer.getvalue()).read_bits(width) == value
+
+    @given(st.integers(1, 10_000))
+    def test_elias_gamma_round_trip(self, value):
+        writer = BitWriter()
+        writer.write_elias_gamma(value)
+        assert BitReader(writer.getvalue()).read_elias_gamma() == value
+
+    def test_value_too_wide_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(EncodingError):
+            writer.write_bits(4, 2)
+
+    def test_exhausted_stream_raises(self):
+        reader = BitReader(b"", 0)
+        with pytest.raises(EncodingError):
+            reader.read_bit()
+
+
+class TestPosidEncoding:
+    @given(posid_strategy)
+    @settings(max_examples=200)
+    def test_round_trip(self, posid):
+        data, bits = encoding.encode_posid(posid)
+        assert encoding.decode_posid(data, bits) == posid
+
+    def test_sdis_and_udis_disambiguators(self):
+        sdis_path = PosID([PathElement(1, Sdis(42))])
+        udis_path = PosID([PathElement(0, Udis(7, 42))])
+        for posid in (sdis_path, udis_path, ROOT):
+            data, bits = encoding.encode_posid(posid)
+            assert encoding.decode_posid(data, bits) == posid
+
+    def test_size_accounting_matches_posid_size_bits(self):
+        # The Table 1 metric (PosID.size_bits) must equal the wire
+        # format's element payload, excluding framing: the gamma length
+        # prefix and one UDIS/SDIS tag bit per disambiguator.
+        posid = PosID([PathElement(1, Sdis(3)), PathElement(0),
+                       PathElement(1, Udis(2, 5))])
+        _, framed_bits = encoding.encode_posid(posid)
+        length_prefix = BitWriter()
+        length_prefix.write_elias_gamma(posid.depth + 1)
+        dis_tags = sum(1 for e in posid if e.dis is not None)
+        assert (
+            framed_bits - length_prefix.bit_length - dis_tags
+            == posid.size_bits
+        )
+
+
+class TestOperationEncoding:
+    def _sample_ops(self):
+        posid = PosID([PathElement(1, Udis(3, 9)), PathElement(0)])
+        return [
+            InsertOp(posid, "hello world", 9),
+            DeleteOp(posid, 9),
+            FlattenOp(PosID([PathElement(1)]), "ab" * 32, 9),
+        ]
+
+    def test_round_trips(self):
+        for op in self._sample_ops():
+            data, bits = encoding.encode_operation(op)
+            back = encoding.decode_operation(data, bits)
+            assert back.kind == op.kind
+            assert back.origin == op.origin
+
+    def test_insert_carries_atom(self):
+        op = self._sample_ops()[0]
+        back = encoding.decode_operation(*encoding.encode_operation(op))
+        assert back.atom == "hello world"
+        assert back.posid == op.posid
+
+    def test_network_cost_dominated_by_posid_and_atom(self):
+        # Section 5.2: the network cost of an edit is a PosID plus, for
+        # inserts, the atom.
+        posid = PosID([PathElement(1, Sdis(1))])
+        insert_cost = encoding.operation_cost_bits(InsertOp(posid, "x" * 40, 1))
+        delete_cost = encoding.operation_cost_bits(DeleteOp(posid, 1))
+        assert insert_cost > delete_cost
+        assert insert_cost - delete_cost >= 40 * 8
+
+    def test_unicode_atom(self):
+        op = InsertOp(PosID([PathElement(1, Sdis(1))]), "héllo ⊕ wörld", 1)
+        back = encoding.decode_operation(*encoding.encode_operation(op))
+        assert back.atom == "héllo ⊕ wörld"

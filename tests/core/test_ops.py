@@ -1,0 +1,52 @@
+"""Operation records and the flatten content digest."""
+
+from repro.core.ops import DeleteOp, FlattenOp, InsertOp, content_digest
+from repro.core.path import PathElement, PosID
+from repro.core.disambiguator import Sdis
+
+
+def _posid():
+    return PosID([PathElement(1, Sdis(1))])
+
+
+class TestOperationRecords:
+    def test_kinds(self):
+        assert InsertOp(_posid(), "a", 1).kind == "insert"
+        assert DeleteOp(_posid(), 1).kind == "delete"
+        assert FlattenOp(_posid(), "d", 1).kind == "flatten"
+
+    def test_immutability(self):
+        op = InsertOp(_posid(), "a", 1)
+        try:
+            op.atom = "b"
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("operations must be immutable")
+
+    def test_equality(self):
+        assert InsertOp(_posid(), "a", 1) == InsertOp(_posid(), "a", 1)
+        assert DeleteOp(_posid(), 1) != DeleteOp(_posid(), 2)
+
+    def test_reprs_are_informative(self):
+        assert "insert" in repr(InsertOp(_posid(), "a", 1))
+        assert "delete" in repr(DeleteOp(_posid(), 1))
+        assert "flatten" in repr(FlattenOp(_posid(), "deadbeef", 1))
+
+
+class TestContentDigest:
+    def test_deterministic(self):
+        atoms = ("a", "b", "c")
+        assert content_digest(atoms) == content_digest(("a", "b", "c"))
+
+    def test_order_sensitive(self):
+        assert content_digest(("a", "b")) != content_digest(("b", "a"))
+
+    def test_boundary_sensitive(self):
+        # ("ab",) and ("a", "b") must digest differently: the length
+        # prefix prevents concatenation ambiguity.
+        assert content_digest(("ab",)) != content_digest(("a", "b"))
+
+    def test_empty(self):
+        assert content_digest(()) == content_digest(())
+        assert content_digest(()) != content_digest(("",))

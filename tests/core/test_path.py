@@ -1,0 +1,193 @@
+"""PosID order and structural relations (section 3.1)."""
+
+import pytest
+
+from repro.core.disambiguator import Sdis, Udis
+from repro.core.path import LEFT, RIGHT, PathElement, PosID, ROOT, parse_posid
+from repro.errors import PathError
+
+
+def pid(*elements) -> PosID:
+    """Terse PosID literal: ints are plain bits, pairs are (bit, site)."""
+    built = []
+    for element in elements:
+        if isinstance(element, tuple):
+            bit, site = element
+            built.append(PathElement(bit, Sdis(site)))
+        else:
+            built.append(PathElement(element))
+    return PosID(built)
+
+
+class TestBasicOrder:
+    def test_left_child_before_parent(self):
+        assert pid(0) < ROOT
+        assert pid((0, 3)) < ROOT
+
+    def test_right_child_after_parent(self):
+        assert ROOT < pid(1)
+        assert ROOT < pid((1, 3))
+
+    def test_infix_of_figure_1(self):
+        # Figure 1: "abcdef" in a tree: a=[00], b=[0], c=[01], d=[],
+        # e=[10], f=[1] — wait, the figure's exact shape varies; check
+        # the infix law instead: left-subtree < node < right-subtree.
+        node = pid(1, 0)
+        assert pid(1, 0, 0) < node < pid(1, 0, 1)
+
+    def test_bit_order_dominates(self):
+        assert pid(0, 1, 1, 1) < pid(1, 0, 0, 0)
+
+    def test_mini_siblings_order_by_disambiguator(self):
+        assert pid(1, (0, 1)) < pid(1, (0, 2))
+
+    def test_paper_rule_zero_before_disambiguated(self):
+        # 0 < (0:d) and 0 < (1:d) when the plain path ends there.
+        assert pid(0) < pid((0, 5))
+        assert pid(0) < pid((1, 5))
+
+    def test_disambiguated_vs_plain_one(self):
+        # (0:d) < 1 holds as in the paper. For (1:d) vs a plain path
+        # *ending* in 1 we deviate (DESIGN.md 3.1): the plain atom of a
+        # node precedes its mini-nodes, so [1] < [(1:d)]; the paper's
+        # literal rule would break Algorithm 1's rules 5/7. The pair is
+        # unreachable under the allocation discipline either way.
+        assert pid((0, 5)) < pid(1)
+        assert pid(1) < pid((1, 5))
+        # A plain path *continuing* right does follow the mini-node:
+        assert pid((1, 5)) < pid(1, 1)
+
+
+class TestMixedPlainDisambiguated:
+    """The refined same-bit plain-vs-disambiguated order (DESIGN 3.1)."""
+
+    def test_plain_left_descent_precedes_mini_subtree(self):
+        # Major node's left child subtree < any mini-node content.
+        assert pid(0, 0) < pid((0, 1))
+        assert pid(0, 0) < pid((0, 1), (1, 2))
+
+    def test_plain_right_descent_follows_mini_subtree(self):
+        # Major node's right child subtree > any mini-node content,
+        # which is what makes rules 5/7's stripping sound.
+        assert pid((0, 1)) < pid(0, 1)
+        assert pid((0, 1), (1, 2)) < pid(0, 1)
+
+    def test_rule4_betweenness_with_mini_child(self):
+        # p = mini W; f = W's mini child X (a rule 6 output). Inserting
+        # between them via rule 4 strips X's final disambiguator: the new
+        # identifier [.. (0:W) 1 (0:d)] names a mini under the *major*
+        # left child of X's position node and must land strictly between
+        # W and X. (Under the paper's literal element order it would land
+        # after X — the deviation DESIGN.md 3.1 documents.)
+        w = pid(1, 0, (0, 1))
+        x = pid(1, 0, (0, 1), (1, 2))
+        new = pid(1, 0, (0, 1), 1, (0, 3))
+        assert w < x
+        assert w < new < x
+        # Appending after X (rule 7, stripped) lands after it:
+        after = pid(1, 0, (0, 1), 1, (1, 3))
+        assert x < after
+
+    def test_section_3_2_scenario_through_the_api(self):
+        # The paper's worked example (Y between c and d, W concurrent
+        # with Y, X between W and Y) — replayed through the real
+        # allocator. The concrete identifiers differ from Figure 3's
+        # (DESIGN.md 3.1: the figure's shape relies on an element order
+        # that contradicts Algorithm 1), but the *document orders* the
+        # example demonstrates must all hold.
+        from repro.core.treedoc import Treedoc
+
+        site_a, site_b = Treedoc(site=1, mode="sdis"), Treedoc(site=2, mode="sdis")
+        for index, atom in enumerate("abcdef"):
+            op = site_a.insert(index, atom)
+            site_b.apply(op)
+        # Concurrently: A inserts Y between c and d, B inserts W there.
+        op_y = site_a.insert(3, "Y")
+        op_w = site_b.insert(3, "W")
+        site_a.apply(op_w)
+        site_b.apply(op_y)
+        assert site_a.text() == site_b.text()
+        assert set(site_a.text()[3:5]) == {"W", "Y"}
+        # Then X between W and Y (wherever they converged).
+        first = site_a.text().index("W") if site_a.text().index("W") < site_a.text().index("Y") else site_a.text().index("Y")
+        op_x = site_a.insert(first + 1, "X")
+        site_b.apply(op_x)
+        assert site_a.text() == site_b.text()
+        middle = site_a.text()[3:6]
+        assert middle in ("WXY", "YXW")
+
+
+class TestOrderLaws:
+    def test_equality_is_element_equality(self):
+        assert pid(1, (0, 2)) == pid(1, (0, 2))
+        assert pid(1, (0, 2)) != pid(1, (0, 3))
+        assert pid(1) != pid((1, 1))
+
+    def test_hashable_consistent_with_eq(self):
+        assert hash(pid(1, 0)) == hash(pid(1, 0))
+        assert len({pid(1, 0), pid(1, 0), pid(0)}) == 2
+
+
+class TestStructuralRelations:
+    def test_prefix(self):
+        assert pid(1).is_prefix_of(pid(1, 0))
+        assert not pid(1).is_prefix_of(pid(1))
+        assert not pid((1, 2)).is_prefix_of(pid(1, 0))
+
+    def test_ancestor_loose_final_element(self):
+        # The paper's worked example: c = [(1:dC)] is an ancestor of
+        # d = [1 (0:dD)] — the final disambiguator matches loosely.
+        assert pid((1, 3)).is_ancestor_of(pid(1, (0, 4)))
+        assert pid(1).is_ancestor_of(pid((1, 3), (0, 4)))
+
+    def test_ancestor_interior_elements_strict(self):
+        # A different interior disambiguator is a different subtree, and
+        # an interior disambiguated route (through a mini-node's child)
+        # is distinct from the plain route through the major node.
+        assert not pid((1, 3), (0, 4)).is_ancestor_of(pid(1, (0, 5), 1))
+        assert not pid((1, 3), (0, 4)).is_ancestor_of(pid(1, (0, 4), 1))
+        assert pid((1, 3), (0, 4)).is_ancestor_of(pid((1, 3), (0, 4), 1))
+        assert pid((1, 3), (0, 4)).is_ancestor_of(pid((1, 3), 0, (1, 5)))
+
+    def test_mini_siblings(self):
+        assert pid(1, (0, 1)).is_mini_sibling_of(pid(1, (0, 2)))
+        assert not pid(1, (0, 1)).is_mini_sibling_of(pid(1, (0, 1)))
+        assert not pid(1, (0, 1)).is_mini_sibling_of(pid(1, (1, 2)))
+        assert not pid(1, (0, 1)).is_mini_sibling_of(pid(0, (0, 2)))
+
+
+class TestSizes:
+    def test_size_bits_counts_elements_and_disambiguators(self):
+        # 2 bits per element + 48 per SDIS.
+        assert pid(1, 0).size_bits == 4
+        assert pid(1, (0, 1)).size_bits == 4 + 48
+        udis_path = PosID([PathElement(1, Udis(0, 1))])
+        assert udis_path.size_bits == 2 + 80
+
+
+class TestConstruction:
+    def test_from_bits(self):
+        assert pid(1, 0, (1, 4)) == PosID.from_bits([1, 0, 1], Sdis(4))
+
+    def test_with_last_plain(self):
+        assert pid(1, (0, 4)).with_last_plain() == pid(1, 0)
+
+    def test_child(self):
+        assert ROOT.child(RIGHT, Sdis(2)) == pid((1, 2))
+
+    def test_empty_path_guards(self):
+        with pytest.raises(PathError):
+            ROOT.with_last_plain()
+        with pytest.raises(PathError):
+            _ = ROOT.last
+        with pytest.raises(PathError):
+            _ = ROOT.parent
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(PathError):
+            PathElement(2)
+
+    def test_parse_round_trip(self):
+        for posid in (ROOT, pid(1, 0), pid(1, (0, 3)),
+                      PosID([PathElement(0, Udis(2, 7)), PathElement(1)])):
+            assert parse_posid(repr(posid)) == posid

@@ -1,0 +1,138 @@
+"""The editor buffer: text API and identifier-anchored cursors."""
+
+import pytest
+
+from repro.editor.buffer import EditorBuffer
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def buffer() -> EditorBuffer:
+    buf = EditorBuffer(site=1)
+    buf.insert_text(0, "hello world\nsecond line\n")
+    return buf
+
+
+class TestTextApi:
+    def test_text_and_len(self, buffer):
+        assert buffer.text() == "hello world\nsecond line\n"
+        assert len(buffer) == 24
+
+    def test_insert_text_returns_ops(self, buffer):
+        ops = buffer.insert_text(5, ", big")
+        assert len(ops) == 5
+        assert buffer.text().startswith("hello, big world")
+
+    def test_delete_range(self, buffer):
+        buffer.delete_range(5, 11)
+        assert buffer.text().startswith("hello\n")
+
+    def test_replace_range_is_delete_plus_insert(self, buffer):
+        ops = buffer.replace_range(0, 5, "howdy")
+        kinds = [op.kind for op in ops]
+        assert kinds == ["delete"] * 5 + ["insert"] * 5
+        assert buffer.text().startswith("howdy world")
+
+    def test_lines_and_line_start(self, buffer):
+        assert buffer.lines() == ["hello world", "second line", ""]
+        assert buffer.line_start(1) == 12
+        with pytest.raises(IndexError):
+            buffer.line_start(5)
+
+    def test_insert_line(self, buffer):
+        buffer.insert_line(1, "inserted line")
+        assert buffer.lines()[1] == "inserted line"
+
+    def test_insert_line_rejects_embedded_newline(self, buffer):
+        with pytest.raises(ReproError):
+            buffer.insert_line(0, "two\nlines")
+
+    def test_range_checks(self, buffer):
+        with pytest.raises(IndexError):
+            buffer.insert_text(1000, "x")
+        with pytest.raises(IndexError):
+            buffer.delete_range(5, 3)
+
+
+class TestReplication:
+    def test_remote_ops_replay(self, buffer):
+        replica = EditorBuffer(site=2)
+        source = EditorBuffer(site=1)
+        ops = source.insert_text(0, "shared")
+        ops += source.delete_range(0, 1)
+        replica.apply_all(ops)
+        assert replica.text() == source.text() == "hared"
+
+    def test_concurrent_editing_converges(self):
+        a, b = EditorBuffer(site=1), EditorBuffer(site=2)
+        for op in a.insert_text(0, "the fox"):
+            b.apply(op)
+        ops_a = a.insert_text(4, "quick ")
+        ops_b = b.insert_text(3, " brown")
+        a.apply_all(ops_b)
+        b.apply_all(ops_a)
+        assert a.text() == b.text()
+        assert "quick" in a.text() and "brown" in a.text()
+
+
+class TestCursors:
+    def test_cursor_offset_roundtrip(self, buffer):
+        cursor = buffer.cursor(6)
+        assert cursor.offset == 6
+        cursor.move_to(0)
+        assert cursor.offset == 0
+        end = buffer.cursor(len(buffer))
+        assert end.offset == len(buffer)
+
+    def test_cursor_tracks_remote_insert_before_it(self, buffer):
+        cursor = buffer.cursor(6)  # before "world"
+        remote = EditorBuffer(site=2)
+        remote.apply_all(
+            EditorBuffer(site=3).insert_text(0, "")
+        )  # no-op replica setup
+        ops = EditorBuffer(site=2)
+        # simulate a remote edit: another buffer with same state
+        other = EditorBuffer(site=2)
+        other.apply_all(buffer.insert_text(0, ""))  # nothing
+        # do the real remote insert via a second replica of this buffer:
+        ops = buffer.insert_text(0, ">>> ")
+        assert cursor.offset == 10
+        assert buffer.text()[cursor.offset:cursor.offset + 5] == "world"
+        del ops
+
+    def test_cursor_static_for_edit_after_it(self, buffer):
+        cursor = buffer.cursor(5)
+        buffer.insert_text(11, "!!!")
+        assert cursor.offset == 5
+
+    def test_typing_at_cursor_advances_past_text(self, buffer):
+        cursor = buffer.cursor(5)
+        buffer.type_at(cursor, ", big")
+        assert buffer.text().startswith("hello, big world")
+        assert cursor.offset == 10  # still anchored before " world"
+
+    def test_backspace(self, buffer):
+        cursor = buffer.cursor(5)
+        buffer.backspace_at(cursor)
+        assert buffer.text().startswith("hell world")
+        home = buffer.cursor(0)
+        assert buffer.backspace_at(home) == []
+
+    def test_cursor_survives_anchor_deletion(self, buffer):
+        cursor = buffer.cursor(6)  # anchored at 'w'
+        buffer.delete_range(6, 8)  # deletes 'wo'
+        # The cursor falls to the next surviving atom.
+        assert buffer.text()[cursor.offset] == "r"
+
+    def test_cursor_at_end_stays_at_end(self, buffer):
+        cursor = buffer.cursor(len(buffer))
+        buffer.insert_text(0, "prefix ")
+        assert cursor.offset == len(buffer)
+
+    def test_cursor_rank_matches_posids_everywhere(self, buffer):
+        # The O(depth) rank query must agree with a linear scan.
+        buffer.insert_text(3, "xyz")
+        buffer.delete_range(10, 12)
+        for offset in range(len(buffer) + 1):
+            cursor = buffer.cursor(offset)
+            assert cursor.offset == offset, offset

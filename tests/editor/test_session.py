@@ -1,0 +1,78 @@
+"""Multi-user editing sessions (the paper's target application)."""
+
+import random
+
+import pytest
+
+from repro.editor import SharedDocument
+from repro.errors import ReplicationError
+from repro.replication.network import NetworkConfig
+
+
+class TestSharedDocument:
+    def test_two_users_converge(self):
+        doc = SharedDocument(2, seed=1)
+        doc[1].type(0, "hello")
+        doc.sync()
+        doc[2].type(5, " world")
+        doc.sync()
+        assert doc.assert_converged() == "hello world"
+
+    def test_concurrent_typing_converges(self):
+        doc = SharedDocument(3, seed=2)
+        doc[1].type(0, "base text here")
+        doc.sync()
+        doc[1].type(4, " ALPHA")
+        doc[2].type(9, " BETA")
+        doc[3].erase(0, 4)
+        doc.sync()
+        text = doc.assert_converged()
+        assert "ALPHA" in text and "BETA" in text
+
+    def test_lossy_network_session(self):
+        doc = SharedDocument(
+            4, seed=3,
+            config=NetworkConfig(drop_rate=0.25, duplicate_rate=0.1),
+        )
+        doc[1].type(0, "collaborative editing over a bad network")
+        doc.sync()
+        rng = random.Random(3)
+        for round_number in range(10):
+            for user in doc:
+                text_length = len(user.text())
+                if text_length > 10 and rng.random() < 0.4:
+                    start = rng.randrange(text_length - 3)
+                    user.erase(start, start + 2)
+                else:
+                    user.type(rng.randint(0, text_length),
+                              f"[{user.site}.{round_number}]")
+        doc.sync()
+        doc.assert_converged()
+
+    def test_cursor_stability_across_users(self):
+        doc = SharedDocument(2, seed=4)
+        doc[1].type(0, "the fox jumps")
+        doc.sync()
+        cursor = doc[2].cursor(4, "bob")  # before "fox"
+        doc[1].type(0, "watch: ")
+        doc.sync()
+        assert doc[2].text()[cursor.offset:cursor.offset + 3] == "fox"
+        doc[2].type_at(cursor, "quick ")
+        doc.sync()
+        assert doc.assert_converged() == "watch: the quick fox jumps"
+
+    def test_divergence_reported(self):
+        doc = SharedDocument(2, seed=5)
+        doc[1].type(0, "x")  # not synced
+        with pytest.raises(ReplicationError):
+            doc.assert_converged()
+        doc.sync()
+        doc.assert_converged()
+
+    def test_replace_propagates_as_modify(self):
+        doc = SharedDocument(2, seed=6)
+        doc[1].type(0, "colour")
+        doc.sync()
+        doc[2].replace(0, 6, "color")
+        doc.sync()
+        assert doc.assert_converged() == "color"

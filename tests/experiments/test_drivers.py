@@ -1,0 +1,97 @@
+"""Experiment drivers: structure and headline shapes on a fast corpus.
+
+The full corpora run in the benchmarks; here each driver is exercised on
+the smallest documents (or trimmed grids) so the test suite stays fast,
+and the paper's qualitative findings are asserted where they are stable.
+"""
+
+import pytest
+
+from repro.experiments import figure6, table1, table2, table3, table4, table5
+from repro.experiments.common import history_for, run_document
+from repro.workloads.corpus import document_spec
+
+FAST_DOC = document_spec("acf.tex")
+SEED = 11
+
+
+class TestRunDocument:
+    def test_measurements_present(self):
+        run = run_document(FAST_DOC, mode="sdis", flatten_every=2, seed=SEED)
+        assert run.stats.live_atoms == FAST_DOC.final_atoms
+        assert run.replay.flattens > 0
+        assert run.stats.disk_overhead_bytes > 0
+
+    def test_history_cache_reuses(self):
+        a = history_for(FAST_DOC, SEED)
+        b = history_for(FAST_DOC, SEED)
+        assert a is b
+
+
+class TestTableShapes:
+    def test_table1_rows_for_one_document(self):
+        rows = table1.run(seed=SEED, documents=[FAST_DOC])
+        assert [r.flatten for r in rows] == ["no", "2", "8"]
+        no_flatten, flatten2, flatten8 = rows
+        # Flattening shrinks everything (Table 1's headline).
+        assert flatten2.nodes < no_flatten.nodes
+        assert flatten2.avg_posid_bits < no_flatten.avg_posid_bits
+        assert flatten2.disk_overhead_bytes < no_flatten.disk_overhead_bytes
+        assert flatten2.non_tombstone_pct > no_flatten.non_tombstone_pct
+        rendered = table1.render(rows)
+        assert "acf.tex" in rendered
+
+    def test_table2_summary(self):
+        rows = table2.run(seed=SEED)
+        labels = [r.label for r in rows]
+        assert labels == ["average", "less active", "most active"]
+        less, most = rows[1], rows[2]
+        assert most.revisions == 870 and less.revisions == 51
+        assert "Table 2" in table2.render(rows)
+
+    def test_table5_ratio_structure(self):
+        # One document suffices for the smoke check; Logoot pays more.
+        from repro.baselines.logoot import LogootDoc
+        from repro.workloads.replay import replay_into
+
+        history = history_for(FAST_DOC, SEED)
+        logoot = LogootDoc(site=1, seed=SEED)
+        replay_into(logoot, history)
+        treedoc = run_document(FAST_DOC, mode="udis", seed=SEED,
+                               with_disk=False)
+        assert logoot.total_id_bits() > treedoc.stats.total_posid_bits
+
+    def test_figure6_samples_and_drops(self):
+        samples = figure6.run(seed=SEED, flatten_every=2)
+        assert len(samples) == FAST_DOC.revisions
+        totals = [s.total_nodes for s in samples]
+        assert max(totals) > totals[0]
+        # flatten events appear as drops of the total curve
+        assert any(b < a for a, b in zip(totals, totals[1:]))
+        assert all(
+            s.non_tombstone_nodes <= s.total_nodes for s in samples
+        )
+        rendered = figure6.render(samples)
+        assert "Figure 6" in rendered
+
+
+@pytest.mark.slow
+class TestFullGridShapes:
+    """The complete grids (minutes, exercised by the benchmarks too)."""
+
+    def test_table3_ordering(self):
+        rows = table3.run(seed=SEED)
+        no_flatten, flatten8, flatten2 = rows
+        for attribute in ("tombstone_pct_unbalanced", "tombstone_pct_balanced"):
+            assert getattr(flatten2, attribute) < getattr(flatten8, attribute)
+            assert getattr(flatten8, attribute) < getattr(no_flatten, attribute)
+
+    def test_table4_udis_wins_without_flatten(self):
+        rows = table4.run(seed=SEED)
+        no_flatten = rows[0]
+        for balanced in (False, True):
+            sdis = no_flatten.cells[(balanced, "sdis")]
+            udis = no_flatten.cells[(balanced, "udis")]
+            # UDIS costs more per identifier but less in total.
+            assert udis.avg_posid_bits > sdis.avg_posid_bits
+            assert udis.overhead_per_atom_bits < sdis.overhead_per_atom_bits

@@ -1,0 +1,91 @@
+"""Overhead measurements (the Table 1 instrumentation)."""
+
+from repro.core.path import ROOT
+from repro.core.treedoc import Treedoc
+from repro.metrics.overhead import NODE_RECORD_BYTES, measure_tree
+from repro.metrics.report import Table
+
+
+def _doc_with_churn(mode="sdis"):
+    doc = Treedoc(site=1, mode=mode)
+    for i in range(40):
+        doc.insert(i, f"line of text number {i}")
+    for _ in range(15):
+        doc.delete(3)
+    return doc
+
+
+class TestMeasureTree:
+    def test_counts(self):
+        doc = _doc_with_churn("sdis")
+        stats = measure_tree(doc.tree)
+        assert stats.live_atoms == 25
+        assert stats.tombstones == 15
+        assert stats.used_ids == 40
+        assert stats.nodes >= stats.used_ids
+
+    def test_udis_has_fewer_nodes_than_sdis(self):
+        sdis = measure_tree(_doc_with_churn("sdis").tree)
+        udis = measure_tree(_doc_with_churn("udis").tree)
+        assert udis.nodes < sdis.nodes
+        assert udis.tombstones == 0
+
+    def test_memory_model_is_26_bytes_per_node(self):
+        stats = measure_tree(_doc_with_churn().tree)
+        assert NODE_RECORD_BYTES == 26
+        assert stats.memory_overhead_bytes == stats.nodes * 26
+        assert stats.memory_overhead_ratio > 0
+
+    def test_posid_bits_consistent(self):
+        doc = _doc_with_churn()
+        stats = measure_tree(doc.tree)
+        assert stats.max_posid_bits == max(stats.posid_bits)
+        assert abs(
+            stats.avg_posid_bits - sum(stats.posid_bits) / len(stats.posid_bits)
+        ) < 1e-9
+        assert stats.total_posid_bits == sum(stats.posid_bits)
+
+    def test_tombstone_fraction_bounds(self):
+        stats = measure_tree(_doc_with_churn().tree)
+        assert 0.0 < stats.tombstone_fraction < 1.0
+        assert abs(
+            stats.tombstone_fraction + stats.non_tombstone_fraction - 1.0
+        ) < 1e-9
+
+    def test_flatten_zeroes_the_overheads(self):
+        doc = _doc_with_churn()
+        before = measure_tree(doc.tree)
+        doc.note_revision()
+        doc.flatten_local(ROOT)
+        after = measure_tree(doc.tree)
+        assert after.tombstones == 0
+        assert after.nodes < before.nodes
+        assert after.avg_posid_bits < before.avg_posid_bits
+        assert after.disk_overhead_bytes < before.disk_overhead_bytes
+
+    def test_overhead_per_atom_counts_tombstone_ids(self):
+        # SDIS pays for tombstoned identifiers; the per-atom overhead
+        # amortizes them over visible atoms (Table 4).
+        stats = measure_tree(_doc_with_churn("sdis").tree)
+        assert stats.overhead_per_atom_bits > stats.avg_posid_bits
+
+    def test_empty_tree(self):
+        stats = measure_tree(Treedoc(site=1).tree)
+        assert stats.live_atoms == 0
+        assert stats.nodes == 0
+        assert stats.avg_posid_bits == 0.0
+
+
+class TestReportTable:
+    def test_render_aligns_columns(self):
+        table = Table("T", ("a", "longheader"))
+        table.add_row("x", 1.5)
+        rendered = table.render()
+        assert "T" in rendered and "longheader" in rendered and "1.50" in rendered
+
+    def test_row_width_checked(self):
+        import pytest
+
+        table = Table("T", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row("only-one")

@@ -1,0 +1,70 @@
+"""Vector and Lamport clock algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.replication.clock import LamportClock, VectorClock
+
+clock_strategy = st.dictionaries(
+    st.integers(0, 4), st.integers(1, 10), max_size=5
+).map(VectorClock)
+
+
+class TestVectorClock:
+    def test_tick_increments_only_own_component(self):
+        clock = VectorClock().tick(1).tick(1).tick(2)
+        assert clock.get(1) == 2
+        assert clock.get(2) == 1
+        assert clock.get(3) == 0
+
+    def test_merge_is_componentwise_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({2: 4, 3: 2})
+        merged = a.merge(b)
+        assert (merged.get(1), merged.get(2), merged.get(3)) == (3, 4, 2)
+
+    def test_dominates_and_concurrency(self):
+        base = VectorClock({1: 1})
+        later = base.tick(1).tick(2)
+        assert later.dominates(base)
+        assert later.strictly_dominates(base)
+        assert not base.dominates(later)
+        other = base.tick(3)
+        assert later.concurrent_with(other)
+
+    def test_equality_ignores_zero_components(self):
+        assert VectorClock({1: 2, 3: 0}) == VectorClock({1: 2})
+        assert hash(VectorClock({1: 2, 3: 0})) == hash(VectorClock({1: 2}))
+
+    def test_immutability_of_operations(self):
+        base = VectorClock({1: 1})
+        base.tick(1)
+        base.merge(VectorClock({2: 5}))
+        assert base.get(1) == 1 and base.get(2) == 0
+
+    @given(clock_strategy, clock_strategy)
+    def test_merge_dominates_both(self, a, b):
+        merged = a.merge(b)
+        assert merged.dominates(a) and merged.dominates(b)
+
+    @given(clock_strategy, clock_strategy)
+    def test_dominance_antisymmetric_up_to_equality(self, a, b):
+        if a.dominates(b) and b.dominates(a):
+            assert a == b
+
+    @given(clock_strategy, clock_strategy, clock_strategy)
+    def test_dominance_transitive(self, a, b, c):
+        if a.dominates(b) and b.dominates(c):
+            assert a.dominates(c)
+
+
+class TestLamportClock:
+    def test_tick_monotonic(self):
+        clock = LamportClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_observe_jumps_past_remote(self):
+        clock = LamportClock(3)
+        assert clock.observe(10) == 11
+        assert clock.observe(2) == 12

@@ -1,0 +1,105 @@
+"""Cluster integration: multi-site editing under adverse conditions."""
+
+import random
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.replication.cluster import Cluster
+from repro.replication.network import NetworkConfig
+
+
+def _random_edits(cluster, rng, rounds, settle_every=None):
+    for round_number in range(rounds):
+        for site in cluster:
+            for _ in range(rng.randint(0, 2)):
+                if len(site) and rng.random() < 0.3:
+                    site.delete(rng.randrange(len(site)))
+                else:
+                    site.insert(
+                        rng.randint(0, len(site)),
+                        f"s{site.site}r{round_number}",
+                    )
+        if settle_every and round_number % settle_every == 0:
+            cluster.settle()
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("mode", ["udis", "sdis"])
+    @pytest.mark.parametrize("n_sites", [2, 3, 5])
+    def test_concurrent_editing_converges(self, mode, n_sites):
+        cluster = Cluster(n_sites, mode=mode, seed=n_sites)
+        cluster.bootstrap(list("seed text here"))
+        _random_edits(cluster, random.Random(n_sites), rounds=15)
+        cluster.settle()
+        cluster.assert_converged()
+
+    def test_convergence_under_loss_reordering_duplication(self):
+        cluster = Cluster(
+            4, mode="sdis",
+            config=NetworkConfig(
+                drop_rate=0.25, duplicate_rate=0.15,
+                min_latency=1, max_latency=300,
+            ),
+            seed=42,
+        )
+        cluster.bootstrap(list("abcdef"))
+        _random_edits(cluster, random.Random(42), rounds=20)
+        cluster.settle()
+        content = cluster.assert_converged()
+        assert content  # something survived
+
+    def test_partition_diverges_then_heals(self):
+        cluster = Cluster(4, mode="udis", seed=8)
+        cluster.bootstrap(list("common"))
+        cluster.partition({1, 2}, {3, 4})
+        cluster[1].insert(0, "L")
+        cluster[3].insert(0, "R")
+        cluster.settle()
+        left = cluster[1].atoms()
+        right = cluster[3].atoms()
+        assert left != right  # partitions diverge
+        assert cluster[2].atoms() == left  # intra-group replication works
+        assert cluster[4].atoms() == right
+        cluster.heal()
+        cluster.settle()
+        cluster.assert_converged()
+
+    def test_offline_site_catches_up(self):
+        cluster = Cluster(3, mode="sdis", seed=4)
+        cluster.bootstrap(list("abc"))
+        cluster.partition({3})
+        rng = random.Random(4)
+        for _ in range(10):
+            cluster[1].insert(rng.randint(0, len(cluster[1])), "x")
+            cluster[2].insert(rng.randint(0, len(cluster[2])), "y")
+        cluster.settle()
+        assert len(cluster[3]) == 3  # unchanged while isolated
+        cluster.heal()
+        cluster.settle()
+        cluster.assert_converged()
+        assert len(cluster[3]) == 23
+
+    def test_assert_converged_requires_quiescence(self):
+        cluster = Cluster(2, seed=1)
+        cluster[1].insert(0, "a")
+        with pytest.raises(ReplicationError):
+            cluster.assert_converged()
+        cluster.settle()
+        cluster.assert_converged()
+
+    def test_minimum_cluster_size(self):
+        with pytest.raises(ReplicationError):
+            Cluster(0)
+
+
+class TestOptimisticLocalEdits:
+    def test_local_edit_visible_immediately(self):
+        # "Common edit operations execute optimistically, with no
+        # latency; replicas synchronise only in the background."
+        cluster = Cluster(2, seed=1)
+        cluster[1].insert(0, "now")
+        assert cluster[1].atoms() == ["now"]
+        assert cluster[2].atoms() == []
+        cluster.settle()
+        assert cluster[2].atoms() == ["now"]

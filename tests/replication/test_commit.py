@@ -1,0 +1,165 @@
+"""The flatten commitment protocol (section 4.2.1)."""
+
+import pytest
+
+from repro.core.path import PosID, ROOT
+from repro.errors import CommitError
+from repro.replication.cluster import Cluster
+from repro.replication.commit import (
+    CommitDecision,
+    FlattenCoordinator,
+    RegionLockTable,
+    VoteMsg,
+    paths_overlap,
+)
+from repro.replication.site import RegionLockedError
+
+
+class TestCoordinatorStateMachine:
+    def _coordinator(self, participants, outcomes):
+        return FlattenCoordinator(
+            "t1", ROOT, participants,
+            on_commit=lambda: outcomes.append("commit"),
+            on_abort=lambda: outcomes.append("abort"),
+        )
+
+    def test_unanimous_yes_commits(self):
+        outcomes = []
+        coordinator = self._coordinator({2, 3}, outcomes)
+        coordinator.on_vote(VoteMsg("t1", 2, True))
+        assert coordinator.decision is CommitDecision.PENDING
+        coordinator.on_vote(VoteMsg("t1", 3, True))
+        assert coordinator.decision is CommitDecision.COMMITTED
+        assert outcomes == ["commit"]
+
+    def test_single_no_aborts_immediately(self):
+        outcomes = []
+        coordinator = self._coordinator({2, 3}, outcomes)
+        coordinator.on_vote(VoteMsg("t1", 2, False))
+        assert coordinator.decision is CommitDecision.ABORTED
+        assert outcomes == ["abort"]
+        # late yes is ignored
+        coordinator.on_vote(VoteMsg("t1", 3, True))
+        assert outcomes == ["abort"]
+
+    def test_non_participant_vote_rejected(self):
+        coordinator = self._coordinator({2}, [])
+        with pytest.raises(CommitError):
+            coordinator.on_vote(VoteMsg("t1", 9, True))
+
+    def test_decide_alone(self):
+        outcomes = []
+        coordinator = self._coordinator(set(), outcomes)
+        coordinator.decide_alone()
+        assert coordinator.decision is CommitDecision.COMMITTED
+
+
+class TestRegionLocks:
+    def test_overlap_is_prefix_relation(self):
+        assert paths_overlap((), (1, 0))
+        assert paths_overlap((1, 0), (1,))
+        assert paths_overlap((1, 0), (1, 0, 1))
+        assert not paths_overlap((1, 0), (1, 1))
+
+    def test_lock_table(self):
+        table = RegionLockTable()
+        table.lock("t1", PosID.from_bits([1, 0]))
+        assert table.is_locked((1, 0, 1))
+        assert table.is_locked((1,))
+        assert not table.is_locked((0,))
+        table.unlock("t1")
+        assert not table.is_locked((1, 0))
+        table.unlock("t1")  # idempotent
+
+
+class TestEndToEnd:
+    def test_quiescent_flatten_commits_everywhere(self):
+        cluster = Cluster(3, mode="sdis", seed=5)
+        cluster.bootstrap(list("abcdefgh"))
+        cluster[1].delete(2)
+        cluster[2].delete(4)
+        cluster.settle()
+        coordinator = cluster[1].initiate_flatten(ROOT)
+        cluster.settle()
+        assert coordinator.decision is CommitDecision.COMMITTED
+        cluster.assert_converged()
+        for site in cluster:
+            assert site.doc.tree.id_length == len(site.doc)  # no tombstones
+            assert site.locked_regions == 0
+
+    def test_in_flight_edit_aborts_flatten(self):
+        cluster = Cluster(3, mode="sdis", seed=9)
+        cluster.bootstrap(list("abcdefgh"))
+        cluster[2].insert(3, "Z")  # not yet delivered anywhere
+        coordinator = cluster[1].initiate_flatten(ROOT)
+        cluster.settle()
+        assert coordinator.decision is CommitDecision.ABORTED
+        cluster.assert_converged()
+        assert all(site.locked_regions == 0 for site in cluster)
+
+    def test_local_edit_blocked_during_vote_window(self):
+        cluster = Cluster(2, mode="sdis", seed=3)
+        cluster.bootstrap(list("abcd"))
+        cluster[1].initiate_flatten(ROOT)
+        # Before the decision arrives, the initiator's region is locked.
+        with pytest.raises(RegionLockedError):
+            cluster[1].insert(2, "x")
+        with pytest.raises(RegionLockedError):
+            cluster[1].delete(0)
+        cluster.settle()
+        # After commit the lock is gone.
+        cluster[1].insert(2, "x")
+        cluster.settle()
+        cluster.assert_converged()
+
+    def test_overlapping_flatten_refused_locally(self):
+        cluster = Cluster(2, mode="sdis", seed=3)
+        cluster.bootstrap(list("abcd"))
+        cluster[1].initiate_flatten(ROOT)
+        with pytest.raises(CommitError):
+            cluster[1].initiate_flatten(ROOT)
+
+    def test_concurrent_coordinators_do_not_both_commit(self):
+        cluster = Cluster(2, mode="sdis", seed=3)
+        cluster.bootstrap(list("abcdefgh"))
+        first = cluster[1].initiate_flatten(ROOT)
+        second = cluster[2].initiate_flatten(ROOT)
+        cluster.settle()
+        committed = [c for c in (first, second)
+                     if c.decision is CommitDecision.COMMITTED]
+        assert len(committed) <= 1
+        cluster.assert_converged()
+        assert all(site.locked_regions == 0 for site in cluster)
+
+    def test_post_flatten_edits_use_renamed_identifiers(self):
+        cluster = Cluster(3, mode="sdis", seed=5)
+        cluster.bootstrap(list("abcdefgh"))
+        cluster[1].delete(0)
+        cluster.settle()
+        coordinator = cluster[2].initiate_flatten(ROOT)
+        cluster.settle()
+        assert coordinator.decision is CommitDecision.COMMITTED
+        # Every site edits the flattened region; all converge.
+        cluster[1].insert(1, "X")
+        cluster[2].insert(3, "Y")
+        cluster[3].delete(0)
+        cluster.settle()
+        cluster.assert_converged()
+
+    def test_flatten_on_lossy_network(self):
+        from repro.replication.network import NetworkConfig
+
+        cluster = Cluster(
+            3, mode="sdis",
+            config=NetworkConfig(drop_rate=0.2, duplicate_rate=0.1),
+            seed=21,
+        )
+        cluster.bootstrap(list("abcdefgh"))
+        cluster[1].delete(1)
+        cluster.settle()
+        coordinator = cluster[3].initiate_flatten(ROOT)
+        cluster.settle()
+        assert coordinator.decision in (
+            CommitDecision.COMMITTED, CommitDecision.ABORTED
+        )
+        cluster.assert_converged()

@@ -1,0 +1,136 @@
+"""The discrete-event network: delivery, loss, duplication, partitions."""
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.replication.network import NetworkConfig, SimulatedNetwork
+
+
+def _collector(log, site):
+    def handler(src, payload):
+        log.append((site, src, payload))
+    return handler
+
+
+class TestDelivery:
+    def test_messages_arrive(self):
+        net = SimulatedNetwork(seed=1)
+        log = []
+        for site in (1, 2):
+            net.register(site, _collector(log, site))
+        net.send(1, 2, "hello")
+        net.send(2, 1, "world")
+        assert net.run() == 2
+        assert sorted(log) == [(1, 2, "world"), (2, 1, "hello")]
+
+    def test_broadcast_reaches_everyone_but_sender(self):
+        net = SimulatedNetwork(seed=1)
+        log = []
+        for site in (1, 2, 3, 4):
+            net.register(site, _collector(log, site))
+        net.broadcast(1, "x")
+        net.run()
+        assert sorted(receiver for receiver, _, _ in log) == [2, 3, 4]
+
+    def test_latency_reorders_messages(self):
+        # With variable latency, some pair of messages must arrive out
+        # of send order across many sends.
+        net = SimulatedNetwork(seed=3)
+        arrivals = []
+        net.register(1, lambda src, payload: None)
+        net.register(2, lambda src, payload: arrivals.append(payload))
+        for n in range(50):
+            net.send(1, 2, n)
+        net.run()
+        assert sorted(arrivals) == list(range(50))
+        assert arrivals != list(range(50))
+
+    def test_unknown_destination_rejected(self):
+        net = SimulatedNetwork(seed=1)
+        net.register(1, lambda s, p: None)
+        with pytest.raises(ReplicationError):
+            net.send(1, 9, "x")
+
+    def test_duplicate_registration_rejected(self):
+        net = SimulatedNetwork(seed=1)
+        net.register(1, lambda s, p: None)
+        with pytest.raises(ReplicationError):
+            net.register(1, lambda s, p: None)
+
+    def test_determinism_per_seed(self):
+        def run_once(seed):
+            net = SimulatedNetwork(
+                NetworkConfig(drop_rate=0.2, duplicate_rate=0.1), seed=seed
+            )
+            arrivals = []
+            net.register(1, lambda s, p: None)
+            net.register(2, lambda s, p: arrivals.append(p))
+            for n in range(30):
+                net.send(1, 2, n)
+            net.run()
+            return arrivals
+
+        assert run_once(7) == run_once(7)
+        assert run_once(7) != run_once(8)
+
+
+class TestLossAndDuplication:
+    def test_lossy_transport_still_delivers_everything(self):
+        net = SimulatedNetwork(NetworkConfig(drop_rate=0.4), seed=5)
+        received = []
+        net.register(1, lambda s, p: None)
+        net.register(2, lambda s, p: received.append(p))
+        for n in range(100):
+            net.send(1, 2, n)
+        net.run()
+        assert sorted(received) == list(range(100))
+        assert net.dropped_transmissions > 0
+
+    def test_duplication_delivers_extra_copies(self):
+        net = SimulatedNetwork(NetworkConfig(duplicate_rate=0.5), seed=5)
+        received = []
+        net.register(1, lambda s, p: None)
+        net.register(2, lambda s, p: received.append(p))
+        for n in range(60):
+            net.send(1, 2, n)
+        net.run()
+        assert len(received) > 60
+        assert set(received) == set(range(60))
+
+
+class TestPartitions:
+    def test_partition_holds_messages_until_heal(self):
+        net = SimulatedNetwork(seed=2)
+        received = []
+        net.register(1, lambda s, p: None)
+        net.register(2, lambda s, p: received.append(p))
+        net.partition({1}, {2})
+        net.send(1, 2, "blocked")
+        net.run()
+        assert received == []
+        assert net.held == 1
+        net.heal()
+        net.run()
+        assert received == ["blocked"]
+
+    def test_intra_group_traffic_flows_during_partition(self):
+        net = SimulatedNetwork(seed=2)
+        received = []
+        for site in (1, 2, 3):
+            net.register(site, _collector(received, site))
+        net.partition({1, 2}, {3})
+        net.send(1, 2, "ok")
+        net.send(1, 3, "blocked")
+        net.run()
+        assert [(r, s, p) for r, s, p in received] == [(2, 1, "ok")]
+
+    def test_unmentioned_sites_form_their_own_group(self):
+        net = SimulatedNetwork(seed=2)
+        log = []
+        for site in (1, 2, 3):
+            net.register(site, _collector(log, site))
+        net.partition({1})
+        net.send(2, 3, "peer")
+        net.send(1, 2, "cut")
+        net.run()
+        assert [(r, s, p) for r, s, p in log] == [(3, 2, "peer")]

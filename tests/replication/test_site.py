@@ -1,0 +1,100 @@
+"""ReplicaSite internals: voting, locks, operation logging."""
+
+import pytest
+
+from repro.core.path import PosID, ROOT
+from repro.replication.cluster import Cluster
+from repro.replication.commit import PrepareMsg
+from repro.replication.site import RegionLockedError
+
+
+def _synced_cluster(n=3, seed=1):
+    cluster = Cluster(n, mode="sdis", seed=seed)
+    cluster.bootstrap(list("abcdefgh"))
+    return cluster
+
+
+class TestVoting:
+    def test_yes_when_caught_up_and_quiet(self):
+        cluster = _synced_cluster()
+        site = cluster[2]
+        snapshot = site.broadcast.clock.copy()
+        prepare = PrepareMsg("t", ROOT, snapshot, 1)
+        assert site._vote(prepare) is True
+
+    def test_no_when_behind_snapshot(self):
+        cluster = _synced_cluster()
+        # Site 1 edits; snapshot taken at site 1; site 2 hasn't seen it.
+        cluster[1].insert(0, "x")
+        prepare = PrepareMsg("t", ROOT, cluster[1].broadcast.clock.copy(), 1)
+        assert cluster[2]._vote(prepare) is False
+
+    def test_no_when_region_edited_beyond_snapshot(self):
+        cluster = _synced_cluster()
+        snapshot = cluster[2].broadcast.clock.copy()
+        cluster[2].insert(0, "y")  # applied locally, beyond snapshot
+        prepare = PrepareMsg("t", ROOT, snapshot, 1)
+        assert cluster[2]._vote(prepare) is False
+
+    def test_yes_when_edit_outside_region(self):
+        cluster = _synced_cluster()
+        snapshot = cluster[2].broadcast.clock.copy()
+        cluster[2].insert(0, "y")
+        # The edit went somewhere under the root; a disjoint region that
+        # shares no prefix with it still votes yes. Find such a region.
+        edited_bits = cluster[2].doc.posid_at(0).bits()
+        disjoint = PosID.from_bits([1 - edited_bits[0], 0])
+        prepare = PrepareMsg(
+            "t", disjoint, snapshot.merge(cluster[2].broadcast.clock), 1
+        )
+        assert cluster[2]._vote(prepare) is True
+
+    def test_no_when_overlapping_lock_held(self):
+        cluster = _synced_cluster()
+        cluster[1].initiate_flatten(ROOT)
+        cluster.settle()  # first txn decided and released
+        cluster[2].initiate_flatten(ROOT)  # pending at site 2
+        snapshot = cluster[2].broadcast.clock.copy()
+        prepare = PrepareMsg("t9", ROOT, snapshot, 1)
+        assert cluster[2]._vote(prepare) is False
+
+
+class TestRegionLockUx:
+    def test_insert_adjacent_to_locked_region_refused(self):
+        cluster = _synced_cluster(2)
+        cluster[1].initiate_flatten(ROOT)
+        with pytest.raises(RegionLockedError):
+            cluster[1].insert(4, "x")
+        cluster.settle()
+        cluster[1].insert(4, "x")  # fine after the decision
+
+    def test_empty_doc_insert_blocked_by_any_lock(self):
+        cluster = Cluster(2, mode="sdis", seed=2)
+        cluster.bootstrap(["only"])
+        cluster[1].delete(0)
+        cluster.settle()
+        cluster[1].initiate_flatten(ROOT)
+        with pytest.raises(RegionLockedError):
+            cluster[1].insert(0, "x")
+        cluster.settle()
+
+
+class TestBookkeeping:
+    def test_applied_ops_logged_in_order(self):
+        cluster = _synced_cluster(2)
+        cluster[1].insert(0, "x")
+        cluster[1].delete(0)
+        cluster.settle()
+        kinds = [op.kind for op in cluster[2].applied_ops[-2:]]
+        assert kinds == ["insert", "delete"]
+
+    def test_unhandled_message_rejected(self):
+        from repro.errors import ReplicationError
+
+        cluster = _synced_cluster(2)
+        with pytest.raises(ReplicationError):
+            cluster[1]._on_message(2, "garbage")
+
+    def test_repr(self):
+        cluster = _synced_cluster(2)
+        assert "ReplicaSite" in repr(cluster[1])

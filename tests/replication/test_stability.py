@@ -1,0 +1,113 @@
+"""SDIS tombstone GC via causal stability (section 4.2)."""
+
+import random
+
+import pytest
+
+from repro.replication.clock import VectorClock
+from repro.replication.cluster import Cluster
+from repro.replication.network import NetworkConfig
+from repro.replication.stability import StabilityTracker
+
+
+class TestStabilityTracker:
+    def test_frontier_is_pointwise_minimum(self):
+        tracker = StabilityTracker((1, 2, 3))
+        tracker.record_ack(1, VectorClock({1: 5, 2: 2, 3: 1}))
+        tracker.record_ack(2, VectorClock({1: 3, 2: 4, 3: 2}))
+        tracker.record_ack(3, VectorClock({1: 4, 2: 3, 3: 3}))
+        frontier = tracker.stable_frontier()
+        assert (frontier.get(1), frontier.get(2), frontier.get(3)) == (3, 2, 1)
+
+    def test_missing_member_blocks_stability(self):
+        tracker = StabilityTracker((1, 2))
+        tracker.record_ack(1, VectorClock({1: 9}))
+        assert not tracker.is_stable(1, 1)  # site 2 never acked
+        tracker.record_ack(2, VectorClock({1: 1}))
+        assert tracker.is_stable(1, 1)
+        assert not tracker.is_stable(1, 2)
+
+    def test_stale_acks_merge_monotonically(self):
+        tracker = StabilityTracker((1,))
+        tracker.record_ack(1, VectorClock({1: 5}))
+        tracker.record_ack(1, VectorClock({1: 2}))  # reordered, stale
+        assert tracker.stable_frontier().get(1) == 5
+
+
+class TestClusterTombstoneGC:
+    def test_gossip_purges_stable_tombstones_everywhere(self):
+        cluster = Cluster(3, mode="sdis", seed=1, tombstone_gc=True)
+        cluster.bootstrap(list("abcdefghij"))
+        cluster[1].delete(0)
+        cluster[2].delete(3)
+        cluster.settle()
+        before = cluster[1].doc.tree.id_length
+        assert before == 10  # tombstones retained
+        cluster.gossip_acks()
+        for site in cluster:
+            assert site.doc.tree.id_length == 8
+            assert site.purged_tombstones == 2
+        cluster.assert_converged()
+
+    def test_remint_after_purge_is_safe(self):
+        # The §3.3.2 hazard: SDIS can re-mint a purged identifier. The
+        # causal gossip ensures everyone purged before the re-mint's
+        # insert arrives.
+        cluster = Cluster(2, mode="sdis", seed=2, tombstone_gc=True)
+        cluster.bootstrap(list("abc"))
+        for _ in range(5):
+            cluster[1].delete(1)
+            cluster.settle()
+            cluster.gossip_acks()
+            cluster[1].insert(1, "B")
+            cluster.settle()
+            cluster.assert_converged()
+        assert cluster[1].text() == "aBc"
+
+    def test_unacked_site_blocks_purge(self):
+        cluster = Cluster(3, mode="sdis", seed=3, tombstone_gc=True)
+        cluster.bootstrap(list("abc"))
+        cluster.partition({1, 2}, {3})
+        cluster[1].delete(0)
+        cluster.settle()
+        cluster[1].broadcast_ack()
+        cluster[2].broadcast_ack()
+        cluster.settle()
+        # Site 3 has not acknowledged: nothing may be purged.
+        assert cluster[1].doc.tree.id_length == 3
+        cluster.heal()
+        cluster.settle()
+        cluster.gossip_acks()
+        assert all(s.doc.tree.id_length == 2 for s in cluster)
+        cluster.assert_converged()
+
+    def test_gc_under_lossy_network_with_continuous_editing(self):
+        cluster = Cluster(
+            3, mode="sdis", seed=4, tombstone_gc=True,
+            config=NetworkConfig(drop_rate=0.2, duplicate_rate=0.1),
+        )
+        cluster.bootstrap(list("hello world"))
+        rng = random.Random(4)
+        for round_number in range(12):
+            for site in cluster:
+                if len(site) > 2 and rng.random() < 0.5:
+                    site.delete(rng.randrange(len(site)))
+                else:
+                    site.insert(rng.randint(0, len(site)), f"{round_number}")
+            cluster.settle()
+            if round_number % 3 == 0:
+                cluster.gossip_acks()
+        cluster.settle()
+        cluster.gossip_acks()
+        cluster.assert_converged()
+        # After a final gossip, all tombstones are stable and purged.
+        for site in cluster:
+            assert site.doc.tree.id_length == len(site.doc)
+
+    def test_gc_disabled_for_udis(self):
+        cluster = Cluster(2, mode="udis", seed=5, tombstone_gc=True)
+        cluster.bootstrap(list("ab"))
+        # UDIS discards immediately; GC plumbing stays off.
+        assert not cluster[1].tombstone_gc
+        cluster.gossip_acks()  # no-op, no crash
+        cluster.assert_converged()

@@ -1,0 +1,65 @@
+"""Public surface: exports, CLI entry point, package docs."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+class TestExports:
+    def test_top_level_api(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_imports(self):
+        import repro.baselines
+        import repro.core
+        import repro.editor
+        import repro.experiments
+        import repro.metrics
+        import repro.replication
+        import repro.workloads
+
+        for module in (
+            repro.core, repro.replication, repro.baselines,
+            repro.workloads, repro.metrics, repro.experiments, repro.editor,
+        ):
+            assert module.__doc__, module.__name__
+
+    def test_every_public_module_documented(self):
+        import importlib
+        import pkgutil
+
+        import repro
+
+        undocumented = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            if not module.__doc__:
+                undocumented.append(info.name)
+        assert undocumented == []
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestCli:
+    @pytest.mark.slow
+    def test_experiments_cli_runs_one_target(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "table2"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Table 2" in result.stdout
+
+    def test_experiments_cli_rejects_unknown_target(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "table9"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode != 0

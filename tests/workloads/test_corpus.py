@@ -1,0 +1,84 @@
+"""Synthetic corpora: published statistics are honoured."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.corpus import (
+    LATEX_DOCUMENTS,
+    PAPER_DOCUMENTS,
+    WIKI_DOCUMENTS,
+    document_spec,
+)
+from repro.workloads.editing import generate_history
+from repro.workloads.revision import History
+
+
+class TestSpecs:
+    def test_six_documents_as_in_table_1(self):
+        assert len(PAPER_DOCUMENTS) == 6
+        assert len(WIKI_DOCUMENTS) == 3 and len(LATEX_DOCUMENTS) == 3
+
+    def test_published_numbers_pinned(self):
+        dc = document_spec("Distributed Computing")
+        assert (dc.final_atoms, dc.final_bytes, dc.revisions) == (171, 19_686, 870)
+        assert dc.initial_atoms == 9  # Table 2, most active
+        acf = document_spec("acf.tex")
+        assert (acf.final_atoms, acf.final_bytes, acf.revisions) == (332, 14_048, 51)
+        assert acf.initial_atoms == 99  # Table 2, less active
+
+    def test_flatten_cadences_follow_table_1(self):
+        for spec in WIKI_DOCUMENTS:
+            assert spec.flatten_cadences == (1, 2)
+        for spec in LATEX_DOCUMENTS:
+            assert spec.flatten_cadences == (2, 8)
+
+    def test_unknown_document(self):
+        with pytest.raises(WorkloadError):
+            document_spec("War and Peace")
+
+
+class TestGeneratedHistories:
+    @pytest.mark.parametrize("name", [d.name for d in PAPER_DOCUMENTS])
+    def test_statistics_match_spec(self, name):
+        spec = document_spec(name)
+        history = generate_history(spec, seed=5)
+        assert len(history) == spec.revisions
+        assert len(history.initial) == spec.initial_atoms
+        assert len(history.final) == spec.final_atoms
+        # Byte size within 15% of the published figure.
+        deviation = abs(history.final.byte_size - spec.final_bytes)
+        assert deviation <= 0.15 * spec.final_bytes
+
+    def test_deterministic_per_seed(self):
+        spec = document_spec("Grey Owl")
+        a = generate_history(spec, seed=9)
+        b = generate_history(spec, seed=9)
+        assert [r.atoms for r in a.revisions] == [r.atoms for r in b.revisions]
+        c = generate_history(spec, seed=10)
+        assert [r.atoms for r in a.revisions] != [r.atoms for r in c.revisions]
+
+    def test_wiki_histories_include_vandalism(self):
+        # A vandalism episode shows as a large shrink followed by a
+        # restore of similar size.
+        spec = document_spec("Distributed Computing")
+        history = generate_history(spec, seed=5)
+        sizes = [len(r) for r in history.revisions]
+        big_drops = sum(
+            1 for a, b in zip(sizes, sizes[1:]) if b < a * 0.75 and a > 20
+        )
+        assert big_drops >= spec.vandalism_episodes // 2
+
+    def test_atoms_unique_within_revision(self):
+        spec = document_spec("acf.tex")
+        history = generate_history(spec, seed=5)
+        for revision in history.revisions:
+            assert len(set(revision.atoms)) == len(revision.atoms)
+
+    def test_history_helpers(self):
+        history = History("x", "latex")
+        with pytest.raises(WorkloadError):
+            _ = history.initial
+        history.append_snapshot(["a"])
+        history.append_snapshot(["a", "b"])
+        assert len(list(history.pairs())) == 1
+        assert "x" in history.summary()

@@ -1,0 +1,70 @@
+"""Myers diff and positional edit scripts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.diff import EditOp, apply_script, edit_script, myers_diff
+
+atom_lists = st.lists(st.integers(0, 6), max_size=40)
+
+
+class TestMyersDiff:
+    @given(atom_lists, atom_lists)
+    @settings(max_examples=300)
+    def test_script_accounts_for_both_sides(self, a, b):
+        ops = myers_diff(a, b)
+        kept = [atom for tag, atom in ops if tag == "equal"]
+        deleted = [atom for tag, atom in ops if tag == "delete"]
+        inserted = [atom for tag, atom in ops if tag == "insert"]
+        assert len(kept) + len(deleted) == len(a)
+        assert len(kept) + len(inserted) == len(b)
+        # Reconstruct both sides from the tagged stream.
+        assert [x for t, x in ops if t in ("equal", "delete")] == list(a)
+        assert [x for t, x in ops if t in ("equal", "insert")] == list(b)
+
+    def test_identical_sequences(self):
+        ops = myers_diff("abc", "abc")
+        assert all(tag == "equal" for tag, _ in ops)
+
+    def test_empty_cases(self):
+        assert myers_diff([], list("ab")) == [("insert", "a"), ("insert", "b")]
+        assert myers_diff(list("ab"), []) == [("delete", "a"), ("delete", "b")]
+        assert myers_diff([], []) == []
+
+    def test_minimality_on_known_case(self):
+        # Classic example: ABCABBA -> CBABAC needs 5 edit steps.
+        ops = myers_diff("ABCABBA", "CBABAC")
+        edits = sum(1 for tag, _ in ops if tag != "equal")
+        assert edits == 5
+
+
+class TestEditScript:
+    @given(atom_lists, atom_lists)
+    @settings(max_examples=300)
+    def test_patch_round_trip(self, a, b):
+        assert apply_script(a, edit_script(a, b)) == list(b)
+
+    def test_consecutive_inserts_grouped_into_runs(self):
+        ops = edit_script(list("ad"), list("abcd"))
+        inserts = [op for op in ops if op.kind == "insert"]
+        assert len(inserts) == 1
+        assert inserts[0].atoms == ("b", "c")
+
+    def test_consecutive_deletes_grouped(self):
+        ops = edit_script(list("abcd"), list("ad"))
+        deletes = [op for op in ops if op.kind == "delete"]
+        assert len(deletes) == 1
+        assert deletes[0].count == 2
+
+    def test_modify_is_delete_plus_insert(self):
+        # Section 5: modifying an atom is a delete plus an insert.
+        ops = edit_script(["x"], ["y"])
+        kinds = [op.kind for op in ops]
+        assert kinds == ["delete", "insert"]
+
+    def test_bad_kind_rejected(self):
+        import pytest
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            EditOp("replace", 0)
