@@ -1,0 +1,157 @@
+"""Batch-vs-single remote replay: the apply_batch fast-path win.
+
+The paper's evaluation replays whole CVS/SVN revisions — hundreds of
+atoms each — so remote replay cost is dominated by per-operation
+dispatch and index maintenance. These benchmarks measure the same op
+stream applied one operation at a time (``apply``) and as one
+:class:`repro.core.ops.OpBatch` (``apply_batch``), and print a
+throughput comparison table in the terminal summary::
+
+    pytest benchmarks/bench_batch.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core.ops import OpBatch
+from repro.core.treedoc import Treedoc
+from repro.replica import Replica
+
+#: The acceptance scenario: one 500-atom insert run.
+RUN_ATOMS = 500
+
+
+def _insert_run_batch(mode: str = "udis") -> OpBatch:
+    source = Treedoc(site=1, mode=mode)
+    return source.insert_text(0, [f"atom {i}" for i in range(RUN_ATOMS)])
+
+
+def _revision_batches(mode: str = "udis", revisions: int = 20):
+    """A revision-style stream: paste a run, trim a range, repeat."""
+    rng = random.Random(11)
+    source = Treedoc(site=1, mode=mode)
+    batches = []
+    for revision in range(revisions):
+        index = rng.randint(0, len(source))
+        batches.append(source.insert_text(
+            index, [f"r{revision}.{k}" for k in range(40)]))
+        if len(source) > 60:
+            start = rng.randrange(len(source) - 25)
+            batches.append(source.delete_range(start, start + 20))
+    return batches
+
+
+def _render_batch_report(rows) -> str:
+    lines = [
+        "Batch replay throughput (same op stream, two application styles)",
+        f"{'scenario':28s} {'ops':>6s} {'single ops/s':>13s} "
+        f"{'batched ops/s':>14s} {'speedup':>8s}",
+    ]
+    for name, ops, single_rate, batch_rate in rows:
+        lines.append(
+            f"{name:28s} {ops:6d} {single_rate:13.0f} "
+            f"{batch_rate:14.0f} {batch_rate / single_rate:7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def _measure_rates(batches, mode: str, repeats: int = 5):
+    """Best-of-N wall-clock rates for single vs batched application."""
+    total_ops = sum(len(b) for b in batches)
+    single_best = batch_best = float("inf")
+    for _ in range(repeats):
+        replica = Treedoc(site=2, mode=mode)
+        started = time.perf_counter()
+        for batch in batches:
+            for op in batch.ops:
+                replica.apply(op)
+        single_best = min(single_best, time.perf_counter() - started)
+        replica = Treedoc(site=2, mode=mode)
+        started = time.perf_counter()
+        for batch in batches:
+            replica.apply_batch(batch)
+        batch_best = min(batch_best, time.perf_counter() - started)
+    return total_ops, total_ops / single_best, total_ops / batch_best
+
+
+@pytest.mark.parametrize("mode", ["udis", "sdis"])
+def bench_insert_run_single_ops(benchmark, mode):
+    batch = _insert_run_batch(mode)
+
+    def replay():
+        replica = Treedoc(site=2, mode=mode)
+        for op in batch.ops:
+            replica.apply(op)
+        return replica
+
+    replica = benchmark(replay)
+    assert len(replica) == RUN_ATOMS
+
+
+@pytest.mark.parametrize("mode", ["udis", "sdis"])
+def bench_insert_run_apply_batch(benchmark, mode):
+    batch = _insert_run_batch(mode)
+
+    def replay():
+        replica = Treedoc(site=2, mode=mode)
+        replica.apply_batch(batch)
+        return replica
+
+    replica = benchmark(replay)
+    assert len(replica) == RUN_ATOMS
+
+
+def bench_revision_stream_single_ops(benchmark):
+    batches = _revision_batches()
+
+    def replay():
+        replica = Treedoc(site=2)
+        for batch in batches:
+            for op in batch.ops:
+                replica.apply(op)
+        return replica
+
+    benchmark(replay)
+
+
+def bench_revision_stream_apply_batch(benchmark):
+    batches = _revision_batches()
+
+    def replay():
+        replica = Treedoc(site=2)
+        for batch in batches:
+            replica.apply_batch(batch)
+        return replica
+
+    benchmark(replay)
+
+
+def bench_replica_facade_merge(benchmark):
+    source = Replica(site=1)
+    source.edit(0, 0, [f"atom {i}" for i in range(RUN_ATOMS)])
+    batches = source.pending()
+
+    def replay():
+        replica = Replica(site=2)
+        replica.merge(batches)
+        return replica
+
+    replica = benchmark(replay)
+    assert len(replica) == RUN_ATOMS
+
+
+def bench_batch_throughput_table(report_sink):
+    """Not a timing fixture: measures both styles and registers the
+    comparison table for the terminal summary (and CHANGES.md)."""
+    rows = report_sink("batch-replay", _render_batch_report)
+    for mode in ("udis", "sdis"):
+        ops, single_rate, batch_rate = _measure_rates(
+            [_insert_run_batch(mode)], mode)
+        rows.append((f"500-atom run ({mode})", ops, single_rate, batch_rate))
+    ops, single_rate, batch_rate = _measure_rates(_revision_batches(), "udis")
+    rows.append(("revision stream (udis)", ops, single_rate, batch_rate))
+    assert all(row[3] > 0 for row in rows)

@@ -69,6 +69,51 @@ def bench_remote_replay(benchmark):
     assert replica.atoms() == source.atoms()
 
 
+def _edit_burst_batches():
+    """A burst-shaped edit stream shaped like the paper's revision
+    replays (a revision diff carries tens-to-hundreds of atoms): one
+    OpBatch per edit burst, ~1600 operations total."""
+    source = Treedoc(site=1)
+    rng = random.Random(3)
+    batches = []
+    produced = 0
+    while produced < 1600:
+        if len(source) > 150 and rng.random() < 0.3:
+            start = rng.randrange(len(source) - 50)
+            batch = source.delete_range(start, start + 50)
+        else:
+            index = rng.randint(0, len(source))
+            batch = source.insert_text(
+                index, [f"{produced}.{k}" for k in range(60)])
+        batches.append(batch)
+        produced += len(batch)
+    return source, batches
+
+
+@pytest.mark.parametrize("style", ["single-op", "apply-batch"])
+def bench_remote_replay_bursts(benchmark, style):
+    """The same burst stream replayed two ways: unpacked into single
+    ``apply`` calls vs the deferred-index ``apply_batch`` fast path."""
+    source, batches = _edit_burst_batches()
+
+    if style == "single-op":
+        def replay():
+            replica = Treedoc(site=2)
+            for batch in batches:
+                for op in batch.ops:
+                    replica.apply(op)
+            return replica
+    else:
+        def replay():
+            replica = Treedoc(site=2)
+            for batch in batches:
+                replica.apply_batch(batch)
+            return replica
+
+    replica = benchmark(replay)
+    assert replica.atoms() == source.atoms()
+
+
 def bench_index_lookup(benchmark):
     doc = _filled_doc(2000)
     rng = random.Random(1)

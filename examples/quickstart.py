@@ -4,43 +4,49 @@ Run with::
 
     python examples/quickstart.py
 
-A Treedoc is a replicated sequence: each replica edits locally with
-zero latency, ships the returned operations, and replays the other's
-operations — in any causal order — to converge on the same document.
+A :class:`repro.Replica` is one copy of a replicated sequence. Each
+replica edits locally with zero latency; every local edit mints one
+:class:`repro.OpBatch` (an ordered, digest-stamped group of operations).
+Ship the pending batches to the other replicas, merge theirs, and all
+copies converge — in any causal order, with no locks and no operational
+transformation.
 """
 
-from repro import Treedoc
+from repro import Replica
 
 
 def main() -> None:
     # Two users open the same (empty) shared document.
-    alice = Treedoc(site=1)
-    bob = Treedoc(site=2)
+    alice = Replica(site=1)
+    bob = Replica(site=2)
 
-    # Alice types a sentence; the ops travel to Bob.
-    ops = [alice.insert(i, word) for i, word in
-           enumerate(["the", "quick", "fox"])]
-    bob.apply_all(ops)
-    print("synced:        ", " ".join(str(a) for a in bob.atoms()))
+    # Alice types a sentence: ONE batch, not one op per keystroke.
+    batch = alice.edit(0, 0, "the quick fox")
+    print(f"alice's edit ships as {batch!r}")
+    bob.merge(alice.pending())
+    print("synced:        ", bob.text())
 
     # Now both edit *concurrently* — neither waits for the other.
-    op_alice = alice.insert(2, "brown")            # the quick brown fox
-    op_bob = bob.delete(1)                         # the fox
-    ops_bob2 = bob.insert(1, "sly")                # the sly fox
+    alice.edit(10, 10, "brown ")      # the quick brown fox
+    bob.edit(4, 9, "sly")             # the sly fox (replace = one batch)
+    # (they converge on "the sly brown fox": bob's replace of "quick"
+    # and alice's insert before "fox" compose without coordination)
 
-    # Operations cross on the wire and replay on the other side.
-    alice.apply(op_bob)
-    alice.apply(ops_bob2)
-    bob.apply(op_alice)
+    # Outboxes cross on the wire and merge on the other side.
+    batches_alice, batches_bob = alice.pending(), bob.pending()
+    alice.merge(batches_bob)
+    bob.merge(batches_alice)
 
-    print("alice sees:    ", " ".join(str(a) for a in alice.atoms()))
-    print("bob sees:      ", " ".join(str(a) for a in bob.atoms()))
-    assert alice.atoms() == bob.atoms(), "CRDT replicas must converge"
-    print("converged:      True")
+    print("alice sees:    ", alice.text())
+    print("bob sees:      ", bob.text())
+    assert alice.snapshot() == bob.snapshot(), "CRDT replicas must converge"
+    print("converged:      True  (snapshot digest "
+          f"{alice.snapshot().digest[:12]}…)")
 
-    # Under the hood every atom has a dense, ordered position identifier.
-    for index, posid in enumerate(alice.posids()):
-        print(f"  atom {index}: {alice.atom_at(index)!r:10s} PosID {posid!r}")
+    # The full Treedoc machinery stays reachable for the curious: every
+    # atom owns a dense, ordered position identifier.
+    for index, posid in enumerate(alice.doc.posids()):
+        print(f"  atom {index}: {alice.doc.atom_at(index)!r:4s} PosID {posid!r}")
 
 
 if __name__ == "__main__":

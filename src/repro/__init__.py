@@ -1,13 +1,28 @@
 """Treedoc: a Commutative Replicated Data Type for cooperative editing.
 
-Reproduction of Preguiça, Marquès, Shapiro & Letia (ICDCS 2009). The
-package provides:
+Reproduction of Preguiça, Marquès, Shapiro & Letia (ICDCS 2009), grown
+into a batch-first replicated-sequence stack. The stable entry points:
+
+- :class:`repro.replica.Replica` — one replica behind the small façade
+  most callers need: ``edit()`` (one local edit, one batch),
+  ``pending()`` (drain the outbox), ``merge()`` (replay remote
+  batches), ``snapshot()`` (digest-stamped view);
+- :class:`repro.core.ops.OpBatch` — the wire unit of the whole stack:
+  an ordered, versioned group of operations with origin, sequence range
+  and content digest;
+- :class:`repro.core.treedoc.Treedoc` — the full document replica for
+  callers that need flatten, allocation modes, or the tree itself.
+
+Subpackages:
 
 - :mod:`repro.core` — the Treedoc CRDT (paths, disambiguators, the
   extended binary tree, allocation, explode/flatten, encodings);
-- :mod:`repro.replication` — causal broadcast over a simulated network,
-  replica sites, and the commitment protocol for distributed flatten;
-- :mod:`repro.baselines` — Logoot, WOOT and RGA comparison CRDTs;
+- :mod:`repro.replication` — causal broadcast over a simulated network
+  (one envelope per batch), replica sites, and the commitment protocol
+  for distributed flatten;
+- :mod:`repro.baselines` — Logoot, WOOT and RGA comparison CRDTs, all
+  speaking the same batch contract;
+- :mod:`repro.editor` — editor buffers and multi-user sessions;
 - :mod:`repro.workloads` — synthetic edit-history corpora and replay;
 - :mod:`repro.metrics` — the overhead measurements of the evaluation;
 - :mod:`repro.experiments` — drivers regenerating every table and figure.
@@ -18,6 +33,7 @@ from repro.core import (
     Disambiguator,
     FlattenOp,
     InsertOp,
+    OpBatch,
     Operation,
     PathElement,
     PosID,
@@ -26,12 +42,18 @@ from repro.core import (
     SiteId,
     Treedoc,
     Udis,
+    batch_digest,
 )
+from repro.replica import Replica, Snapshot
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Replica",
+    "Snapshot",
     "Treedoc",
+    "OpBatch",
+    "batch_digest",
     "PosID",
     "PathElement",
     "ROOT",

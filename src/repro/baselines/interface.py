@@ -2,9 +2,17 @@
 
 Every implementation offers local ``insert``/``delete`` returning an
 opaque operation, remote ``apply``, and the measurement hooks the
-benchmark harness reads (identifier bits, element counts). The contract
-tests in ``tests/baselines/test_crdt_contract.py`` run one suite —
-including hypothesis convergence properties — over all implementations.
+benchmark harness reads (identifier bits, element counts). On top of
+the single-operation calls sits the batch contract: ``insert_text`` /
+``delete_range`` perform one local edit and return a single
+:class:`repro.core.ops.OpBatch`, and ``apply_batch`` replays one. The
+defaults fall back to the single-operation methods, so a correct
+implementation gets batching for free; implementations override the
+``_run_insert_ops`` / ``_range_delete_ops`` hooks (or ``apply_batch``)
+with fast paths that skip per-operation index recomputation. The
+contract tests in ``tests/baselines/test_crdt_contract.py`` run one
+suite — including hypothesis batch-vs-sequential convergence
+properties — over all implementations.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ import abc
 from typing import List, Sequence
 
 from repro.core.disambiguator import SiteId
+from repro.core.ops import OpBatch
 from repro.core.treedoc import Treedoc
 
 
@@ -20,6 +29,10 @@ class SequenceCRDT(abc.ABC):
     """Abstract replicated sequence: the section 2 buffer abstraction."""
 
     site: SiteId
+    #: Per-origin operation counter backing the batches' seq ranges
+    #: (mirrors ``Treedoc._claim_seqs``); shadowed per instance on the
+    #: first claim.
+    _op_seq: int = 0
 
     @abc.abstractmethod
     def insert(self, index: int, atom: object) -> object:
@@ -53,12 +66,52 @@ class SequenceCRDT(abc.ABC):
         """The visible sequence as a string."""
         return separator.join(str(a) for a in self.atoms())
 
+    # -- batch contract ---------------------------------------------------------
+
+    def insert_text(self, index: int, atoms: Sequence[object]) -> OpBatch:
+        """Insert a consecutive run locally; returns one batch."""
+        ops = self._run_insert_ops(index, list(atoms))
+        return OpBatch.build(ops, self.site, self._claim_seqs(len(ops)))
+
+    def delete_range(self, start: int, end: int) -> OpBatch:
+        """Delete the range ``[start, end)`` locally; returns one batch."""
+        ops = self._range_delete_ops(start, end)
+        return OpBatch.build(ops, self.site, self._claim_seqs(len(ops)))
+
+    def apply_batch(self, batch: OpBatch) -> None:
+        """Replay a remote batch. The default falls back to sequential
+        :meth:`apply`, which is always correct; implementations with a
+        cheaper bulk path override it."""
+        for op in batch.ops:
+            self.apply(op)
+
     def insert_run(self, index: int, atoms: Sequence[object]) -> List[object]:
-        """Insert a consecutive run; default is one-by-one."""
-        ops = []
-        for offset, atom in enumerate(atoms):
-            ops.append(self.insert(index + offset, atom))
-        return ops
+        """Insert a consecutive run; compatibility wrapper over the
+        batch path (the old default looped ``insert(index + offset)``,
+        which is quadratic in list-backed implementations)."""
+        return list(self.insert_text(index, atoms).ops)
+
+    # -- batch internals (override these for fast paths) ------------------------
+
+    def _run_insert_ops(self, index: int,
+                        atoms: List[object]) -> List[object]:
+        """Perform a run insert locally, returning its operations.
+        Default: one-by-one at ``index + offset`` (always correct)."""
+        return [self.insert(index + offset, atom)
+                for offset, atom in enumerate(atoms)]
+
+    def _range_delete_ops(self, start: int, end: int) -> List[object]:
+        """Perform a range delete locally, returning its operations.
+        Default: repeated delete at ``start`` (always correct)."""
+        if not 0 <= start <= end <= len(self):
+            raise IndexError(f"range [{start}, {end}) out of range")
+        return [self.delete(start) for _ in range(end - start)]
+
+    def _claim_seqs(self, count: int) -> int:
+        """Reserve ``count`` per-origin sequence numbers for a batch."""
+        start = self._op_seq
+        self._op_seq = start + count
+        return start
 
 
 class TreedocAdapter(SequenceCRDT):
@@ -72,14 +125,23 @@ class TreedocAdapter(SequenceCRDT):
     def insert(self, index: int, atom: object) -> object:
         return self.doc.insert(index, atom)
 
+    def insert_text(self, index: int, atoms: Sequence[object]) -> OpBatch:
+        return self.doc.insert_text(index, atoms)
+
     def insert_run(self, index: int, atoms: Sequence[object]) -> List[object]:
         return self.doc.insert_run(index, atoms)
 
     def delete(self, index: int) -> object:
         return self.doc.delete(index)
 
+    def delete_range(self, start: int, end: int) -> OpBatch:
+        return self.doc.delete_range(start, end)
+
     def apply(self, op: object) -> None:
         self.doc.apply(op)
+
+    def apply_batch(self, batch: OpBatch) -> None:
+        self.doc.apply_batch(batch)
 
     def atoms(self) -> List[object]:
         return self.doc.atoms()

@@ -116,12 +116,19 @@ class LogootDoc(SequenceCRDT):
         digit strings are equal up to their first differing *component*
         (concurrent inserts that picked the same digit, ordered only by
         site/clock), the interval never opens numerically, yet any
-        extension of ``p`` already sorts below ``q``; ``q`` then simply
-        stops bounding the arithmetic.
+        *extension* of ``p`` already sorts below ``q`` (the comparison
+        stays decided at the tied component's site/clock). ``q`` then
+        stops bounding the arithmetic — but the result must really be
+        an extension of ``p``: the depth is forced past ``p`` and the
+        step capped below a digit carry, otherwise the fresh identifier
+        could exceed the tied digit and sort *after* ``q``, silently
+        misplacing the atom.
         """
         clock = self._tick()
+        min_depth = 1
         if p is not None and q is not None and self._digit_tied(p, q):
             q = None
+            min_depth = len(p) + 1
         p_digits = [c[0] for c in p] if p is not None else []
         q_digits = [c[0] for c in q] if q is not None else []
         p_num = 0
@@ -139,13 +146,17 @@ class LogootDoc(SequenceCRDT):
                     q_digits[depth - 1] if depth <= len(q_digits) else 0
                 )
             interval = q_num - p_num - 1
-            if interval >= 1:
+            if interval >= 1 and depth >= min_depth:
                 break
             if depth > len(p_digits) + len(q_digits) + 4:
                 raise ReproError(
                     f"no gap between {p!r} and {q!r}: non-adjacent neighbours?"
                 )
-        step = self._rng.randint(1, min(interval, self.boundary))
+        limit = min(interval, self.boundary)
+        if min_depth > 1:
+            # Extension of p: stay within the appended digit (no carry).
+            limit = min(limit, BASE - 1)
+        step = self._rng.randint(1, limit)
         new_num = p_num + step
         digits: List[int] = []
         for _ in range(depth):
@@ -195,6 +206,39 @@ class LogootDoc(SequenceCRDT):
         ident = self._ids.pop(index)
         self._atoms.pop(index)
         return LogootDelete(ident, self.site)
+
+    # -- batch fast paths ---------------------------------------------------------
+
+    def _run_insert_ops(self, index: int,
+                        atoms: List[object]) -> List[object]:
+        """Chain identifiers between the fixed neighbours and splice
+        them in with one slice assignment: O(n + k) instead of the
+        O(n·k) of k one-by-one list inserts. Generates the exact
+        operations the sequential path would (same RNG consumption)."""
+        if index < 0 or index > len(self._ids):
+            raise IndexError(f"insert index {index} out of range")
+        q = self._ids[index] if index < len(self._ids) else None
+        prev = self._ids[index - 1] if index > 0 else None
+        ops: List[LogootInsert] = []
+        new_ids: List[LogootId] = []
+        for atom in atoms:
+            ident = self._generate_between(prev, q)
+            ops.append(LogootInsert(ident, atom, self.site))
+            new_ids.append(ident)
+            prev = ident
+        self._ids[index:index] = new_ids
+        self._atoms[index:index] = atoms
+        return ops
+
+    def _range_delete_ops(self, start: int, end: int) -> List[object]:
+        """Delete a contiguous range with one slice removal."""
+        if not 0 <= start <= end <= len(self._ids):
+            raise IndexError(f"range [{start}, {end}) out of range")
+        ops = [LogootDelete(ident, self.site)
+               for ident in self._ids[start:end]]
+        del self._ids[start:end]
+        del self._atoms[start:end]
+        return ops
 
     def apply(self, op: object) -> None:
         if isinstance(op, LogootInsert):

@@ -135,6 +135,38 @@ class RgaDoc(SequenceCRDT):
         node.atom = None
         return RgaDelete(node.rid, self.site)
 
+    # -- batch fast paths ---------------------------------------------------------
+
+    def _run_insert_ops(self, index: int,
+                        atoms: List[object]) -> List[object]:
+        """Walk the visible list once, then chain each new element after
+        the previous one — the per-insert O(n) visible-list walk of the
+        sequential path collapses to a single walk per batch."""
+        visible = self._visible_nodes()
+        if index < 0 or index > len(visible):
+            raise IndexError(f"insert index {index} out of range")
+        after = visible[index - 1].rid if index > 0 else None
+        ops: List[RgaInsert] = []
+        for atom in atoms:
+            rid: RgaId = (self._tick(), self.site)
+            node = _Node(rid, atom, True, None)
+            self._insert_after(after, node)
+            ops.append(RgaInsert(rid, atom, after, self.site))
+            after = rid
+        return ops
+
+    def _range_delete_ops(self, start: int, end: int) -> List[object]:
+        """Tombstone a contiguous visible range with one list walk."""
+        visible = self._visible_nodes()
+        if not 0 <= start <= end <= len(visible):
+            raise IndexError(f"range [{start}, {end}) out of range")
+        ops: List[RgaDelete] = []
+        for node in visible[start:end]:
+            node.visible = False
+            node.atom = None
+            ops.append(RgaDelete(node.rid, self.site))
+        return ops
+
     def apply(self, op: object) -> None:
         if isinstance(op, RgaInsert):
             if op.rid in self._nodes:

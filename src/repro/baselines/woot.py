@@ -166,6 +166,43 @@ class WootDoc(SequenceCRDT):
         char.visible = False
         return WootDelete(char.wid, self.site)
 
+    # -- batch fast paths ---------------------------------------------------------
+
+    def _run_insert_ops(self, index: int,
+                        atoms: List[object]) -> List[object]:
+        """Resolve the gap's bounding characters once, then chain each
+        new character after the previous one — skipping the sequential
+        path's per-insert O(n) visible-position scan."""
+        visible = self._visible_positions()
+        if index < 0 or index > len(visible):
+            raise IndexError(f"insert index {index} out of range")
+        prev = self._chars[visible[index - 1]].wid if index > 0 else BEGIN_ID
+        next_ = (
+            self._chars[visible[index]].wid
+            if index < len(visible) else END_ID
+        )
+        ops: List[WootInsert] = []
+        for atom in atoms:
+            self._counter += 1
+            wid: WId = (self.site, self._counter)
+            char = WChar(wid, atom, True, prev, next_)
+            self._integrate(char, prev, next_)
+            ops.append(WootInsert(wid, atom, prev, next_, self.site))
+            prev = wid
+        return ops
+
+    def _range_delete_ops(self, start: int, end: int) -> List[object]:
+        """Hide a contiguous visible range with one position scan."""
+        visible = self._visible_positions()
+        if not 0 <= start <= end <= len(visible):
+            raise IndexError(f"range [{start}, {end}) out of range")
+        ops: List[WootDelete] = []
+        for position in visible[start:end]:
+            char = self._chars[position]
+            char.visible = False
+            ops.append(WootDelete(char.wid, self.site))
+        return ops
+
     def apply(self, op: object) -> None:
         if isinstance(op, WootInsert):
             if op.wid in self._index:

@@ -13,7 +13,14 @@ Public surface:
 from repro.core.disambiguator import Disambiguator, Udis, Sdis, SiteId
 from repro.core.path import PathElement, PosID, ROOT
 from repro.core.treedoc import Treedoc
-from repro.core.ops import InsertOp, DeleteOp, FlattenOp, Operation
+from repro.core.ops import (
+    InsertOp,
+    DeleteOp,
+    FlattenOp,
+    OpBatch,
+    Operation,
+    batch_digest,
+)
 
 __all__ = [
     "Disambiguator",
@@ -27,5 +34,7 @@ __all__ = [
     "InsertOp",
     "DeleteOp",
     "FlattenOp",
+    "OpBatch",
     "Operation",
+    "batch_digest",
 ]

@@ -260,6 +260,17 @@ def slot_host(slot: AtomSlot) -> PosNode:
     return slot.host if isinstance(slot, MiniNode) else slot
 
 
+def parent_host(node: PosNode) -> Optional[PosNode]:
+    """The position node one spine hop above ``node`` (through its
+    parent link, resolving a mini-node container to its host), or None
+    at the root. The one place the hop rule lives."""
+    parent = node.parent
+    if parent is None:
+        return None
+    container, _ = parent
+    return container.host if isinstance(container, MiniNode) else container
+
+
 def slot_posid(slot: AtomSlot) -> PosID:
     """Reconstruct the PosID naming ``slot`` by walking parent links."""
     elements: List[PathElement] = []

@@ -4,13 +4,21 @@ Operations are plain immutable records; the replication layer wraps them
 in causally-stamped envelopes. ``insert`` and ``delete`` are the user
 edit operations; ``flatten`` is the structural clean-up of section 4.2,
 which replicates only through the commitment protocol.
+
+:class:`OpBatch` is the wire unit of the batch-first API: an ordered,
+versioned group of operations produced by one local edit (a typed
+string, a deleted range, a replayed revision). Every layer of the stack
+speaks batches — local edit methods return one, causal broadcast ships
+one envelope per batch, and ``apply_batch`` replays one with deferred
+index maintenance — while the single-operation methods remain as thin
+compatibility wrappers.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Optional, Tuple, Union
+from typing import Iterator, Optional, Tuple, Union
 
 from repro.core.disambiguator import SiteId
 from repro.core.path import PosID
@@ -86,3 +94,89 @@ class FlattenOp:
 
 
 Operation = Union[InsertOp, DeleteOp, FlattenOp]
+
+
+def batch_digest(ops: Tuple[object, ...]) -> str:
+    """Stable digest of an operation sequence.
+
+    Operations are plain frozen records with deterministic ``repr``s
+    (this holds for Treedoc's ops and for every baseline's), so hashing
+    the framed reprs gives a transport-independent content digest.
+    """
+    hasher = hashlib.sha256()
+    for op in ops:
+        encoded = repr(op).encode("utf-8")
+        hasher.update(len(encoded).to_bytes(4, "big"))
+        hasher.update(encoded)
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class OpBatch:
+    """An ordered, versioned group of operations from one origin.
+
+    ``[seq_start, seq_end)`` is the half-open range of the origin's
+    local operation counter covered by the batch: batches minted by one
+    replica carry non-overlapping, monotonically increasing ranges, so a
+    receiver can order, deduplicate, or gap-check an origin's batches
+    without inspecting the operations. ``digest`` is the content digest
+    of the operations (see :func:`batch_digest`); :meth:`verify` checks
+    it after transport.
+
+    Operations are deliberately opaque (``object``): a batch can carry
+    Treedoc operations or any baseline's, which is what lets the whole
+    stack — replication, editor, workloads — speak one wire unit.
+    """
+
+    ops: Tuple[object, ...]
+    origin: SiteId
+    seq_start: int
+    seq_end: int
+    digest: str
+
+    @classmethod
+    def build(cls, ops, origin: SiteId, seq_start: int) -> "OpBatch":
+        """Mint a batch covering ``len(ops)`` sequence numbers from
+        ``seq_start``, computing the content digest."""
+        ops = tuple(ops)
+        return cls(ops, origin, seq_start, seq_start + len(ops),
+                   batch_digest(ops))
+
+    @property
+    def kind(self) -> str:
+        return "batch"
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.ops)
+
+    def __bool__(self) -> bool:
+        return bool(self.ops)
+
+    def verify(self) -> bool:
+        """True when the digest matches the carried operations."""
+        return batch_digest(self.ops) == self.digest
+
+    def merge(self, other: "OpBatch") -> "OpBatch":
+        """Concatenate an adjacent batch from the same origin (e.g. the
+        delete and insert halves of a replace)."""
+        if other.origin != self.origin:
+            raise ValueError(
+                f"cannot merge batches from origins {self.origin} "
+                f"and {other.origin}"
+            )
+        if other.seq_start != self.seq_end:
+            raise ValueError(
+                f"cannot merge non-adjacent batches: [{self.seq_start}, "
+                f"{self.seq_end}) + [{other.seq_start}, {other.seq_end})"
+            )
+        return OpBatch.build(self.ops + other.ops, self.origin,
+                             self.seq_start)
+
+    def __repr__(self) -> str:
+        return (
+            f"<OpBatch {len(self.ops)} ops @{self.origin} "
+            f"seq [{self.seq_start}, {self.seq_end})>"
+        )

@@ -10,7 +10,7 @@ search and by the allocator's empty-slot reuse).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.disambiguator import Disambiguator
 from repro.core.node import (
@@ -20,6 +20,7 @@ from repro.core.node import (
     AtomSlot,
     MiniNode,
     PosNode,
+    parent_host,
     slot_host,
     slot_is_id_holder,
     slot_is_live,
@@ -163,6 +164,10 @@ class TreedocTree:
         #: Deepest path length materialized so far (drives the balancing
         #: growth factor of section 4.1).
         self.height = 0
+        #: When a bulk section is open, per-host (live, id) count deltas
+        #: accumulate here instead of walking the spine per slot change;
+        #: entries hold the node reference so ``id()`` keys stay unique.
+        self._bulk_deltas: Optional[Dict[int, List]] = None
 
     # -- path <-> structure ---------------------------------------------------
 
@@ -205,8 +210,23 @@ class TreedocTree:
     # -- counts ----------------------------------------------------------------
 
     def _adjust_counts(self, slot: AtomSlot, d_live: int, d_id: int) -> None:
-        """Propagate a slot-state change up the position-node spine."""
+        """Propagate a slot-state change up the position-node spine.
+
+        Inside a bulk section the delta is buffered at the slot's host
+        instead; :meth:`end_bulk` propagates every buffered delta in one
+        bottom-up pass, so a batch touching *n* slots under a shared
+        subtree costs the shared spine once instead of *n* times.
+        """
         if d_live == 0 and d_id == 0:
+            return
+        if self._bulk_deltas is not None:
+            host = slot_host(slot)
+            entry = self._bulk_deltas.get(id(host))
+            if entry is None:
+                self._bulk_deltas[id(host)] = [host, d_live, d_id]
+            else:
+                entry[1] += d_live
+                entry[2] += d_id
             return
         node: Optional[PosNode] = slot_host(slot)
         while node is not None:
@@ -217,6 +237,78 @@ class TreedocTree:
                 break
             container, _ = parent
             node = container.host if isinstance(container, MiniNode) else container
+
+    # -- bulk sections (the apply_batch fast path) --------------------------------
+
+    def begin_bulk(self) -> None:
+        """Open a bulk section: count maintenance is deferred until
+        :meth:`end_bulk`. While open, ``live_length`` / ``id_length`` and
+        the index-to-slot descent are stale — callers must not read them
+        (the Treedoc batch methods resolve every index first).
+        """
+        if self._bulk_deltas is not None:
+            raise TreeError("bulk section already open")
+        self._bulk_deltas = {}
+
+    def end_bulk(self) -> None:
+        """Close the bulk section: propagate the buffered count deltas.
+
+        Deltas are applied level by level, deepest first; a node's delta
+        is pushed into its parent's pending entry, so ancestors shared
+        by many touched slots are visited once with the merged delta.
+        Depths are memoized along shared spines, making the whole flush
+        O(distinct spine nodes). Detached (pruned) nodes keep their
+        parent links, so deltas buffered before a prune still reach the
+        surviving ancestors.
+        """
+        pending = self._bulk_deltas
+        self._bulk_deltas = None
+        if not pending:
+            return
+        depth_cache: Dict[int, int] = {}
+        # All nodes reached below stay alive through the entries' strong
+        # parent links, so id() keys cannot be reused mid-flush.
+        levels: Dict[int, Dict[int, List]] = {}
+        max_depth = 0
+        for node, d_live, d_id in pending.values():
+            trail: List[int] = []
+            current: Optional[PosNode] = node
+            while True:
+                key = id(current)
+                depth = depth_cache.get(key)
+                if depth is not None:
+                    break
+                above = parent_host(current)
+                if above is None:
+                    depth = 0
+                    depth_cache[key] = 0
+                    break
+                trail.append(key)
+                current = above
+            for key in reversed(trail):
+                depth += 1
+                depth_cache[key] = depth
+            if depth > max_depth:
+                max_depth = depth
+            levels.setdefault(depth, {})[id(node)] = [node, d_live, d_id]
+        for depth in range(max_depth, 0, -1):
+            for entry in levels.pop(depth, {}).values():
+                node, d_live, d_id = entry
+                if d_live == 0 and d_id == 0:
+                    continue
+                node.live_count += d_live
+                node.id_count += d_id
+                host = parent_host(node)
+                parent_entry = levels.setdefault(depth - 1, {}).get(id(host))
+                if parent_entry is None:
+                    levels[depth - 1][id(host)] = [host, d_live, d_id]
+                else:
+                    parent_entry[1] += d_live
+                    parent_entry[2] += d_id
+        for entry in levels.pop(0, {}).values():
+            node, d_live, d_id = entry
+            node.live_count += d_live
+            node.id_count += d_id
 
     def recount_subtree(self, node: PosNode,
                         old_counts: Optional[Tuple[int, int]] = None
@@ -230,6 +322,8 @@ class TreedocTree:
         surgery when the surgery itself rewrote the node's cached counts
         (``build_exploded`` does).
         """
+        if self._bulk_deltas is not None:
+            raise TreeError("recount_subtree inside a bulk section")
         old = old_counts if old_counts is not None else (
             node.live_count, node.id_count
         )

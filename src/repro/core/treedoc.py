@@ -30,16 +30,23 @@ from repro.core.flatten import (
     resolve_region,
     subtree_atoms,
 )
-from repro.core.node import AtomSlot, slot_posid
+from repro.core.node import (
+    AtomSlot,
+    parent_host,
+    slot_host,
+    slot_is_live,
+    slot_posid,
+)
 from repro.core.ops import (
     DeleteOp,
     FlattenOp,
     InsertOp,
+    OpBatch,
     Operation,
     content_digest,
 )
 from repro.core.path import PosID
-from repro.core.tree import TreedocTree
+from repro.core.tree import TreedocTree, successor_slot
 from repro.errors import MissingAtomError, TreeError
 
 
@@ -72,6 +79,10 @@ class Treedoc:
         #: bump with :meth:`note_revision` at workload-revision boundaries.
         self.revision = 0
         self._touch_stamps: Dict[int, int] = {}
+        #: Local operation counter: every locally generated insert and
+        #: delete claims one sequence number, so the batches this
+        #: replica mints carry non-overlapping, increasing seq ranges.
+        self._op_seq = 0
 
     # -- queries -----------------------------------------------------------------
 
@@ -111,6 +122,7 @@ class Treedoc:
         Returns the operation to broadcast to other replicas.
         """
         p_slot, f_slot = self._neighbours(index)
+        self._claim_seqs(1)
         slot = self.allocator.place_between(p_slot, f_slot,
                                             self._dis_factory.fresh())
         self.tree.set_live(slot, atom)
@@ -118,27 +130,47 @@ class Treedoc:
         self._touch(slot)
         return InsertOp(posid, atom, self.site)
 
-    def insert_run(self, index: int, atoms: Sequence[object]) -> List[InsertOp]:
-        """Insert a consecutive run of atoms starting at ``index``.
+    def insert_text(self, index: int, atoms: Sequence[object]) -> OpBatch:
+        """Insert a consecutive run of atoms starting at ``index``;
+        returns one :class:`OpBatch` to broadcast.
 
-        With balancing enabled the run is grouped into one minimal
-        subtree (section 5.1's balancing variant).
+        This is the batch fast path: with balancing enabled the run is
+        grouped into one minimal subtree (section 5.1's balancing
+        variant), and the live-index/length bookkeeping is deferred to
+        the end of the batch instead of being maintained per atom.
         """
+        atoms = list(atoms)
         if not atoms:
-            return []
+            return OpBatch.build((), self.site, self._claim_seqs(0))
         p_slot, f_slot = self._neighbours(index)
+        # Sequence numbers claim only after validation: a failed edit
+        # must not leave a gap in this origin's batch seq ranges.
+        seq_start = self._claim_seqs(len(atoms))
         dises = [self._dis_factory.fresh() for _ in atoms]
         slots = self.allocator.place_run(p_slot, f_slot, dises)
         ops: List[InsertOp] = []
-        for slot, atom in zip(slots, atoms):
-            self.tree.set_live(slot, atom)
-            self._touch(slot)
-            ops.append(InsertOp(slot_posid(slot), atom, self.site))
-        return ops
+        self.tree.begin_bulk()
+        try:
+            for slot, atom in zip(slots, atoms):
+                self.tree.set_live(slot, atom)
+                ops.append(InsertOp(slot_posid(slot), atom, self.site))
+        finally:
+            self.tree.end_bulk()
+        self._touch_many(slots)
+        return OpBatch.build(ops, self.site, seq_start)
+
+    def insert_run(self, index: int, atoms: Sequence[object]) -> List[InsertOp]:
+        """Insert a consecutive run of atoms starting at ``index``.
+
+        Compatibility wrapper over :meth:`insert_text`, returning the
+        batch's operations as a list.
+        """
+        return list(self.insert_text(index, atoms).ops)
 
     def delete(self, index: int) -> DeleteOp:
         """Delete the visible atom at ``index``; returns the operation."""
         slot = self.tree.live_slot_at(index)
+        self._claim_seqs(1)
         posid = slot_posid(slot)
         self._touch(slot)
         if self.keeps_tombstones:
@@ -147,11 +179,58 @@ class Treedoc:
             self.tree.discard(slot)
         return DeleteOp(posid, self.site)
 
+    def delete_range(self, start: int, end: int) -> OpBatch:
+        """Delete the visible atoms in ``[start, end)``; returns one
+        :class:`OpBatch` to broadcast.
+
+        The range is resolved once — an index descent for ``start``,
+        then successor walks — instead of re-resolving a live index per
+        deleted atom, and count maintenance is deferred to batch end.
+        """
+        length = self.tree.live_length
+        if not 0 <= start <= end <= length:
+            raise IndexError(f"range [{start}, {end}) out of range 0..{length}")
+        count = end - start
+        seq_start = self._claim_seqs(count)
+        if count == 0:
+            return OpBatch.build((), self.site, seq_start)
+        slot: Optional[AtomSlot] = self.tree.live_slot_at(start)
+        slots: List[AtomSlot] = [slot]
+        while len(slots) < count:
+            slot = successor_slot(slot)
+            while slot is not None and not slot_is_live(slot):
+                slot = successor_slot(slot)
+            if slot is None:
+                raise TreeError("live count out of sync with slot walk")
+            slots.append(slot)
+        ops = tuple(DeleteOp(slot_posid(s), self.site) for s in slots)
+        self._touch_many(slots)
+        self.tree.begin_bulk()
+        try:
+            for s in slots:
+                if self.keeps_tombstones:
+                    self.tree.make_tombstone(s)
+                else:
+                    self.tree.discard(s)
+        finally:
+            self.tree.end_bulk()
+        return OpBatch.build(ops, self.site, seq_start)
+
+    def replace_range(self, start: int, end: int,
+                      atoms: Sequence[object]) -> OpBatch:
+        """Replace ``[start, end)`` by ``atoms`` (a modify: delete +
+        insert, the paper's model of modification); returns one batch
+        covering both halves."""
+        deleted = self.delete_range(start, end)
+        inserted = self.insert_text(start, atoms)
+        return deleted.merge(inserted)
+
     def delete_posid(self, posid: PosID) -> DeleteOp:
         """Delete by identifier (initiator must hold the atom)."""
         slot = self.tree.lookup(posid)
         if slot is None or slot.state != "live":
             raise MissingAtomError(f"no live atom at {posid!r}")
+        self._claim_seqs(1)
         self._touch(slot)
         if self.keeps_tombstones:
             self.tree.make_tombstone(slot)
@@ -162,10 +241,12 @@ class Treedoc:
     # -- remote replay ----------------------------------------------------------------
 
     def apply(self, op: Operation) -> None:
-        """Replay a (remote) operation. Operations must arrive in an
-        order compatible with happened-before; the replication layer's
-        causal broadcast guarantees it."""
-        if isinstance(op, InsertOp):
+        """Replay a (remote) operation or batch. Operations must arrive
+        in an order compatible with happened-before; the replication
+        layer's causal broadcast guarantees it."""
+        if isinstance(op, OpBatch):
+            self.apply_batch(op)
+        elif isinstance(op, InsertOp):
             slot = self.tree.apply_insert(op.posid, op.atom)
             self._touch(slot)
         elif isinstance(op, DeleteOp):
@@ -179,8 +260,47 @@ class Treedoc:
         else:
             raise TreeError(f"unknown operation {op!r}")
 
+    def apply_batch(self, batch: OpBatch) -> None:
+        """Replay a remote batch with deferred index maintenance.
+
+        Semantically identical to applying the batch's operations one by
+        one, but per-operation spine walks (live/id count propagation
+        and cold-region touch stamps) are coalesced: shared ancestors
+        are visited once per batch instead of once per operation.
+        Flatten operations flush the bulk section around themselves,
+        since they recount structure.
+        """
+        ops = batch.ops if isinstance(batch, OpBatch) else tuple(batch)
+        if len(ops) <= 1:
+            for op in ops:
+                self.apply(op)
+            return
+        touched: List[AtomSlot] = []
+        self.tree.begin_bulk()
+        try:
+            for op in ops:
+                if isinstance(op, InsertOp):
+                    touched.append(self.tree.apply_insert(op.posid, op.atom))
+                elif isinstance(op, DeleteOp):
+                    slot = self.tree.apply_delete(
+                        op.posid, keep_tombstone=self.keeps_tombstones
+                    )
+                    if slot is not None:
+                        touched.append(slot)
+                elif isinstance(op, FlattenOp):
+                    self.tree.end_bulk()
+                    self._touch_many(touched)
+                    touched = []
+                    self.apply_flatten(op)
+                    self.tree.begin_bulk()
+                else:
+                    raise TreeError(f"unknown operation {op!r}")
+        finally:
+            self.tree.end_bulk()
+        self._touch_many(touched)
+
     def apply_all(self, ops: Iterable[Operation]) -> None:
-        """Replay a sequence of operations."""
+        """Replay a sequence of operations (or batches)."""
         for op in ops:
             self.apply(op)
 
@@ -246,6 +366,12 @@ class Treedoc:
 
     # -- internals ---------------------------------------------------------------------
 
+    def _claim_seqs(self, count: int) -> int:
+        """Reserve ``count`` local sequence numbers; returns the first."""
+        start = self._op_seq
+        self._op_seq = start + count
+        return start
+
     def _neighbours(self, index: int):
         """Adjacent used identifiers around visible position ``index``
         (DESIGN.md section 3.2: the successor includes tombstones)."""
@@ -262,16 +388,27 @@ class Treedoc:
     def _touch(self, slot: AtomSlot) -> None:
         """Stamp the position-node spine of ``slot`` with the current
         revision (cold-region bookkeeping)."""
-        from repro.core.node import MiniNode, slot_host
-
         node = slot_host(slot)
         while node is not None:
             self._touch_stamps[id(node)] = self.revision
-            parent = node.parent
-            if parent is None:
-                break
-            container, _ = parent
-            node = container.host if isinstance(container, MiniNode) else container
+            node = parent_host(node)
+
+    def _touch_many(self, slots: Sequence[AtomSlot]) -> None:
+        """Batch version of :meth:`_touch`: stamp the spines of many
+        slots, visiting each shared ancestor once per call instead of
+        once per slot."""
+        stamps = self._touch_stamps
+        revision = self.revision
+        seen: set = set()
+        for slot in slots:
+            node = slot_host(slot)
+            while node is not None:
+                key = id(node)
+                if key in seen:
+                    break
+                seen.add(key)
+                stamps[key] = revision
+                node = parent_host(node)
 
     def _touch_region(self, path: PosID) -> None:
         node = resolve_region(self.tree, path)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.core.ops import Operation
+from repro.core.ops import OpBatch, Operation
 from repro.core.path import PosID
 from repro.core.treedoc import Treedoc
 from repro.errors import ReproError
@@ -79,29 +79,43 @@ class EditorBuffer:
         return sum(len(line) + 1 for line in lines[:line_number])
 
     # -- local editing -----------------------------------------------------------
+    #
+    # Each edit has a batch form returning one OpBatch (the wire unit —
+    # one causal envelope per edit) and a list-of-ops compatibility
+    # wrapper with the original signature.
+
+    def insert_batch(self, offset: int, text: str) -> OpBatch:
+        """Type ``text`` at ``offset``; returns one batch to broadcast."""
+        if not 0 <= offset <= len(self.doc):
+            raise IndexError(f"offset {offset} out of range")
+        return self.doc.insert_text(offset, list(text))
+
+    def delete_batch(self, start: int, end: int) -> OpBatch:
+        """Delete characters in ``[start, end)``; returns one batch."""
+        if not 0 <= start <= end <= len(self.doc):
+            raise IndexError(f"range [{start}, {end}) out of range")
+        return self.doc.delete_range(start, end)
+
+    def replace_batch(self, start: int, end: int, text: str) -> OpBatch:
+        """Delete a range and type over it (a modify: delete + insert,
+        exactly the paper's model of modification); one batch carries
+        both halves."""
+        if not 0 <= start <= end <= len(self.doc):
+            raise IndexError(f"range [{start}, {end}) out of range")
+        return self.doc.replace_range(start, end, list(text))
 
     def insert_text(self, offset: int, text: str) -> List[Operation]:
         """Type ``text`` at ``offset``; returns the ops to broadcast."""
-        if not 0 <= offset <= len(self.doc):
-            raise IndexError(f"offset {offset} out of range")
-        return list(self.doc.insert_run(offset, list(text)))
+        return list(self.insert_batch(offset, text).ops)
 
     def delete_range(self, start: int, end: int) -> List[Operation]:
         """Delete characters in ``[start, end)``; returns the ops."""
-        if not 0 <= start <= end <= len(self.doc):
-            raise IndexError(f"range [{start}, {end}) out of range")
-        ops = []
-        for _ in range(end - start):
-            ops.append(self.doc.delete(start))
-        return ops
+        return list(self.delete_batch(start, end).ops)
 
     def replace_range(self, start: int, end: int,
                       text: str) -> List[Operation]:
-        """Delete a range and type over it (a modify: delete + insert,
-        exactly the paper's model of modification)."""
-        ops = self.delete_range(start, end)
-        ops.extend(self.insert_text(start, text))
-        return ops
+        """Compatibility wrapper over :meth:`replace_batch`."""
+        return list(self.replace_batch(start, end, text).ops)
 
     def insert_line(self, line_number: int, line: str) -> List[Operation]:
         """Insert a whole line (with its newline) before ``line_number``."""
@@ -117,8 +131,12 @@ class EditorBuffer:
     # -- remote operations -----------------------------------------------------------
 
     def apply(self, op: Operation) -> None:
-        """Replay a remote operation (causal order assumed)."""
+        """Replay a remote operation or batch (causal order assumed)."""
         self.doc.apply(op)
+
+    def apply_batch(self, batch: OpBatch) -> None:
+        """Replay a remote batch through the deferred-index fast path."""
+        self.doc.apply_batch(batch)
 
     def apply_all(self, ops) -> None:
         for op in ops:

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.disambiguator import SiteId
-from repro.core.ops import DeleteOp, FlattenOp, InsertOp
+from repro.core.ops import DeleteOp, FlattenOp, InsertOp, OpBatch
 from repro.editor.buffer import Cursor, EditorBuffer
 from repro.errors import ReplicationError
 from repro.replication.broadcast import CausalBroadcast, CausalEnvelope
@@ -28,27 +28,28 @@ class EditorSession:
             site, network, self._on_deliver, register=True
         )
 
-    # -- editing (each call applies locally and broadcasts) ---------------------
+    # -- editing (each call applies locally and broadcasts ONE batch envelope) --
 
     def type(self, offset: int, text: str) -> None:
         """Type ``text`` at a character offset."""
-        for op in self.buffer.insert_text(offset, text):
-            self.broadcast.broadcast(op)
+        self._send(self.buffer.insert_batch(offset, text))
 
     def type_at(self, cursor: Cursor, text: str) -> None:
         """Type at a cursor (which stays glued to its anchor)."""
-        for op in self.buffer.type_at(cursor, text):
-            self.broadcast.broadcast(op)
+        self._send(self.buffer.insert_batch(cursor.offset, text))
 
     def erase(self, start: int, end: int) -> None:
         """Delete the character range ``[start, end)``."""
-        for op in self.buffer.delete_range(start, end):
-            self.broadcast.broadcast(op)
+        self._send(self.buffer.delete_batch(start, end))
 
     def replace(self, start: int, end: int, text: str) -> None:
-        """Overwrite a range."""
-        for op in self.buffer.replace_range(start, end, text):
-            self.broadcast.broadcast(op)
+        """Overwrite a range; the delete and insert halves travel in
+        one envelope."""
+        self._send(self.buffer.replace_batch(start, end, text))
+
+    def _send(self, batch: OpBatch) -> None:
+        if batch.ops:
+            self.broadcast.broadcast(batch)
 
     def cursor(self, offset: int = 0, name: str = "") -> Cursor:
         """A cursor pinned at ``offset``."""
@@ -60,6 +61,9 @@ class EditorSession:
     # -- delivery -------------------------------------------------------------------
 
     def _on_deliver(self, origin: SiteId, payload: object) -> None:
+        if isinstance(payload, OpBatch):
+            self.buffer.apply_batch(payload)
+            return
         if not isinstance(payload, (InsertOp, DeleteOp, FlattenOp)):
             raise ReplicationError(f"unexpected payload {payload!r}")
         self.buffer.apply(payload)

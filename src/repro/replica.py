@@ -1,0 +1,186 @@
+"""The :class:`Replica` façade: one replica behind a small, stable API.
+
+``Treedoc`` exposes the full machinery of the paper — trees, allocators,
+disambiguators, flatten. Most callers (examples, workload replay,
+benchmarks, application embeddings) need only four verbs:
+
+- :meth:`Replica.edit` — perform one local edit (insert, delete or
+  replace of a contiguous range) and get back the single
+  :class:`repro.core.ops.OpBatch` to ship;
+- :meth:`Replica.pending` — drain the batches minted locally since the
+  last drain (the replication outbox);
+- :meth:`Replica.merge` — replay a remote batch (or bare operation)
+  through the deferred-index fast path;
+- :meth:`Replica.snapshot` — an immutable view of the visible document
+  with a content digest for convergence checks.
+
+Keeping callers on this surface — instead of reaching into
+``doc.tree`` internals — is what lets the underlying representation
+keep evolving (sharding, async application, alternative backends)
+without breaking them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.core.disambiguator import SiteId
+from repro.core.ops import (
+    DeleteOp,
+    FlattenOp,
+    InsertOp,
+    OpBatch,
+    content_digest,
+)
+from repro.core.treedoc import Treedoc
+from repro.errors import ReproError
+
+#: What merge accepts: one batch, one bare operation, or an iterable of
+#: either (e.g. another replica's drained outbox).
+Patch = Union[OpBatch, InsertOp, DeleteOp, FlattenOp]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An immutable view of one replica's visible document."""
+
+    site: SiteId
+    atoms: Tuple[object, ...]
+    digest: str
+
+    @property
+    def text(self) -> str:
+        """The snapshot joined as a string (character atoms)."""
+        return "".join(str(a) for a in self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __eq__(self, other: object) -> bool:
+        """Snapshots compare by content, not by site: two converged
+        replicas' snapshots are equal."""
+        if isinstance(other, Snapshot):
+            return self.atoms == other.atoms
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.atoms)
+
+
+class Replica:
+    """One replica of the shared sequence, batch-first.
+
+    Example
+    -------
+
+        >>> from repro import Replica
+        >>> a, b = Replica(site=1), Replica(site=2)
+        >>> batch = a.edit(0, 0, "hello")
+        >>> b.merge(batch)
+        5
+        >>> b.snapshot().text
+        'hello'
+    """
+
+    def __init__(self, site: SiteId, mode: str = "udis",
+                 balanced: bool = True) -> None:
+        self.doc = Treedoc(site, mode=mode, balanced=balanced)
+        self._outbox: List[OpBatch] = []
+        #: Batches merged from remote replicas (monitoring aid).
+        self.merged_batches = 0
+
+    @property
+    def site(self) -> SiteId:
+        return self.doc.site
+
+    # -- local editing ------------------------------------------------------------
+
+    def edit(self, start: int, end: int,
+             atoms: Sequence[object] = ()) -> OpBatch:
+        """Replace the visible range ``[start, end)`` by ``atoms``.
+
+        The one local-edit verb: ``edit(i, i, "x")`` inserts,
+        ``edit(i, j)`` deletes, ``edit(i, j, "x")`` replaces. A string
+        is treated as a sequence of character atoms. Returns the single
+        batch to ship; it is also queued in :meth:`pending`.
+        """
+        atom_list = list(atoms)
+        batch = self.doc.replace_range(start, end, atom_list)
+        if batch.ops:
+            self._outbox.append(batch)
+        return batch
+
+    def insert(self, index: int, atoms: Sequence[object]) -> OpBatch:
+        """Insert ``atoms`` at ``index`` (sugar over :meth:`edit`)."""
+        return self.edit(index, index, atoms)
+
+    def delete(self, start: int, end: int) -> OpBatch:
+        """Delete ``[start, end)`` (sugar over :meth:`edit`)."""
+        return self.edit(start, end)
+
+    # -- replication --------------------------------------------------------------
+
+    def pending(self, clear: bool = True) -> List[OpBatch]:
+        """Batches minted locally since the last drain, in order.
+
+        With ``clear`` (the default) the outbox empties: ship the
+        returned batches, in order, to every other replica.
+        """
+        batches = list(self._outbox)
+        if clear:
+            self._outbox.clear()
+        return batches
+
+    def merge(self, patch: Union[Patch, Iterable[Patch]],
+              verify: bool = True) -> int:
+        """Replay remote work; returns the number of operations applied.
+
+        Accepts one batch, one bare operation, or an iterable of either
+        (a peer's drained outbox). Batches must arrive in an order
+        compatible with happened-before — per-origin outbox order
+        satisfies this for two-replica exchanges; multi-replica overlay
+        delivery belongs to :mod:`repro.replication`. With ``verify``
+        (the default) each batch's content digest is checked first.
+        """
+        if isinstance(patch, OpBatch):
+            if verify and not patch.verify():
+                raise ReproError(
+                    f"batch digest mismatch from site {patch.origin}: "
+                    "corrupted in transport?"
+                )
+            self.doc.apply_batch(patch)
+            self.merged_batches += 1
+            return len(patch.ops)
+        if isinstance(patch, (InsertOp, DeleteOp, FlattenOp)):
+            self.doc.apply(patch)
+            return 1
+        if isinstance(patch, (str, bytes)):
+            raise TypeError(
+                "merge takes batches or operations, not text; "
+                "use edit() for local changes"
+            )
+        applied = 0
+        for item in patch:
+            applied += self.merge(item, verify=verify)
+        return applied
+
+    # -- queries ------------------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """An immutable, digest-stamped view of the visible document."""
+        atoms = tuple(self.doc.atoms())
+        return Snapshot(self.site, atoms, content_digest(atoms))
+
+    def text(self, separator: str = "") -> str:
+        """The visible document as a string."""
+        return self.doc.text(separator)
+
+    def __len__(self) -> int:
+        return len(self.doc)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Replica site={self.site} atoms={len(self)} "
+            f"outbox={len(self._outbox)}>"
+        )

@@ -6,6 +6,11 @@ it: each broadcast carries the sender's clock; a receiver delivers a
 message once it has delivered everything the sender had, buffering it
 otherwise. Duplicates (from the lossy transport's retransmissions) are
 filtered by the per-origin sequence number embedded in the clock.
+
+Payloads are opaque; with the batch-first API one envelope carries one
+:class:`repro.core.ops.OpBatch` (a whole typed string, deleted range or
+replayed revision), so the per-envelope vector-clock stamp and delivery
+test are paid once per edit, not once per atom.
 """
 
 from __future__ import annotations

@@ -14,7 +14,7 @@ import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.disambiguator import SiteId
-from repro.core.ops import DeleteOp, FlattenOp, InsertOp, Operation
+from repro.core.ops import DeleteOp, FlattenOp, InsertOp, OpBatch, Operation
 from repro.core.path import PosID
 from repro.core.treedoc import Treedoc
 from repro.errors import CommitError, ReplicationError
@@ -78,13 +78,18 @@ class ReplicaSite:
         self._ship(op)
         return op
 
-    def insert_run(self, index: int, atoms: Sequence[object]) -> List[InsertOp]:
-        """Insert a consecutive run locally and broadcast each atom."""
+    def insert_text(self, index: int, atoms: Sequence[object]) -> OpBatch:
+        """Insert a consecutive run locally and broadcast it as ONE
+        causal envelope; returns the batch."""
         self._check_unlocked_for_insert(index)
-        ops = self.doc.insert_run(index, atoms)
-        for op in ops:
-            self._ship(op)
-        return ops
+        batch = self.doc.insert_text(index, atoms)
+        self._ship_batch(batch)
+        return batch
+
+    def insert_run(self, index: int, atoms: Sequence[object]) -> List[InsertOp]:
+        """Compatibility wrapper over :meth:`insert_text` (one envelope
+        per run, not one per atom)."""
+        return list(self.insert_text(index, atoms).ops)
 
     def delete(self, index: int) -> DeleteOp:
         """Delete locally and broadcast; returns the operation."""
@@ -101,6 +106,34 @@ class ReplicaSite:
                 (op.posid, self.site, self.broadcast.clock.get(self.site))
             )
         return op
+
+    def delete_range(self, start: int, end: int) -> OpBatch:
+        """Delete ``[start, end)`` locally and broadcast it as ONE
+        causal envelope; returns the batch."""
+        self._check_range_unlocked(start, end, "delete")
+        batch = self.doc.delete_range(start, end)
+        self._ship_batch(batch)
+        return batch
+
+    def replace_range(self, start: int, end: int,
+                      atoms: Sequence[object]) -> OpBatch:
+        """Replace ``[start, end)`` by ``atoms``; one envelope carries
+        the whole modify (delete + insert)."""
+        self._check_range_unlocked(start, end, "replace")
+        self._check_unlocked_for_insert(start)
+        batch = self.doc.replace_range(start, end, atoms)
+        self._ship_batch(batch)
+        return batch
+
+    def _check_range_unlocked(self, start: int, end: int, verb: str) -> None:
+        if not len(self._locks):
+            return
+        for index in range(start, end):
+            if self._locks.is_locked(self.doc.posid_at(index).bits()):
+                raise RegionLockedError(
+                    f"site {self.site}: {verb} at {index} hits a region "
+                    "locked by a pending flatten"
+                )
 
     def _check_unlocked_for_insert(self, index: int) -> None:
         """An insert lands between its neighbours; if either neighbour
@@ -123,6 +156,20 @@ class ReplicaSite:
         envelope = self.broadcast.broadcast(op)
         self._log_op(op, op.origin, envelope.sequence)
         self.applied_ops.append(op)
+
+    def _ship_batch(self, batch: OpBatch) -> None:
+        """Broadcast one causal envelope carrying the whole batch; the
+        batch counts as a single causal event."""
+        if not batch.ops:
+            return
+        envelope = self.broadcast.broadcast(batch)
+        for op in batch.ops:
+            self._log_op(op, batch.origin, envelope.sequence)
+            if self.tombstone_gc and isinstance(op, DeleteOp):
+                self._delete_log.append(
+                    (op.posid, self.site, envelope.sequence)
+                )
+        self.applied_ops.extend(batch.ops)
 
     # -- flatten / commitment -------------------------------------------------------
 
@@ -216,6 +263,21 @@ class ReplicaSite:
 
         if isinstance(payload, AckMsg):
             self._record_ack(payload)
+            return
+        if isinstance(payload, OpBatch):
+            self.doc.apply_batch(payload)
+            sequence = self.broadcast.clock.get(origin)
+            for op in payload.ops:
+                self._log_op(op, origin, sequence)
+                if isinstance(op, DeleteOp) and self.tombstone_gc:
+                    self._delete_log.append((op.posid, origin, sequence))
+                if isinstance(op, FlattenOp) and op.txn is not None:
+                    # Same as the bare-operation path below: a committed
+                    # flatten is the outcome message, release the vote
+                    # lock (no current producer batches flattens, but
+                    # apply_batch supports them).
+                    self._locks.unlock(op.txn)
+            self.applied_ops.extend(payload.ops)
             return
         if not isinstance(payload, (InsertOp, DeleteOp, FlattenOp)):
             raise ReplicationError(f"unexpected causal payload {payload!r}")

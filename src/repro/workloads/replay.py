@@ -57,7 +57,7 @@ def replay_history(
     """
     result = ReplayResult(history.name)
     started = time.perf_counter()
-    doc.insert_run(0, list(history.initial.atoms))
+    doc.insert_text(0, list(history.initial.atoms))
     doc.note_revision()
     result.inserts += len(history.initial)
     if probe is not None:
@@ -66,14 +66,13 @@ def replay_history(
         for op in edit_script(previous.atoms, current.atoms):
             if op.kind == "insert":
                 if use_runs:
-                    doc.insert_run(op.index, list(op.atoms))
+                    doc.insert_text(op.index, list(op.atoms))
                 else:
                     for offset, atom in enumerate(op.atoms):
                         doc.insert(op.index + offset, atom)
                 result.inserts += len(op.atoms)
             else:
-                for _ in range(op.count):
-                    doc.delete(op.index)
+                doc.delete_range(op.index, op.index + op.count)
                 result.deletes += op.count
         revision = doc.note_revision()
         if flatten_every and revision % flatten_every == 0:
@@ -102,20 +101,19 @@ def replay_into(
     """Replay ``history`` into any sequence CRDT (baseline comparisons)."""
     result = ReplayResult(history.name)
     started = time.perf_counter()
-    doc.insert_run(0, list(history.initial.atoms))
+    doc.insert_text(0, list(history.initial.atoms))
     result.inserts += len(history.initial)
     for previous, current in history.pairs():
         for op in edit_script(previous.atoms, current.atoms):
             if op.kind == "insert":
                 if use_runs:
-                    doc.insert_run(op.index, list(op.atoms))
+                    doc.insert_text(op.index, list(op.atoms))
                 else:
                     for offset, atom in enumerate(op.atoms):
                         doc.insert(op.index + offset, atom)
                 result.inserts += len(op.atoms)
             else:
-                for _ in range(op.count):
-                    doc.delete(op.index)
+                doc.delete_range(op.index, op.index + op.count)
                 result.deletes += op.count
         result.revisions += 1
         if doc.atoms() != list(current.atoms):

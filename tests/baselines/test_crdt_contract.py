@@ -2,7 +2,11 @@
 
 Each implementation must behave like a replicated list: local edits have
 list semantics, remote replay in causal order converges, deletes are
-idempotent against duplicates of themselves.
+idempotent against duplicates of themselves. The batch contract rides on
+top: ``insert_text`` / ``delete_range`` return one
+:class:`repro.core.ops.OpBatch` per local edit, ``apply_batch`` replays
+one, and batch-apply must be indistinguishable from sequential apply —
+including under interleaved concurrent batches from several sites.
 """
 
 import random
@@ -12,6 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import LogootDoc, RgaDoc, TreedocAdapter, WootDoc
+from repro.core.ops import OpBatch
 from tests.conftest import exchange_rounds
 
 FACTORIES = {
@@ -103,6 +108,126 @@ class TestConvergenceProperty:
         make = FACTORIES[name]
         a, b = make(1), make(2)
         exchange_rounds(a, b, rng, rounds=8)
+
+
+def _random_batch(doc, rng, tag):
+    """One random local batch edit; returns the OpBatch to ship."""
+    length = len(doc)
+    if length > 4 and rng.random() < 0.4:
+        start = rng.randrange(length - 2)
+        return doc.delete_range(start, start + rng.randint(1, 2))
+    index = rng.randint(0, length)
+    atoms = [f"{tag}.{k}" for k in range(rng.randint(1, 4))]
+    return doc.insert_text(index, atoms)
+
+
+class TestBatchContract:
+    def test_insert_text_returns_one_batch(self, factory):
+        doc = factory(1)
+        batch = doc.insert_text(0, list("abc"))
+        assert isinstance(batch, OpBatch)
+        assert len(batch) == 3
+        assert batch.origin == 1
+        assert batch.verify()
+        assert doc.atoms() == list("abc")
+
+    def test_delete_range_returns_one_batch(self, factory):
+        doc = factory(1)
+        doc.insert_text(0, list("abcdef"))
+        batch = doc.delete_range(1, 4)
+        assert isinstance(batch, OpBatch)
+        assert len(batch) == 3
+        assert doc.atoms() == list("aef")
+
+    def test_batch_bounds_checked(self, factory):
+        doc = factory(1)
+        doc.insert_text(0, list("abc"))
+        with pytest.raises(IndexError):
+            doc.insert_text(5, ["x"])
+        with pytest.raises(IndexError):
+            doc.delete_range(1, 7)
+
+    def test_insert_run_matches_single_inserts(self, factory):
+        """Regression for the quadratic one-by-one default: the batch
+        path must produce the same visible sequence as single inserts,
+        and its operations must replay to the same state remotely."""
+        run_doc, single_doc = factory(1), factory(1)
+        run_doc.insert_run(0, list("hello world"))
+        for offset, atom in enumerate("hello world"):
+            single_doc.insert(offset, atom)
+        assert run_doc.atoms() == single_doc.atoms()
+        # A mid-document run, replayed on a replica.
+        ops = run_doc.insert_run(5, list("XYZ"))
+        for offset, atom in enumerate("XYZ"):
+            single_doc.insert(5 + offset, atom)
+        assert run_doc.atoms() == single_doc.atoms()
+        source, mirror = factory(1), factory(2)
+        mirror.apply_batch(source.insert_text(0, list("abcd")))
+        mirror.apply_batch(source.insert_text(2, list("123")))
+        mirror.apply_batch(source.insert_text(0, []))  # empty batch ok
+        assert mirror.atoms() == source.atoms()
+
+    def test_apply_batch_equals_sequential_apply(self, factory):
+        rng = random.Random(31)
+        source = factory(1)
+        fast, slow = factory(2), factory(3)
+        for step in range(30):
+            batch = _random_batch(source, rng, f"s{step}")
+            fast.apply_batch(batch)
+            for op in batch.ops:
+                slow.apply(op)
+            assert fast.atoms() == slow.atoms() == source.atoms(), step
+
+    def test_concurrent_batches_converge(self, factory):
+        """Two sites edit in batches concurrently; each applies the
+        other's batches (one with apply_batch, one op-by-op) and both
+        must converge every round."""
+        rng = random.Random(47)
+        a, b = factory(1), factory(2)
+        for round_number in range(15):
+            batches_a = [_random_batch(a, rng, f"a{round_number}.{i}")
+                         for i in range(rng.randint(0, 2))]
+            batches_b = [_random_batch(b, rng, f"b{round_number}.{i}")
+                         for i in range(rng.randint(0, 2))]
+            for batch in batches_b:
+                a.apply_batch(batch)
+            for batch in batches_a:
+                for op in batch.ops:
+                    b.apply(op)
+            assert a.atoms() == b.atoms(), f"diverged in round {round_number}"
+
+    def test_batch_seq_ranges_are_monotonic(self, factory):
+        doc = factory(1)
+        first = doc.insert_text(0, list("ab"))
+        second = doc.insert_text(0, list("cd"))
+        third = doc.delete_range(0, 1)
+        assert first.seq_end <= second.seq_start
+        assert second.seq_end <= third.seq_start
+
+
+class TestBatchConvergenceProperty:
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_interleaved_concurrent_batches(self, name, seed):
+        """Hypothesis property: batch-apply ≡ sequential-apply under
+        interleaved concurrent batches, across all implementations."""
+        rng = random.Random(seed)
+        make = FACTORIES[name]
+        a, b = make(1), make(2)
+        for round_number in range(6):
+            batches_a = [_random_batch(a, rng, f"a{round_number}.{i}")
+                         for i in range(rng.randint(0, 3))]
+            batches_b = [_random_batch(b, rng, f"b{round_number}.{i}")
+                         for i in range(rng.randint(0, 3))]
+            # a replays b's work batch-wise; b replays a's op-wise: the
+            # two application styles must stay indistinguishable.
+            for batch in batches_b:
+                a.apply_batch(batch)
+            for batch in batches_a:
+                for op in batch.ops:
+                    b.apply(op)
+            assert a.atoms() == b.atoms(), f"diverged in round {round_number}"
 
 
 class TestOverheadHooks:

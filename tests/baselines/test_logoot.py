@@ -99,6 +99,25 @@ class TestConcurrentTies:
         ids = a.identifiers()
         assert ids == sorted(ids) and len(set(ids)) == len(ids)
 
+    def test_insert_into_digit_tied_gap_lands_between(self):
+        """Regression: with digit-tied neighbours (concurrent inserts
+        that picked the same digit, ordered only by site/clock), the
+        fresh identifier must be an *extension* of the left neighbour —
+        the old arithmetic could mint a greater digit at the same level
+        and silently misplace the atom after the right neighbour."""
+        from repro.baselines.logoot import LogootInsert
+
+        doc = LogootDoc(1, seed=7)
+        doc.apply(LogootInsert(((24, 1, 5),), "L", 1))
+        doc.apply(LogootInsert(((24, 2, 3),), "R", 2))
+        doc.insert(1, "M")
+        assert doc.atoms() == ["L", "M", "R"]
+        # Chained batch inserts into the same tied gap stay in place.
+        doc.insert_text(1, ["a", "b", "c"])
+        assert doc.atoms() == ["L", "a", "b", "c", "M", "R"]
+        ids = doc.identifiers()
+        assert ids == sorted(ids)
+
     def test_identifier_collision_detected(self):
         doc = LogootDoc(1, seed=1)
         op = doc.insert(0, "x")

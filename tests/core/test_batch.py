@@ -1,0 +1,202 @@
+"""OpBatch semantics and the Treedoc batch fast paths."""
+
+import random
+
+import pytest
+
+from repro.core.ops import DeleteOp, InsertOp, OpBatch, batch_digest
+from repro.core.path import ROOT
+from repro.core.treedoc import Treedoc
+from repro.errors import TreeError
+
+MODES = ["udis", "sdis"]
+
+
+class TestOpBatch:
+    def test_build_computes_digest_and_range(self):
+        doc = Treedoc(site=1)
+        batch = doc.insert_text(0, "abc")
+        assert len(batch) == 3
+        assert batch.origin == 1
+        assert (batch.seq_start, batch.seq_end) == (0, 3)
+        assert batch.digest == batch_digest(batch.ops)
+        assert batch.verify()
+
+    def test_tampering_breaks_verify(self):
+        doc = Treedoc(site=1)
+        batch = doc.insert_text(0, "abc")
+        forged = OpBatch(batch.ops[:2], batch.origin, batch.seq_start,
+                         batch.seq_end, batch.digest)
+        assert not forged.verify()
+
+    def test_merge_requires_same_origin_and_adjacency(self):
+        doc = Treedoc(site=1)
+        first = doc.insert_text(0, "ab")
+        second = doc.insert_text(2, "cd")
+        merged = first.merge(second)
+        assert len(merged) == 4
+        assert (merged.seq_start, merged.seq_end) == (0, 4)
+        assert merged.verify()
+        with pytest.raises(ValueError):
+            second.merge(first)  # not adjacent in that order
+        other = Treedoc(site=2).insert_text(0, "x")
+        with pytest.raises(ValueError):
+            first.merge(other)  # different origin
+
+    def test_empty_batch_is_falsy(self):
+        doc = Treedoc(site=1)
+        batch = doc.insert_text(0, "")
+        assert not batch
+        assert len(batch) == 0
+        assert batch.verify()
+
+    def test_iteration_yields_ops_in_order(self):
+        doc = Treedoc(site=1)
+        batch = doc.insert_text(0, "xyz")
+        assert [op.atom for op in batch] == ["x", "y", "z"]
+        assert all(isinstance(op, InsertOp) for op in batch)
+
+    def test_seq_ranges_cover_every_local_op(self):
+        doc = Treedoc(site=1)
+        doc.insert(0, "a")          # seq 0
+        batch = doc.insert_text(1, "bc")   # seqs 1, 2
+        assert (batch.seq_start, batch.seq_end) == (1, 3)
+        doc.delete(0)               # seq 3
+        batch = doc.delete_range(0, 2)     # seqs 4, 5
+        assert (batch.seq_start, batch.seq_end) == (4, 6)
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestLocalBatchEdits:
+    def test_insert_text_matches_singles(self, mode):
+        batched = Treedoc(site=1, mode=mode)
+        singles = Treedoc(site=1, mode=mode, balanced=False)
+        batched.insert_text(0, "hello world")
+        for i, c in enumerate("hello world"):
+            singles.insert(i, c)
+        assert batched.text() == singles.text() == "hello world"
+        batched.check()
+
+    def test_delete_range_matches_delete_loop(self, mode):
+        a = Treedoc(site=1, mode=mode)
+        b = Treedoc(site=1, mode=mode)
+        a.insert_text(0, "hello world")
+        b.insert_text(0, "hello world")
+        batch = a.delete_range(2, 7)
+        singles = [b.delete(2) for _ in range(5)]
+        assert a.text() == b.text() == "heorld"
+        assert [op.posid for op in batch.ops] == [op.posid for op in singles]
+        a.check()
+
+    def test_replace_range_is_one_batch(self, mode):
+        doc = Treedoc(site=1, mode=mode)
+        doc.insert_text(0, "colour")
+        batch = doc.replace_range(0, 6, "color")
+        assert doc.text() == "color"
+        kinds = [op.kind for op in batch.ops]
+        assert kinds == ["delete"] * 6 + ["insert"] * 5
+        assert batch.verify()
+        doc.check()
+
+    def test_delete_range_bounds_checked(self, mode):
+        doc = Treedoc(site=1, mode=mode)
+        doc.insert_text(0, "abc")
+        with pytest.raises(IndexError):
+            doc.delete_range(1, 5)
+        with pytest.raises(IndexError):
+            doc.delete_range(-1, 2)
+
+    def test_empty_ranges_are_noops(self, mode):
+        doc = Treedoc(site=1, mode=mode)
+        doc.insert_text(0, "abc")
+        assert len(doc.delete_range(1, 1)) == 0
+        assert len(doc.insert_text(2, "")) == 0
+        assert doc.text() == "abc"
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestApplyBatch:
+    def _random_batches(self, mode, seed, steps=80):
+        rng = random.Random(seed)
+        source = Treedoc(site=1, mode=mode)
+        batches = []
+        for step in range(steps):
+            roll = rng.random()
+            if len(source) > 8 and roll < 0.3:
+                start = rng.randrange(len(source) - 4)
+                batches.append(
+                    source.delete_range(start, start + rng.randint(1, 4)))
+            elif len(source) > 8 and roll < 0.45:
+                start = rng.randrange(len(source) - 4)
+                batches.append(source.replace_range(
+                    start, start + 2, [f"r{step}"]))
+            else:
+                index = rng.randint(0, len(source))
+                batches.append(source.insert_text(
+                    index, [f"s{step}.{k}"
+                            for k in range(rng.randint(1, 12))]))
+        return source, batches
+
+    def test_apply_batch_equals_sequential_apply(self, mode):
+        source, batches = self._random_batches(mode, seed=101)
+        fast = Treedoc(site=2, mode=mode)
+        slow = Treedoc(site=3, mode=mode)
+        for batch in batches:
+            fast.apply_batch(batch)
+            for op in batch.ops:
+                slow.apply(op)
+        assert fast.atoms() == slow.atoms() == source.atoms()
+        fast.check()
+        slow.check()
+
+    def test_apply_batch_is_idempotent_for_duplicates(self, mode):
+        source, batches = self._random_batches(mode, seed=55, steps=20)
+        replica = Treedoc(site=2, mode=mode)
+        for batch in batches:
+            replica.apply_batch(batch)
+            replica.apply_batch(batch)  # duplicate delivery
+        assert replica.atoms() == source.atoms()
+        replica.check()
+
+    def test_flatten_inside_batch_flushes_bulk_section(self, mode):
+        doc = Treedoc(site=1, mode=mode)
+        ops = []
+        ops.extend(doc.insert_text(0, "abcdef").ops)
+        ops.extend(doc.delete_range(1, 3).ops)
+        doc.note_revision()
+        ops.append(doc.flatten_local(ROOT))
+        ops.extend(doc.insert_text(0, "xy").ops)
+        replica = Treedoc(site=2, mode=mode)
+        replica.apply_batch(OpBatch.build(ops, 1, 0))
+        assert replica.atoms() == doc.atoms()
+        replica.check()
+
+    def test_apply_accepts_batches(self, mode):
+        source = Treedoc(site=1, mode=mode)
+        batch = source.insert_text(0, "abc")
+        replica = Treedoc(site=2, mode=mode)
+        replica.apply(batch)
+        assert replica.text() == "abc"
+
+
+class TestBulkSections:
+    def test_nested_bulk_rejected(self):
+        doc = Treedoc(site=1)
+        doc.tree.begin_bulk()
+        with pytest.raises(TreeError):
+            doc.tree.begin_bulk()
+        doc.tree.end_bulk()
+
+    def test_end_bulk_without_begin_is_harmless(self):
+        doc = Treedoc(site=1)
+        doc.tree.end_bulk()
+        doc.insert_text(0, "ok")
+        assert doc.text() == "ok"
+
+    def test_counts_correct_after_interleaved_bulk_edits(self):
+        doc = Treedoc(site=1, mode="udis")
+        doc.insert_text(0, [f"a{i}" for i in range(64)])
+        doc.delete_range(10, 40)
+        doc.insert_text(5, [f"b{i}" for i in range(20)])
+        assert len(doc) == 64 - 30 + 20
+        doc.check()  # recounts from scratch and compares

@@ -79,6 +79,61 @@ class TestRegionLockUx:
         cluster.settle()
 
 
+class TestBatchShipping:
+    def test_insert_text_ships_one_envelope(self):
+        cluster = Cluster(2, seed=9)
+        sent_before = cluster.network.sent_messages
+        cluster[1].insert_text(0, list("hello"))
+        # One broadcast to one peer = one transmission, not five.
+        assert cluster.network.sent_messages == sent_before + 1
+        cluster.settle()
+        assert cluster.assert_converged() == list("hello")
+
+    def test_delete_range_ships_one_envelope(self):
+        cluster = _synced_cluster(2)
+        sent_before = cluster.network.sent_messages
+        batch = cluster[1].delete_range(2, 6)
+        assert len(batch) == 4
+        assert cluster.network.sent_messages == sent_before + 1
+        cluster.settle()
+        assert cluster.assert_converged() == list("abgh")
+
+    def test_replace_range_ships_one_envelope(self):
+        cluster = _synced_cluster(2)
+        batch = cluster[1].replace_range(0, 2, list("XY"))
+        assert [op.kind for op in batch.ops] == ["delete"] * 2 + ["insert"] * 2
+        cluster.settle()
+        assert cluster.assert_converged() == list("XYcdefgh")
+
+    def test_batched_ops_logged_individually(self):
+        cluster = _synced_cluster(2)
+        cluster[1].insert_text(0, list("xy"))
+        cluster.settle()
+        kinds = [op.kind for op in cluster[2].applied_ops[-2:]]
+        assert kinds == ["insert", "insert"]
+
+    def test_batch_delete_range_respects_locks(self):
+        from repro.core.path import ROOT
+
+        cluster = _synced_cluster(2)
+        cluster[1].initiate_flatten(ROOT)
+        with pytest.raises(RegionLockedError):
+            cluster[1].delete_range(0, 3)
+        cluster.settle()
+        cluster[1].delete_range(0, 3)  # fine after the decision
+
+    def test_tombstone_gc_sees_batched_deletes(self):
+        cluster = Cluster(2, mode="sdis", seed=4, tombstone_gc=True)
+        cluster.bootstrap(list("abcdefgh"))
+        cluster[1].delete_range(0, 4)
+        cluster.settle()
+        cluster.gossip_acks()
+        cluster.gossip_acks()
+        assert cluster[1].purged_tombstones > 0
+        assert cluster[2].purged_tombstones > 0
+        cluster.assert_converged()
+
+
 class TestBookkeeping:
     def test_applied_ops_logged_in_order(self):
         cluster = _synced_cluster(2)

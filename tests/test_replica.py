@@ -1,0 +1,140 @@
+"""The Replica façade: edit / merge / pending / snapshot."""
+
+import random
+
+import pytest
+
+from repro import OpBatch, Replica
+from repro.errors import ReproError
+
+
+class TestLocalEditing:
+    def test_edit_verbs(self):
+        replica = Replica(site=1)
+        replica.edit(0, 0, "hello world")
+        replica.edit(0, 5, "goodbye")
+        replica.edit(len(replica), len(replica), "!")
+        assert replica.text() == "goodbye world!"
+
+    def test_insert_delete_sugar(self):
+        replica = Replica(site=1)
+        replica.insert(0, "abcdef")
+        replica.delete(1, 3)
+        assert replica.text() == "adef"
+
+    def test_arbitrary_atoms(self):
+        replica = Replica(site=1)
+        replica.insert(0, [("line", 1), ("line", 2)])
+        assert len(replica) == 2
+        assert replica.snapshot().atoms == (("line", 1), ("line", 2))
+
+    def test_edit_returns_one_batch(self):
+        replica = Replica(site=1)
+        batch = replica.edit(0, 0, "abc")
+        assert isinstance(batch, OpBatch)
+        assert len(batch) == 3
+        replaced = replica.edit(0, 2, "xy")
+        assert [op.kind for op in replaced.ops] == [
+            "delete", "delete", "insert", "insert"]
+
+
+class TestOutbox:
+    def test_pending_drains_in_order(self):
+        replica = Replica(site=1)
+        first = replica.edit(0, 0, "ab")
+        second = replica.edit(2, 2, "cd")
+        assert replica.pending() == [first, second]
+        assert replica.pending() == []  # drained
+
+    def test_pending_peek_keeps_outbox(self):
+        replica = Replica(site=1)
+        replica.edit(0, 0, "ab")
+        assert len(replica.pending(clear=False)) == 1
+        assert len(replica.pending()) == 1
+
+    def test_noop_edits_not_queued(self):
+        replica = Replica(site=1)
+        replica.edit(0, 0, "")
+        assert replica.pending() == []
+
+
+class TestMerge:
+    def test_two_replicas_converge(self):
+        a, b = Replica(site=1), Replica(site=2)
+        a.edit(0, 0, "the quick fox")
+        b.merge(a.pending())
+        # Concurrent edits, exchanged as batches.
+        a.edit(4, 9, "sly")
+        b.edit(0, 0, "watch: ")
+        batches_a, batches_b = a.pending(), b.pending()
+        a.merge(batches_b)
+        b.merge(batches_a)
+        assert a.snapshot() == b.snapshot()
+        assert a.text() == "watch: the sly fox"
+
+    def test_merge_counts_ops(self):
+        a, b = Replica(site=1), Replica(site=2)
+        a.edit(0, 0, "abc")
+        assert b.merge(a.pending()) == 3
+
+    def test_merge_accepts_bare_operations(self):
+        a, b = Replica(site=1), Replica(site=2)
+        batch = a.edit(0, 0, "ab")
+        for op in batch.ops:
+            b.merge(op)
+        assert b.text() == "ab"
+
+    def test_digest_verification(self):
+        a, b = Replica(site=1), Replica(site=2)
+        batch = a.edit(0, 0, "abc")
+        forged = OpBatch(batch.ops[:1], batch.origin, batch.seq_start,
+                         batch.seq_end, batch.digest)
+        with pytest.raises(ReproError):
+            b.merge(forged)
+        b.merge(forged, verify=False)  # opt-out applies what's carried
+        assert b.text() == "a"
+
+    def test_random_two_site_convergence(self):
+        rng = random.Random(17)
+        a, b = Replica(site=1), Replica(site=2)
+        for _ in range(40):
+            for replica in (a, b):
+                roll = rng.random()
+                if len(replica) > 4 and roll < 0.35:
+                    start = rng.randrange(len(replica) - 2)
+                    replica.delete(start, start + rng.randint(1, 2))
+                else:
+                    index = rng.randint(0, len(replica))
+                    replica.insert(
+                        index, f"{replica.site}x{rng.randint(0, 99)}:")
+            batches_a, batches_b = a.pending(), b.pending()
+            a.merge(batches_b)
+            b.merge(batches_a)
+            assert a.snapshot() == b.snapshot()
+        a.doc.check()
+        b.doc.check()
+
+
+class TestSnapshot:
+    def test_snapshot_is_content_equality(self):
+        a, b = Replica(site=1), Replica(site=2)
+        a.edit(0, 0, "same")
+        b.merge(a.pending())
+        snap_a, snap_b = a.snapshot(), b.snapshot()
+        assert snap_a == snap_b
+        assert snap_a.digest == snap_b.digest
+        assert snap_a.site != snap_b.site
+
+    def test_snapshot_immutable_view(self):
+        replica = Replica(site=1)
+        replica.edit(0, 0, "abc")
+        snap = replica.snapshot()
+        replica.edit(0, 3)
+        assert snap.text == "abc"
+        assert replica.text() == ""
+        assert len(snap) == 3
+
+    def test_repr(self):
+        replica = Replica(site=1)
+        replica.edit(0, 0, "x")
+        assert "Replica" in repr(replica)
