@@ -1,0 +1,3 @@
+"""Benchmark suite: paper tables/figures (pytest-benchmark modules) and
+the standalone read-path benchmark. ``python -m benchmarks`` runs
+everything with one command."""

@@ -1,0 +1,52 @@
+"""Run every benchmark with one command::
+
+    PYTHONPATH=src python -m benchmarks [--quick] [--skip-tables]
+
+Runs the pytest-benchmark table/figure modules (timing disabled unless
+pytest-benchmark is installed and ``--benchmark-only`` is passed down —
+the single-pass mode still regenerates and prints the paper tables),
+then the standalone read-path benchmark, which writes
+``BENCH_read.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="run all benchmarks")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizes for the read benchmark")
+    parser.add_argument("--skip-tables", action="store_true",
+                        help="skip the pytest table/figure benchmarks")
+    parser.add_argument("--baseline-src", default=None,
+                        help="pre-PR src/ path for the before/after "
+                        "read-path comparison")
+    args = parser.parse_args(argv)
+    here = Path(__file__).resolve().parent
+    status = 0
+    if not args.skip_tables:
+        import pytest
+
+        status = pytest.main([
+            str(here), "-q",
+            "-o", "python_files=bench_*.py",
+            "-o", "python_functions=bench_*",
+            "-p", "no:cacheprovider",
+            "--benchmark-disable",
+        ])
+        if status:
+            return int(status)
+    from benchmarks import bench_read
+
+    read_args = ["--quick"] if args.quick else []
+    if args.baseline_src:
+        read_args += ["--baseline-src", args.baseline_src]
+    return bench_read.main(read_args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

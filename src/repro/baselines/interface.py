@@ -23,6 +23,7 @@ from typing import List, Sequence
 from repro.core.disambiguator import SiteId
 from repro.core.ops import OpBatch
 from repro.core.treedoc import Treedoc
+from repro.util.text import join_atoms
 
 
 class SequenceCRDT(abc.ABC):
@@ -63,8 +64,9 @@ class SequenceCRDT(abc.ABC):
         return len(self.atoms())
 
     def text(self, separator: str = "") -> str:
-        """The visible sequence as a string."""
-        return separator.join(str(a) for a in self.atoms())
+        """The visible sequence as a string (plain join when the atoms
+        already are strings, skipping the per-atom ``str()`` call)."""
+        return join_atoms(separator, self.atoms())
 
     # -- batch contract ---------------------------------------------------------
 
@@ -145,6 +147,13 @@ class TreedocAdapter(SequenceCRDT):
 
     def atoms(self) -> List[object]:
         return self.doc.atoms()
+
+    def text(self, separator: str = "") -> str:
+        return self.doc.text(separator)
+
+    def __len__(self) -> int:
+        # O(1) off the subtree counts, not a snapshot materialization.
+        return len(self.doc)
 
     def total_id_bits(self) -> int:
         return sum(p.size_bits for p in self.doc.posids())

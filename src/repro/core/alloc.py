@@ -63,7 +63,7 @@ def _is_within_subtree(slot: AtomSlot, ancestor: PosNode) -> bool:
 def _greater_mini_sibling_above(slot: AtomSlot, p: MiniNode) -> bool:
     """Rule 6, second clause: does ``slot`` sit under a mini-sibling of
     ``p`` with a greater disambiguator?"""
-    p_key = p.dis.sort_key()
+    p_key = p.dis.key
     node: Optional[PosNode] = slot_host(slot)
     while node is not None:
         parent = node.parent
@@ -71,7 +71,7 @@ def _greater_mini_sibling_above(slot: AtomSlot, p: MiniNode) -> bool:
             return False
         container, _ = parent
         if isinstance(container, MiniNode):
-            if container.host is p.host and container.dis.sort_key() > p_key:
+            if container.host is p.host and container.dis.key > p_key:
                 return True
             node = container.host
         else:

@@ -19,8 +19,7 @@ both UDIS and SDIS, and 4 bytes for the UDIS counter").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Union
+from typing import Tuple, Union
 
 from repro.errors import EncodingError
 
@@ -46,80 +45,103 @@ def validate_site_id(site: SiteId) -> SiteId:
     return site
 
 
-@dataclass(frozen=True, order=False)
 class Udis:
     """Unique disambiguator: ``(counter, siteID)``.
 
     Ordered by counter first, site second, exactly as in section 3.3.1:
     ``(c1, s1) < (c2, s2) iff c1 < c2 or (c1 = c2 and s1 < s2)``.
+
+    ``key`` holds the precomputed total-order key: comparisons, mini-node
+    insertion sorts and packed PosID keys all read the attribute instead
+    of building a tuple per call (disambiguators are minted once per
+    atom, but compared many times on the materialize/lookup hot path).
     """
 
-    counter: int
-    site: SiteId
+    __slots__ = ("counter", "site", "key")
 
-    def __post_init__(self) -> None:
-        validate_site_id(self.site)
-        if self.counter < 0 or self.counter >= 1 << COUNTER_BITS:
+    def __init__(self, counter: int, site: SiteId) -> None:
+        validate_site_id(site)
+        if counter < 0 or counter >= 1 << COUNTER_BITS:
             raise EncodingError(
-                f"UDIS counter {self.counter} does not fit in {COUNTER_BYTES} bytes"
+                f"UDIS counter {counter} does not fit in {COUNTER_BYTES} bytes"
             )
+        self.counter = counter
+        self.site = site
+        self.key: Tuple[int, int] = (counter, site)
 
     def sort_key(self) -> tuple:
         """Total-order key; comparable across Udis and Sdis values."""
         # UDIS and SDIS are never mixed inside one document, but giving both
         # a common key shape keeps comparisons total if they ever meet.
-        return (self.counter, self.site)
+        return self.key
 
     @property
     def size_bits(self) -> int:
         """Encoded size in bits (counter + site id)."""
         return COUNTER_BITS + SITE_ID_BITS
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Udis):
+            return NotImplemented
+        return self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
     def __lt__(self, other: "Disambiguator") -> bool:
-        return self.sort_key() < other.sort_key()
+        return self.key < other.key
 
     def __le__(self, other: "Disambiguator") -> bool:
-        return self.sort_key() <= other.sort_key()
+        return self.key <= other.key
 
     def __gt__(self, other: "Disambiguator") -> bool:
-        return self.sort_key() > other.sort_key()
+        return self.key > other.key
 
     def __ge__(self, other: "Disambiguator") -> bool:
-        return self.sort_key() >= other.sort_key()
+        return self.key >= other.key
 
     def __repr__(self) -> str:
         return f"u{self.counter}:{self.site}"
 
 
-@dataclass(frozen=True, order=False)
 class Sdis:
     """Site disambiguator: the site identifier alone (section 3.3.2)."""
 
-    site: SiteId
+    __slots__ = ("site", "key")
 
-    def __post_init__(self) -> None:
-        validate_site_id(self.site)
+    def __init__(self, site: SiteId) -> None:
+        validate_site_id(site)
+        self.site = site
+        self.key: Tuple[int, int] = (0, site)
 
     def sort_key(self) -> tuple:
         """Total-order key; see :meth:`Udis.sort_key`."""
-        return (0, self.site)
+        return self.key
 
     @property
     def size_bits(self) -> int:
         """Encoded size in bits (site id only)."""
         return SITE_ID_BITS
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sdis):
+            return NotImplemented
+        return self.site == other.site
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
     def __lt__(self, other: "Disambiguator") -> bool:
-        return self.sort_key() < other.sort_key()
+        return self.key < other.key
 
     def __le__(self, other: "Disambiguator") -> bool:
-        return self.sort_key() <= other.sort_key()
+        return self.key <= other.key
 
     def __gt__(self, other: "Disambiguator") -> bool:
-        return self.sort_key() > other.sort_key()
+        return self.key > other.key
 
     def __ge__(self, other: "Disambiguator") -> bool:
-        return self.sort_key() >= other.sort_key()
+        return self.key >= other.key
 
     def __repr__(self) -> str:
         return f"s{self.site}"
@@ -145,6 +167,9 @@ class DisambiguatorFactory:
         self.site = site
         self.mode = mode
         self._counter = 0
+        # SDIS disambiguators are all identical for one site; mint one
+        # immutable instance instead of one per atom.
+        self._sdis = Sdis(site) if mode == self.SDIS else None
 
     def fresh(self) -> Disambiguator:
         """Return the next disambiguator for this site."""
@@ -152,7 +177,7 @@ class DisambiguatorFactory:
             dis = Udis(self._counter, self.site)
             self._counter += 1
             return dis
-        return Sdis(self.site)
+        return self._sdis
 
     @property
     def counter(self) -> int:

@@ -99,6 +99,10 @@ def explode(atoms: Sequence[object]) -> TreedocTree:
     tree = TreedocTree()
     build_exploded(tree.root, atoms)
     tree.height = _subtree_height(tree.root)
+    # The atoms were written directly into the nodes, bypassing
+    # set_live: the fresh tree's (valid, empty) snapshot cache would be
+    # stale — invalidate it.
+    tree.invalidate_live_cache()
     return tree
 
 
@@ -124,17 +128,23 @@ def subtree_atoms(node: PosNode) -> List[object]:
     return [slot.atom for slot in node.iter_slots() if slot.state == LIVE]
 
 
-def flatten_subtree(tree: TreedocTree, path: PosID) -> List[object]:
+def flatten_subtree(tree: TreedocTree, path: PosID,
+                    atoms: Optional[List[object]] = None) -> List[object]:
     """Flatten the subtree rooted at the position node named by ``path``
     (plain bits only): rebuild it as the canonical exploded form of its
     visible atoms. Returns the atom array.
+
+    ``atoms`` may carry the subtree's visible atoms when the caller
+    already walked the region (the digest check does); passing them
+    skips a redundant walk.
 
     Raises :class:`TreeError` when ``path`` has disambiguated elements or
     names no materialized node.
     """
     node = resolve_region(tree, path)
     old_counts = (node.live_count, node.id_count)
-    atoms = subtree_atoms(node)
+    if atoms is None:
+        atoms = subtree_atoms(node)
     build_exploded(node, atoms)
     tree.recount_subtree(node, old_counts=old_counts)
     tree.height = _subtree_height(tree.root)
@@ -190,14 +200,19 @@ class ColdRegionFinder:
         section 5.1); whole-document flattening remains available
         explicitly via ``flatten_local(ROOT)``.
         """
+        # One bottom-up pass computes every subtree's newest stamp, so
+        # the top-down selection below reads a dict entry per node
+        # instead of re-walking each candidate subtree (which made the
+        # heuristic quadratic on replay workloads).
+        newest = self._newest_stamps(tree.root, stamps)
         best: Optional[Tuple[Tuple[int, int], List[int]]] = None
         # Walk top-down; the first cold node on a branch dominates its
         # descendants, so do not descend past a cold subtree.
         stack: List[Tuple[PosNode, List[int]]] = [(tree.root, [])]
         while stack:
             node, bits = stack.pop()
-            if len(bits) >= self.min_depth and self._is_cold(
-                node, stamps, current_revision
+            if len(bits) >= self.min_depth and (
+                current_revision - newest[id(node)] >= self.min_age
             ):
                 if node.id_count >= self.min_slots:
                     # Prefer the region with the most *dead* identifiers
@@ -216,18 +231,15 @@ class ColdRegionFinder:
             return None
         return PosID.from_bits(best[1])
 
-    def _is_cold(self, node: PosNode, stamps: dict, current: int) -> bool:
-        newest = self._newest_stamp(node, stamps)
-        return current - newest >= self.min_age
-
-    def _newest_stamp(self, node: PosNode, stamps: dict) -> int:
-        newest = stamps.get(id(node), 0)
+    @staticmethod
+    def _newest_stamps(node: PosNode, stamps: dict) -> dict:
+        """id(PosNode) -> newest stamp in that node's subtree, for the
+        whole subtree under ``node``, in one post-order pass."""
+        order: List[PosNode] = []
         stack: List[PosNode] = [node]
         while stack:
             current = stack.pop()
-            stamp = stamps.get(id(current), 0)
-            if stamp > newest:
-                newest = stamp
+            order.append(current)
             for mini in current.minis:
                 for child in (mini.left, mini.right):
                     if child is not None:
@@ -235,4 +247,19 @@ class ColdRegionFinder:
             for child in (current.left, current.right):
                 if child is not None:
                     stack.append(child)
+        newest: dict = {}
+        for current in reversed(order):
+            value = stamps.get(id(current), 0)
+            for mini in current.minis:
+                for child in (mini.left, mini.right):
+                    if child is not None:
+                        child_value = newest[id(child)]
+                        if child_value > value:
+                            value = child_value
+            for child in (current.left, current.right):
+                if child is not None:
+                    child_value = newest[id(child)]
+                    if child_value > value:
+                        value = child_value
+            newest[id(current)] = value
         return newest

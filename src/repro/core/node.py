@@ -90,6 +90,7 @@ class PosNode:
         "right",
         "live_count",
         "id_count",
+        "cached_posid",
     )
 
     def __init__(self, parent: ParentLink = None) -> None:
@@ -103,6 +104,11 @@ class PosNode:
         self.right: Optional[PosNode] = None
         self.live_count = 0
         self.id_count = 0
+        #: Memoized PosID of this node's plain slot. Parent links never
+        #: mutate after creation (structure is only ever added or
+        #: detached whole; flatten builds fresh nodes), so the path is
+        #: stable for the node's lifetime.
+        self.cached_posid: Optional[PosID] = None
 
     # -- structure -----------------------------------------------------------
 
@@ -119,9 +125,9 @@ class PosNode:
 
     def find_mini(self, dis: Disambiguator) -> Optional[MiniNode]:
         """The mini-node with disambiguator ``dis``, if present."""
-        key = dis.sort_key()
+        key = dis.key
         for mini in self.minis:
-            mini_key = mini.dis.sort_key()
+            mini_key = mini.dis.key
             if mini_key == key:
                 return mini
             if mini_key > key:
@@ -130,9 +136,9 @@ class PosNode:
 
     def get_or_create_mini(self, dis: Disambiguator) -> MiniNode:
         """Find or insert (in disambiguator order) the mini-node ``dis``."""
-        key = dis.sort_key()
+        key = dis.key
         for index, mini in enumerate(self.minis):
-            mini_key = mini.dis.sort_key()
+            mini_key = mini.dis.key
             if mini_key == key:
                 return mini
             if mini_key > key:
@@ -271,31 +277,54 @@ def parent_host(node: PosNode) -> Optional[PosNode]:
     return container.host if isinstance(container, MiniNode) else container
 
 
-def slot_posid(slot: AtomSlot) -> PosID:
-    """Reconstruct the PosID naming ``slot`` by walking parent links."""
-    elements: List[PathElement] = []
-    if isinstance(slot, MiniNode):
-        node: Optional[PosNode] = slot.host
-        pending_dis: Optional[Disambiguator] = slot.dis
-    else:
-        node = slot
-        pending_dis = None
-    while node is not None and node.parent is not None:
-        container, bit = node.parent
-        elements.append(PathElement(bit, pending_dis))
+def _node_posid(node: PosNode) -> PosID:
+    """PosID of a position node's plain slot, memoized on the node.
+
+    Walks up only as far as the first ancestor with a cached path, then
+    fills the caches back down — a run of *k* fresh slots under one
+    subtree costs O(depth + k) total instead of O(k * depth).
+    """
+    chain: List[PosNode] = []
+    current = node
+    while current.cached_posid is None and current.parent is not None:
+        chain.append(current)
+        container, _ = current.parent
+        current = container.host if isinstance(container, MiniNode) else container
+    if current.cached_posid is None:  # the root
+        current.cached_posid = PosID()
+    for current in reversed(chain):
+        container, bit = current.parent
         if isinstance(container, MiniNode):
-            pending_dis = container.dis
-            node = container.host
+            host_elements = container.host.cached_posid.elements
+            if not host_elements:
+                # A mini-node directly at the root would need a
+                # zero-length path carrying a disambiguator, which the
+                # identifier space cannot express; the tree never
+                # creates one.
+                raise TreeError("mini-node attached to the root position node")
+            current.cached_posid = PosID(
+                host_elements[:-1]
+                + (
+                    PathElement(host_elements[-1].bit, container.dis),
+                    PathElement(bit),
+                )
+            )
         else:
-            pending_dis = None
-            node = container
-    if pending_dis is not None:
-        # A mini-node directly at the root would need a zero-length path
-        # carrying a disambiguator, which the identifier space cannot
-        # express; the tree never creates one.
-        raise TreeError("mini-node attached to the root position node")
-    elements.reverse()
-    return PosID(elements)
+            current.cached_posid = container.cached_posid.child(bit)
+    return node.cached_posid
+
+
+def slot_posid(slot: AtomSlot) -> PosID:
+    """Reconstruct the PosID naming ``slot`` (memoized per node)."""
+    if isinstance(slot, MiniNode):
+        host_elements = _node_posid(slot.host).elements
+        if not host_elements:
+            raise TreeError("mini-node attached to the root position node")
+        return PosID(
+            host_elements[:-1]
+            + (PathElement(host_elements[-1].bit, slot.dis),)
+        )
+    return _node_posid(slot)
 
 
 def slot_depth(slot: AtomSlot) -> int:

@@ -56,12 +56,21 @@ class DeleteOp:
 
 
 def content_digest(atoms: Tuple[object, ...]) -> str:
-    """Stable digest of an atom sequence (sanity check for flatten)."""
+    """Stable digest of an atom sequence (sanity check for flatten).
+
+    String atoms (characters, lines, paragraphs — every shipped
+    workload) hash their UTF-8 bytes directly under an ``s`` tag;
+    anything else falls back to its ``repr`` under an ``r`` tag.
+    """
     hasher = hashlib.sha256()
+    update = hasher.update
     for atom in atoms:
-        encoded = repr(atom).encode("utf-8")
-        hasher.update(len(encoded).to_bytes(4, "big"))
-        hasher.update(encoded)
+        if type(atom) is str:
+            encoded = b"s" + atom.encode("utf-8")
+        else:
+            encoded = b"r" + repr(atom).encode("utf-8")
+        update(len(encoded).to_bytes(4, "big"))
+        update(encoded)
     return hasher.hexdigest()
 
 
@@ -99,19 +108,30 @@ Operation = Union[InsertOp, DeleteOp, FlattenOp]
 def batch_digest(ops: Tuple[object, ...]) -> str:
     """Stable digest of an operation sequence.
 
-    Operations are plain frozen records with deterministic ``repr``s
-    (this holds for Treedoc's ops and for every baseline's), so hashing
-    the framed reprs gives a transport-independent content digest.
+    Treedoc's own operations digest through the PosID's cached packed
+    sort key (:meth:`repro.core.path.PosID.sort_key`) — a flat integer
+    tuple that identifies the path — instead of rendering per-element
+    reprs, which dominated batch minting in replay profiles. Any other
+    operation (the baselines' records) falls back to its deterministic
+    ``repr``; both encodings are transport-independent.
     """
     hasher = hashlib.sha256()
+    update = hasher.update
     for op in ops:
-        encoded = repr(op).encode("utf-8")
-        hasher.update(len(encoded).to_bytes(4, "big"))
-        hasher.update(encoded)
+        kind = type(op)
+        if kind is InsertOp:
+            encoded = (
+                f"i{op.posid.sort_key()}@{op.origin}|{op.atom!r}"
+            ).encode("utf-8")
+        elif kind is DeleteOp:
+            encoded = f"d{op.posid.sort_key()}@{op.origin}".encode("utf-8")
+        else:
+            encoded = repr(op).encode("utf-8")
+        update(len(encoded).to_bytes(4, "big"))
+        update(encoded)
     return hasher.hexdigest()
 
 
-@dataclass(frozen=True)
 class OpBatch:
     """An ordered, versioned group of operations from one origin.
 
@@ -120,27 +140,54 @@ class OpBatch:
     replica carry non-overlapping, monotonically increasing ranges, so a
     receiver can order, deduplicate, or gap-check an origin's batches
     without inspecting the operations. ``digest`` is the content digest
-    of the operations (see :func:`batch_digest`); :meth:`verify` checks
-    it after transport.
+    of the operations (see :func:`batch_digest`), computed lazily on
+    first access — a batch minted and applied inside one replica
+    (single-site replay, benchmarks) never pays for it, while shipping
+    or verifying one forces it; :meth:`verify` checks it after
+    transport.
 
     Operations are deliberately opaque (``object``): a batch can carry
     Treedoc operations or any baseline's, which is what lets the whole
     stack — replication, editor, workloads — speak one wire unit.
     """
 
-    ops: Tuple[object, ...]
-    origin: SiteId
-    seq_start: int
-    seq_end: int
-    digest: str
+    __slots__ = ("ops", "origin", "seq_start", "seq_end", "_digest")
+
+    def __init__(self, ops: Tuple[object, ...], origin: SiteId,
+                 seq_start: int, seq_end: int,
+                 digest: Optional[str] = None) -> None:
+        self.ops = tuple(ops)
+        self.origin = origin
+        self.seq_start = seq_start
+        self.seq_end = seq_end
+        self._digest = digest
+
+    @property
+    def digest(self) -> str:
+        """The operations' content digest (computed once, on demand)."""
+        if self._digest is None:
+            self._digest = batch_digest(self.ops)
+        return self._digest
+
+    def seal(self) -> "OpBatch":
+        """Materialize the digest and return the batch.
+
+        Ship points (outboxes, broadcast) call this so every batch that
+        leaves its minting replica carries a digest stamped *before*
+        transport — :meth:`verify` on the receiving side then checks
+        real integrity, not a lazily self-computed tautology. Batches
+        that live and die inside one replica never pay for it.
+        """
+        if self._digest is None:
+            self._digest = batch_digest(self.ops)
+        return self
 
     @classmethod
     def build(cls, ops, origin: SiteId, seq_start: int) -> "OpBatch":
         """Mint a batch covering ``len(ops)`` sequence numbers from
-        ``seq_start``, computing the content digest."""
+        ``seq_start``; the content digest materializes on first use."""
         ops = tuple(ops)
-        return cls(ops, origin, seq_start, seq_start + len(ops),
-                   batch_digest(ops))
+        return cls(ops, origin, seq_start, seq_start + len(ops))
 
     @property
     def kind(self) -> str:

@@ -43,8 +43,7 @@ machine-check totality and betweenness. See DESIGN.md section 3.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.disambiguator import Disambiguator, Sdis, Udis
 from repro.errors import PathError
@@ -54,16 +53,30 @@ LEFT = 0
 RIGHT = 1
 
 
-@dataclass(frozen=True)
 class PathElement:
-    """One step of a PosID path: a branch bit plus optional disambiguator."""
+    """One step of a PosID path: a branch bit plus optional disambiguator.
 
-    bit: int
-    dis: Optional[Disambiguator] = None
+    A ``__slots__`` value class: remote ``materialize``/``lookup`` walk
+    one element per tree level, so element construction and attribute
+    access sit on the replay hot path and per-replica memory scales with
+    the number of stored elements.
+    """
 
-    def __post_init__(self) -> None:
-        if self.bit not in (LEFT, RIGHT):
-            raise PathError(f"branch bit must be 0 or 1, got {self.bit!r}")
+    __slots__ = ("bit", "dis")
+
+    def __init__(self, bit: int, dis: Optional[Disambiguator] = None) -> None:
+        if bit != LEFT and bit != RIGHT:
+            raise PathError(f"branch bit must be 0 or 1, got {bit!r}")
+        self.bit = bit
+        self.dis = dis
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathElement):
+            return NotImplemented
+        return self.bit == other.bit and self.dis == other.dis
+
+    def __hash__(self) -> int:
+        return hash((self.bit, self.dis))
 
     @property
     def is_disambiguated(self) -> bool:
@@ -108,7 +121,21 @@ def _element_span(element: PathElement, next_bit: Optional[int]) -> tuple:
 
 
 def compare_posids(a: "PosID", b: "PosID") -> int:
-    """Three-way comparison of two PosIDs; total order (see module doc)."""
+    """Three-way comparison of two PosIDs; total order (see module doc).
+
+    Compares the packed :meth:`PosID.sort_key` flat-integer keys — one
+    C-level tuple comparison instead of a Python loop over elements.
+    :func:`compare_posids_walk` is the element-by-element reference
+    implementation; the property tests machine-check their equivalence.
+    """
+    ka, kb = a.sort_key(), b.sort_key()
+    if ka == kb:
+        return _EQ
+    return _LT if ka < kb else _GT
+
+
+def compare_posids_walk(a: "PosID", b: "PosID") -> int:
+    """Element-by-element reference comparison (see module doc)."""
     ea, eb = a.elements, b.elements
     la, lb = len(ea), len(eb)
     common = min(la, lb)
@@ -143,9 +170,13 @@ class PosID:
 
     PosIDs are totally ordered (``<`` etc.), hashable, and report their
     encoded size in bits for the overhead metrics of section 5.
+
+    Ordering compares *packed keys* (:meth:`sort_key`): a flat tuple of
+    small integers whose lexicographic order equals the infix order
+    above, computed once per identifier and cached.
     """
 
-    __slots__ = ("_elements", "_hash")
+    __slots__ = ("_elements", "_hash", "_key")
 
     def __init__(self, elements: Iterable[PathElement] = ()) -> None:
         elems = tuple(elements)
@@ -154,6 +185,7 @@ class PosID:
                 raise PathError(f"not a PathElement: {elem!r}")
         self._elements: Tuple[PathElement, ...] = elems
         self._hash: Optional[int] = None
+        self._key: Optional[Tuple[int, ...]] = None
 
     # -- construction helpers ------------------------------------------------
 
@@ -270,17 +302,53 @@ class PosID:
 
     # -- ordering ------------------------------------------------------------
 
+    def sort_key(self) -> Tuple[int, ...]:
+        """The packed compare key: a flat tuple of small integers whose
+        lexicographic order equals the infix identifier order.
+
+        Encoding, per element: ``2*bit`` followed by a *span rank* —
+        ``0`` for a plain element continuing left (or ending), ``1``
+        for a disambiguated element (followed by the disambiguator's
+        ``(counter, site)`` ints), ``2`` for a plain element continuing
+        right — and a terminal ``1`` closing the path. The terminal
+        sorts between left-continuations (first token ``0``) and
+        right-continuations (first token ``2``), which realizes the
+        "next bit decides" prefix rule; the span ranks realize the
+        plain-vs-disambiguated refinement (see the module doc and
+        DESIGN.md section 3.1). Streams stay token-aligned until the
+        first difference, so flat packing is safe.
+        """
+        key = self._key
+        if key is None:
+            parts: List[int] = []
+            elems = self._elements
+            n = len(elems)
+            for i, element in enumerate(elems):
+                parts.append(element.bit << 1)
+                dis = element.dis
+                if dis is not None:
+                    parts.append(1)
+                    parts.extend(dis.key)
+                elif i + 1 < n and elems[i + 1].bit == RIGHT:
+                    parts.append(2)
+                else:
+                    parts.append(0)
+            parts.append(1)
+            key = tuple(parts)
+            self._key = key
+        return key
+
     def __lt__(self, other: "PosID") -> bool:
-        return compare_posids(self, other) < 0
+        return self.sort_key() < other.sort_key()
 
     def __le__(self, other: "PosID") -> bool:
-        return compare_posids(self, other) <= 0
+        return self.sort_key() <= other.sort_key()
 
     def __gt__(self, other: "PosID") -> bool:
-        return compare_posids(self, other) > 0
+        return self.sort_key() > other.sort_key()
 
     def __ge__(self, other: "PosID") -> bool:
-        return compare_posids(self, other) >= 0
+        return self.sort_key() >= other.sort_key()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PosID):
@@ -289,7 +357,7 @@ class PosID:
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash(self._elements)
+            self._hash = hash(self.sort_key())
         return self._hash
 
     # -- debugging -----------------------------------------------------------

@@ -6,6 +6,28 @@ deletes, tombstone bookkeeping (SDIS) or discard-and-prune (UDIS),
 index-to-slot descent via cached counts, and O(depth) infix successor /
 predecessor walks over atom slots (used by the tombstone-aware neighbour
 search and by the allocator's empty-slot reuse).
+
+Incremental read path (DESIGN.md section 6)
+-------------------------------------------
+
+The tree maintains a *live-snapshot cache*: a flat list of the live atom
+slots in document order, spliced in place by every slot-state change
+(``set_live``, ``make_tombstone``, ``discard``) and coalesced to one
+splice per bulk section. While the cache is valid, ``atoms()``,
+``posids()`` and ``live_slot_at`` are O(1)/O(k) list operations instead
+of O(n) tree walks / O(depth) descents. Structural surgery
+(``recount_subtree`` after flatten/explode, disk load) *invalidates* the
+cache — never leaves it stale — and the next snapshot read rebuilds it
+with one walk. ``purge_tombstone`` does not touch the live sequence, so
+the cache stays valid across SDIS garbage collection.
+
+Two companions ride along: a monotonically increasing *generation*
+counter (bumped on every visible-content change) that downstream layers
+key their own derived caches on (text, editor lines, replica
+snapshots), and an *edit finger* — the last resolved ``(index, slot)``
+pair — that resolves nearby live indexes by successor/predecessor
+chain walks when the snapshot cache is unavailable, exploiting the
+edit locality the paper's trace study reports.
 """
 
 from __future__ import annotations
@@ -159,6 +181,13 @@ def predecessor_slot(slot: AtomSlot) -> Optional[AtomSlot]:
 class TreedocTree:
     """The extended binary tree backing one Treedoc replica."""
 
+    #: Live-index window within which the edit finger walks the
+    #: successor/predecessor chain instead of descending from the root.
+    FINGER_WINDOW = 64
+    #: Hard cap on chain steps per finger walk (tombstone runs between
+    #: live slots can make a short live distance arbitrarily long).
+    FINGER_STEP_LIMIT = 256
+
     def __init__(self) -> None:
         self.root = PosNode()
         #: Deepest path length materialized so far (drives the balancing
@@ -168,6 +197,49 @@ class TreedocTree:
         #: accumulate here instead of walking the spine per slot change;
         #: entries hold the node reference so ``id()`` keys stay unique.
         self._bulk_deltas: Optional[Dict[int, List]] = None
+        #: Read-path feature toggles (benchmark A/B switches; production
+        #: code leaves both on).
+        self.cache_enabled = True
+        self.finger_enabled = True
+        #: The live-snapshot cache: live slots in document order, or None
+        #: when invalidated (an empty tree has a valid empty cache).
+        self._live: Optional[List[AtomSlot]] = []
+        #: Bumped on every visible-content change; downstream layers key
+        #: derived caches (text, lines, snapshots) on it.
+        self._generation = 0
+        #: Edit finger: last resolved (live index, slot), or None.
+        self._finger: Optional[Tuple[int, AtomSlot]] = None
+        #: Per-bulk-section cache deltas, coalesced at :meth:`end_bulk`.
+        self._bulk_added: List[AtomSlot] = []
+        self._bulk_removed = False
+        #: Optional hint that the section's removals are exactly the
+        #: live range [start, end) (set by range deletes resolved off
+        #: the cache): one slice delete replaces the compaction pass.
+        self._bulk_removed_range: Optional[Tuple[int, int]] = None
+        #: Optional hint that the section's additions are one run whose
+        #: first atom lands at this live index (local run inserts): the
+        #: flush splices there without per-slot rank queries.
+        self._bulk_added_at: Optional[int] = None
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter of visible-content changes."""
+        return self._generation
+
+    def configure_read_cache(self, snapshot: bool = True,
+                             finger: bool = True) -> None:
+        """Toggle the read-path optimizations (benchmark A/B switch).
+
+        Disabling the snapshot cache drops it and stops maintaining it;
+        disabling the finger falls back to root descents. Re-enabling
+        the cache leaves it invalid until the next snapshot read.
+        """
+        self.cache_enabled = snapshot
+        self.finger_enabled = finger
+        if not snapshot:
+            self._live = None
+        if not finger:
+            self._finger = None
 
     # -- path <-> structure ---------------------------------------------------
 
@@ -238,6 +310,276 @@ class TreedocTree:
             container, _ = parent
             node = container.host if isinstance(container, MiniNode) else container
 
+    # -- live-snapshot cache maintenance ------------------------------------------
+
+    def invalidate_live_cache(self) -> None:
+        """Drop the live-snapshot cache and edit finger.
+
+        Called around structural surgery (flatten/explode rebuilds,
+        disk load, ``recount_subtree``): the next snapshot read rebuilds
+        the cache with one walk. Invalidation — never staleness — is the
+        contract; the generation bump makes downstream derived caches
+        (text, lines, snapshots) refresh too.
+        """
+        self._generation += 1
+        self._live = None
+        self._finger = None
+
+    def _ensure_live(self) -> Optional[List[AtomSlot]]:
+        """The live-snapshot cache, rebuilding it if invalidated.
+        Returns None when the cache is disabled."""
+        live = self._live
+        if live is None and self.cache_enabled:
+            live = [s for s in self.root.iter_slots() if s.state == LIVE]
+            self._live = live
+        return live
+
+    def _note_insert(self, slot: AtomSlot) -> None:
+        """Record ``slot`` turning LIVE (counts already adjusted).
+
+        Outside a bulk section this splices the cache in place: an
+        O(depth) rank query plus an O(n) C-level memmove. That keeps
+        single-op editing (type a character, read the line) far cheaper
+        than an invalidate-and-rebuild would, at the cost of making a
+        *large* document replayed through the legacy one-op-at-a-time
+        path quadratic in memmove work — the batch API (one splice per
+        batch) is the intended path for bulk replay.
+        """
+        self._generation += 1
+        if self._bulk_deltas is not None:
+            self._bulk_added.append(slot)
+            return
+        live = self._live
+        if live is not None:
+            rank = self.live_rank(slot)
+            if rank == len(live):
+                live.append(slot)
+            else:
+                live.insert(rank, slot)
+            if self.finger_enabled:
+                self._finger = (rank, slot)
+        elif self.finger_enabled:
+            # No cache to index into, but the new slot is the freshest
+            # edit location — exactly what the finger wants.
+            self._finger = (self.live_rank(slot), slot)
+
+    def _note_remove(self, slot: AtomSlot) -> None:
+        """Record ``slot`` leaving the LIVE state (call *before* the
+        state flip: the rank query needs the pre-change counts)."""
+        self._generation += 1
+        if self._bulk_deltas is not None:
+            self._bulk_removed = True
+            return
+        rank: Optional[int] = None
+        live = self._live
+        if live is not None:
+            rank = self.live_rank(slot)
+            if rank < len(live) and live[rank] is slot:
+                del live[rank]
+            else:  # pragma: no cover - bookkeeping out of sync
+                self.invalidate_live_cache()
+                return
+        finger = self._finger
+        if finger is not None:
+            if finger[1] is slot:
+                self._finger = None
+            else:
+                if rank is None:
+                    rank = self.live_rank(slot)
+                if rank < finger[0]:
+                    self._finger = (finger[0] - 1, finger[1])
+
+    def hint_bulk_removed_range(self, start: int, end: int) -> None:
+        """Tell the open bulk section that its removals are exactly the
+        live slots currently at [start, end) (a cache-resolved range
+        delete): :meth:`end_bulk` then splices instead of compacting."""
+        if self._bulk_deltas is None:
+            raise TreeError("removal-range hint outside a bulk section")
+        self._bulk_removed_range = (start, end)
+
+    def hint_bulk_added_at(self, index: int) -> None:
+        """Tell the open bulk section that its additions are one
+        document-order run whose first atom becomes the live slot at
+        ``index`` (a local run insert): :meth:`end_bulk` then splices
+        there without per-slot rank queries."""
+        if self._bulk_deltas is None:
+            raise TreeError("added-at hint outside a bulk section")
+        self._bulk_added_at = index
+
+    def _flush_bulk_cache(self) -> None:
+        """Fold a closed bulk section's slot changes into the cache:
+        one compaction pass (or one hinted slice delete) for removals,
+        one splice (contiguous runs, the common case) or one ordered
+        merge for insertions."""
+        added = self._bulk_added
+        removed = self._bulk_removed
+        removed_range = self._bulk_removed_range
+        added_at = self._bulk_added_at
+        self._bulk_removed_range = None
+        self._bulk_added_at = None
+        if not added and not removed:
+            return
+        self._bulk_added = []
+        self._bulk_removed = False
+        self._finger = None
+        live = self._live
+        if live is None:
+            return
+        if removed:
+            if removed_range is not None and not added:
+                start, end = removed_range
+                del live[start:end]
+                if len(live) != self.root.live_count:
+                    self.invalidate_live_cache()  # pragma: no cover
+                return
+            live = [s for s in live if s.state == LIVE]
+            self._live = live
+        if added:
+            if added_at is not None and not removed:
+                # A local run insert: the slots land, in batch order, as
+                # the contiguous live range starting at the hinted index
+                # — splice without any rank queries.
+                live[added_at:added_at] = added
+                if len(live) != self.root.live_count:
+                    self.invalidate_live_cache()  # pragma: no cover
+                return
+            seen: set = set()
+            pairs: List[Tuple[int, AtomSlot]] = []
+            for slot in added:
+                key = id(slot)
+                # Skip duplicates and slots deleted later in the same
+                # batch; ranks are valid now that end_bulk flushed counts.
+                if key not in seen and slot.state == LIVE:
+                    seen.add(key)
+                    pairs.append((self.live_rank(slot), slot))
+            total = self.root.live_count
+            if len(live) + len(pairs) != total:
+                # A slot re-entered the cache (or bookkeeping drifted):
+                # fall back to invalidation, never to staleness.
+                self.invalidate_live_cache()
+                return
+            if not pairs:
+                # Every added slot died again within the same batch
+                # (insert+delete of the same identifier): nothing to
+                # splice.
+                return
+            pairs.sort(key=lambda pair: pair[0])
+            lo = pairs[0][0]
+            if pairs[-1][0] - lo == len(pairs) - 1:
+                live[lo:lo] = [slot for _, slot in pairs]
+            else:
+                merged: List[AtomSlot] = []
+                old_index = 0
+                next_added = 0
+                for rank in range(total):
+                    if next_added < len(pairs) and pairs[next_added][0] == rank:
+                        merged.append(pairs[next_added][1])
+                        next_added += 1
+                    else:
+                        merged.append(live[old_index])
+                        old_index += 1
+                self._live = merged
+        if self._live is not None and len(self._live) != self.root.live_count:
+            self.invalidate_live_cache()  # pragma: no cover - safety net
+
+    # -- rank and finger navigation ------------------------------------------------
+
+    def live_rank(self, slot: AtomSlot) -> int:
+        """Number of live slots strictly before ``slot`` in identifier
+        order, via the cached counts (O(depth)). Requires flushed counts
+        (not callable inside a bulk section)."""
+        if self._bulk_deltas is not None:
+            raise TreeError("live_rank inside a bulk section")
+        index = 0
+        if isinstance(slot, MiniNode):
+            host = slot.host
+            if slot.left is not None:
+                index += slot.left.live_count
+            for mini in host.minis:
+                if mini is slot:
+                    break
+                index += int(mini.state == LIVE)
+                if mini.left is not None:
+                    index += mini.left.live_count
+                if mini.right is not None:
+                    index += mini.right.live_count
+            index += int(host.plain_state == LIVE)
+            if host.left is not None:
+                index += host.left.live_count
+            node: PosNode = host
+        else:
+            node = slot
+            if node.left is not None:
+                index += node.left.live_count
+        while node.parent is not None:
+            container, bit = node.parent
+            if isinstance(container, MiniNode):
+                mini = container
+                host = mini.host
+                if bit == RIGHT:
+                    index += int(mini.state == LIVE)
+                    if mini.left is not None:
+                        index += mini.left.live_count
+                for earlier in host.minis:
+                    if earlier is mini:
+                        break
+                    index += int(earlier.state == LIVE)
+                    if earlier.left is not None:
+                        index += earlier.left.live_count
+                    if earlier.right is not None:
+                        index += earlier.right.live_count
+                index += int(host.plain_state == LIVE)
+                if host.left is not None:
+                    index += host.left.live_count
+                node = host
+            else:
+                if bit == RIGHT:
+                    index += int(container.plain_state == LIVE)
+                    if container.left is not None:
+                        index += container.left.live_count
+                    for mini in container.minis:
+                        index += int(mini.state == LIVE)
+                        if mini.left is not None:
+                            index += mini.left.live_count
+                        if mini.right is not None:
+                            index += mini.right.live_count
+                node = container
+        return index
+
+    def _finger_seek(self, index: int) -> Optional[AtomSlot]:
+        """Resolve live ``index`` by walking the successor/predecessor
+        chain from the edit finger, or None when the finger is unset,
+        too far, or the walk exceeds the step cap."""
+        finger = self._finger
+        if finger is None:
+            return None
+        position, slot = finger
+        if slot.state != LIVE:
+            # The finger slot was tombstoned/discarded behind our back;
+            # walking from a detached slot is unsafe.
+            self._finger = None  # pragma: no cover - defensive
+            return None
+        distance = index - position
+        if distance == 0:
+            return slot
+        if distance > self.FINGER_WINDOW or -distance > self.FINGER_WINDOW:
+            return None
+        steps = self.FINGER_STEP_LIMIT
+        step = successor_slot if distance > 0 else predecessor_slot
+        remaining = distance if distance > 0 else -distance
+        current: Optional[AtomSlot] = slot
+        while remaining and steps:
+            current = step(current)
+            if current is None:  # pragma: no cover - counts out of sync
+                return None
+            steps -= 1
+            if current.state == LIVE:
+                remaining -= 1
+        if remaining:
+            return None  # step cap hit inside a tombstone desert
+        self._finger = (index, current)
+        return current
+
     # -- bulk sections (the apply_batch fast path) --------------------------------
 
     def begin_bulk(self) -> None:
@@ -249,6 +591,10 @@ class TreedocTree:
         if self._bulk_deltas is not None:
             raise TreeError("bulk section already open")
         self._bulk_deltas = {}
+        self._bulk_added = []
+        self._bulk_removed = False
+        self._bulk_removed_range = None
+        self._bulk_added_at = None
 
     def end_bulk(self) -> None:
         """Close the bulk section: propagate the buffered count deltas.
@@ -264,6 +610,19 @@ class TreedocTree:
         pending = self._bulk_deltas
         self._bulk_deltas = None
         if not pending:
+            self._flush_bulk_cache()
+            return
+        if len(pending) <= 8:
+            # Few touched hosts (one-slot batches, tight edits): plain
+            # spine walks beat the level-by-level machinery even with a
+            # shared ancestor visited once per entry.
+            for node, d_live, d_id in pending.values():
+                walker: Optional[PosNode] = node
+                while walker is not None:
+                    walker.live_count += d_live
+                    walker.id_count += d_id
+                    walker = parent_host(walker)
+            self._flush_bulk_cache()
             return
         depth_cache: Dict[int, int] = {}
         # All nodes reached below stay alive through the entries' strong
@@ -309,6 +668,7 @@ class TreedocTree:
             node, d_live, d_id = entry
             node.live_count += d_live
             node.id_count += d_id
+        self._flush_bulk_cache()
 
     def recount_subtree(self, node: PosNode,
                         old_counts: Optional[Tuple[int, int]] = None
@@ -324,6 +684,9 @@ class TreedocTree:
         """
         if self._bulk_deltas is not None:
             raise TreeError("recount_subtree inside a bulk section")
+        # Structural surgery: the cached live sequence (and the finger's
+        # slot) may no longer exist — invalidate, never go stale.
+        self.invalidate_live_cache()
         old = old_counts if old_counts is not None else (
             node.live_count, node.id_count
         )
@@ -383,11 +746,13 @@ class TreedocTree:
         slot.state = LIVE
         slot.atom = atom
         self._adjust_counts(slot, +1, +1)
+        self._note_insert(slot)
 
     def make_tombstone(self, slot: AtomSlot) -> None:
         """Delete the slot's atom, keeping the identifier used (SDIS)."""
         if slot.state != LIVE:
             raise MissingAtomError(f"no live atom at {slot_posid(slot)!r}")
+        self._note_remove(slot)
         slot.state = TOMBSTONE
         slot.atom = None
         self._adjust_counts(slot, -1, 0)
@@ -397,6 +762,7 @@ class TreedocTree:
         any structure that becomes empty and leaf-less."""
         if slot.state != LIVE:
             raise MissingAtomError(f"no live atom at {slot_posid(slot)!r}")
+        self._note_remove(slot)
         slot.state = EMPTY
         slot.atom = None
         self._adjust_counts(slot, -1, -1)
@@ -404,7 +770,13 @@ class TreedocTree:
 
     def purge_tombstone(self, slot: AtomSlot) -> None:
         """Free a tombstoned identifier (SDIS garbage collection, once
-        the delete is known causally stable — section 4.2)."""
+        the delete is known causally stable — section 4.2).
+
+        The live sequence is untouched (tombstones are invisible), so
+        the snapshot cache stays valid; only a finger whose chain could
+        route through the pruned structure needs care — the finger
+        anchors on a *live* slot, which pruning never removes.
+        """
         if slot.state != TOMBSTONE:
             raise MissingAtomError(f"no tombstone at {slot_posid(slot)!r}")
         slot.state = EMPTY
@@ -484,10 +856,34 @@ class TreedocTree:
         return self.root.id_count
 
     def live_slot_at(self, index: int) -> AtomSlot:
-        """Slot of the ``index``-th visible atom (0-based)."""
+        """Slot of the ``index``-th visible atom (0-based).
+
+        O(1) off the live-snapshot cache when valid; otherwise a finger
+        chain walk for nearby indexes, falling back to the O(depth)
+        count descent.
+        """
         if index < 0 or index >= self.root.live_count:
             raise IndexError(f"visible index {index} out of range")
-        return self._slot_at(index, live=True)
+        live = self._live
+        if live is not None:
+            return live[index]
+        if self.finger_enabled:
+            slot = self._finger_seek(index)
+            if slot is not None:
+                return slot
+        slot = self._slot_at(index, live=True)
+        if self.finger_enabled:
+            self._finger = (index, slot)
+        return slot
+
+    def live_slice(self, start: int, end: int) -> Optional[List[AtomSlot]]:
+        """Slots of the visible atoms in ``[start, end)`` straight off
+        the snapshot cache, or None when the cache is unavailable (the
+        caller then falls back to a descent-plus-successor walk)."""
+        live = self._live
+        if live is None:
+            return None
+        return live[start:end]
 
     def id_slot_at(self, index: int) -> AtomSlot:
         """Slot of the ``index``-th used identifier (0-based)."""
@@ -552,15 +948,31 @@ class TreedocTree:
         return (s for s in self.iter_slots() if slot_is_id_holder(s))
 
     def iter_live_slots(self) -> Iterator[AtomSlot]:
-        """Visible atom slots in document order."""
+        """Visible atom slots in document order — always a *fresh* tree
+        walk, never the cache (the property tests use it as the
+        reference the snapshot cache is checked against)."""
         return (s for s in self.iter_slots() if slot_is_live(s))
+
+    def live_slots(self) -> List[AtomSlot]:
+        """Visible atom slots in document order, off the snapshot cache
+        (amortized O(n) copy; rebuilds the cache when invalidated)."""
+        live = self._ensure_live()
+        if live is not None:
+            return list(live)
+        return [s for s in self.iter_slots() if slot_is_live(s)]
 
     def atoms(self) -> List[object]:
         """The visible document content as a list of atoms."""
+        live = self._ensure_live()
+        if live is not None:
+            return [slot.atom for slot in live]
         return [slot.atom for slot in self.iter_live_slots()]
 
     def posids(self) -> List[PosID]:
         """PosIDs of all visible atoms, in document order."""
+        live = self._ensure_live()
+        if live is not None:
+            return [slot_posid(slot) for slot in live]
         return [slot_posid(slot) for slot in self.iter_live_slots()]
 
     def first_slot(self) -> Optional[AtomSlot]:
@@ -595,9 +1007,20 @@ class TreedocTree:
         Raises :class:`TreeError` on the first violation. Used by tests
         and by the failure-injection harness; not called on hot paths.
         """
+        cached_live = self._live
+        if cached_live is not None:
+            fresh = [s for s in self.iter_slots() if s.state == LIVE]
+            if len(fresh) != len(cached_live) or any(
+                a is not b for a, b in zip(fresh, cached_live)
+            ):
+                raise TreeError("live-snapshot cache out of sync")
+        before = (self.root.live_count, self.root.id_count)
         live, ids = self.recount_subtree(self.root)
-        if live != self.root.live_count or ids != self.root.id_count:
+        if (live, ids) != before:
             raise TreeError("aggregate counts inconsistent")  # pragma: no cover
+        # recount_subtree invalidated the cache defensively; it was just
+        # verified against a fresh walk, so reinstate it.
+        self._live = cached_live
         previous: Optional[PosID] = None
         for slot in self.iter_slots():
             host = slot_host(slot)

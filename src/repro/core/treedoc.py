@@ -48,6 +48,7 @@ from repro.core.ops import (
 from repro.core.path import PosID
 from repro.core.tree import TreedocTree, successor_slot
 from repro.errors import MissingAtomError, TreeError
+from repro.util.text import join_atoms
 
 
 class Treedoc:
@@ -79,23 +80,53 @@ class Treedoc:
         #: bump with :meth:`note_revision` at workload-revision boundaries.
         self.revision = 0
         self._touch_stamps: Dict[int, int] = {}
+        #: Nodes stamped during the current revision, keyed by id with a
+        #: strong reference: the reference keeps a pruned node alive
+        #: until the revision boundary, so an id() can never be reused
+        #: (and mistaken for "already stamped") within one revision.
+        self._touch_seen: Dict[int, object] = {}
         #: Local operation counter: every locally generated insert and
         #: delete claims one sequence number, so the batches this
         #: replica mints carry non-overlapping, increasing seq ranges.
         self._op_seq = 0
+        #: Last rendered text, keyed by (generation, separator).
+        self._text_cache: Optional[tuple] = None
 
     # -- queries -----------------------------------------------------------------
 
     def __len__(self) -> int:
         return self.tree.live_length
 
+    @property
+    def generation(self) -> int:
+        """Monotonic counter of visible-content changes (downstream
+        layers key derived caches — text, editor lines, snapshots —
+        on it)."""
+        return self.tree.generation
+
     def atoms(self) -> List[object]:
-        """The visible document as a list of atoms."""
+        """The visible document as a list of atoms (amortized O(n) copy
+        off the tree's live-snapshot cache)."""
         return self.tree.atoms()
 
     def text(self, separator: str = "") -> str:
-        """The visible document as a string (atoms joined)."""
-        return separator.join(str(atom) for atom in self.tree.atoms())
+        """The visible document as a string (atoms joined).
+
+        Cached against the tree generation, and joined without per-atom
+        ``str()`` calls when every atom already is one (character and
+        paragraph documents — the common case).
+        """
+        cached = self._text_cache
+        generation = self.tree.generation
+        if (
+            cached is not None
+            and cached[0] == generation
+            and cached[1] == separator
+        ):
+            return cached[2]
+        text = join_atoms(separator, self.tree.atoms())
+        self._text_cache = (generation, separator, text)
+        return text
 
     def posid_at(self, index: int) -> PosID:
         """PosID of the visible atom at ``index``."""
@@ -150,6 +181,9 @@ class Treedoc:
         slots = self.allocator.place_run(p_slot, f_slot, dises)
         ops: List[InsertOp] = []
         self.tree.begin_bulk()
+        # The run's atoms become the live range starting at ``index``:
+        # the cache splices there without per-slot rank queries.
+        self.tree.hint_bulk_added_at(index)
         try:
             for slot, atom in zip(slots, atoms):
                 self.tree.set_live(slot, atom)
@@ -183,9 +217,10 @@ class Treedoc:
         """Delete the visible atoms in ``[start, end)``; returns one
         :class:`OpBatch` to broadcast.
 
-        The range is resolved once — an index descent for ``start``,
-        then successor walks — instead of re-resolving a live index per
-        deleted atom, and count maintenance is deferred to batch end.
+        The range is resolved once — a slice of the live-snapshot cache
+        when valid, else an index descent for ``start`` plus successor
+        walks — instead of re-resolving a live index per deleted atom,
+        and count maintenance is deferred to batch end.
         """
         length = self.tree.live_length
         if not 0 <= start <= end <= length:
@@ -194,18 +229,25 @@ class Treedoc:
         seq_start = self._claim_seqs(count)
         if count == 0:
             return OpBatch.build((), self.site, seq_start)
-        slot: Optional[AtomSlot] = self.tree.live_slot_at(start)
-        slots: List[AtomSlot] = [slot]
-        while len(slots) < count:
-            slot = successor_slot(slot)
-            while slot is not None and not slot_is_live(slot):
+        slots = self.tree.live_slice(start, end)
+        sliced = slots is not None
+        if slots is None:
+            slot: Optional[AtomSlot] = self.tree.live_slot_at(start)
+            slots = [slot]
+            while len(slots) < count:
                 slot = successor_slot(slot)
-            if slot is None:
-                raise TreeError("live count out of sync with slot walk")
-            slots.append(slot)
+                while slot is not None and not slot_is_live(slot):
+                    slot = successor_slot(slot)
+                if slot is None:
+                    raise TreeError("live count out of sync with slot walk")
+                slots.append(slot)
         ops = tuple(DeleteOp(slot_posid(s), self.site) for s in slots)
         self._touch_many(slots)
         self.tree.begin_bulk()
+        if sliced:
+            # The removals are exactly [start, end): the cache can
+            # splice instead of compacting at end_bulk.
+            self.tree.hint_bulk_removed_range(start, end)
         try:
             for s in slots:
                 if self.keeps_tombstones:
@@ -324,24 +366,34 @@ class Treedoc:
 
         Verifies the initiator's content digest; a mismatch means the
         commitment protocol admitted a concurrent edit and is a bug.
+        The verification walk's atoms feed the rebuild directly — one
+        region walk and one digest per application.
         """
         node = resolve_region(self.tree, op.path)
-        atoms = tuple(subtree_atoms(node))
-        if content_digest(atoms) != op.digest:
+        atoms = subtree_atoms(node)
+        if content_digest(tuple(atoms)) != op.digest:
             raise TreeError(
                 "flatten content mismatch: concurrent edit slipped past "
                 "the commitment protocol"
             )
-        result = flatten_subtree(self.tree, op.path)
+        result = flatten_subtree(self.tree, op.path, atoms=atoms)
         self._touch_region(op.path)
         return result
 
     def flatten_local(self, path: PosID) -> FlattenOp:
         """Initiate-and-apply a flatten locally (single-replica use, e.g.
         trace replay benchmarks; distributed use goes through
-        :mod:`repro.replication.commit`)."""
-        op = self.make_flatten(path)
-        self.apply_flatten(op)
+        :mod:`repro.replication.commit`).
+
+        The initiator just computed the digest from this very state, so
+        the region is walked and digested once, not re-verified against
+        itself.
+        """
+        node = resolve_region(self.tree, path)
+        atoms = subtree_atoms(node)
+        op = FlattenOp(path, content_digest(tuple(atoms)), self.site)
+        flatten_subtree(self.tree, path, atoms=atoms)
+        self._touch_region(path)
         return op
 
     def flatten_cold(self, min_age: int = 1, min_slots: int = 4,
@@ -362,6 +414,7 @@ class Treedoc:
     def note_revision(self) -> int:
         """Mark a workload-revision boundary for the cold-region clock."""
         self.revision += 1
+        self._touch_seen.clear()
         return self.revision
 
     # -- internals ---------------------------------------------------------------------
@@ -374,7 +427,12 @@ class Treedoc:
 
     def _neighbours(self, index: int):
         """Adjacent used identifiers around visible position ``index``
-        (DESIGN.md section 3.2: the successor includes tombstones)."""
+        (DESIGN.md section 3.2: the successor includes tombstones).
+
+        Localized edits resolve in O(1) off the live-snapshot cache, or
+        by an edit-finger chain walk when the cache is invalidated —
+        both inside :meth:`TreedocTree.live_slot_at` (DESIGN.md
+        section 6)."""
         length = self.tree.live_length
         if index < 0 or index > length:
             raise IndexError(f"insert index {index} out of range 0..{length}")
@@ -385,28 +443,52 @@ class Treedoc:
         f_slot = self.tree.next_id_holder(p_slot)
         return p_slot, f_slot
 
+    #: Bound on the per-revision stamped-node memo: embeddings that
+    #: never call note_revision (plain editors) must not accumulate
+    #: strong references forever.
+    _TOUCH_SEEN_LIMIT = 8192
+
     def _touch(self, slot: AtomSlot) -> None:
         """Stamp the position-node spine of ``slot`` with the current
-        revision (cold-region bookkeeping)."""
+        revision (cold-region bookkeeping).
+
+        Every stamping walks to the root, so a node already stamped
+        this revision implies its whole ancestor spine is too — the
+        walk stops there, making repeated localized edits within one
+        revision O(unstamped spine), not O(depth). The memo holds node
+        references, so a pruned node's id cannot be recycled (and
+        mistaken for already-stamped) before the revision ends.
+        """
+        stamps = self._touch_stamps
+        seen = self._touch_seen
+        if len(seen) > self._TOUCH_SEEN_LIMIT:
+            seen.clear()
+        revision = self.revision
         node = slot_host(slot)
         while node is not None:
-            self._touch_stamps[id(node)] = self.revision
+            key = id(node)
+            if key in seen:
+                break
+            seen[key] = node
+            stamps[key] = revision
             node = parent_host(node)
 
     def _touch_many(self, slots: Sequence[AtomSlot]) -> None:
         """Batch version of :meth:`_touch`: stamp the spines of many
-        slots, visiting each shared ancestor once per call instead of
-        once per slot."""
+        slots, stopping at ancestors already stamped with the current
+        revision (see :meth:`_touch`)."""
         stamps = self._touch_stamps
+        seen = self._touch_seen
+        if len(seen) > self._TOUCH_SEEN_LIMIT:
+            seen.clear()
         revision = self.revision
-        seen: set = set()
         for slot in slots:
             node = slot_host(slot)
             while node is not None:
                 key = id(node)
                 if key in seen:
                     break
-                seen.add(key)
+                seen[key] = node
                 stamps[key] = revision
                 node = parent_host(node)
 

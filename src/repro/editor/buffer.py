@@ -57,26 +57,50 @@ class EditorBuffer:
                  balanced: bool = True) -> None:
         self.doc = Treedoc(site, mode=mode, balanced=balanced)
         self._cursors: List[Cursor] = []
+        #: (generation, lines, line-start offsets) — recomputed only
+        #: when the buffer content actually changed.
+        self._line_cache: Optional[tuple] = None
 
     # -- queries ---------------------------------------------------------------
 
     def text(self) -> str:
-        """The whole buffer as a string."""
-        return "".join(str(a) for a in self.doc.atoms())
+        """The whole buffer as a string (generation-cached, see
+        :meth:`repro.core.treedoc.Treedoc.text`)."""
+        return self.doc.text()
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter of buffer-content changes."""
+        return self.doc.generation
 
     def __len__(self) -> int:
         return len(self.doc)
 
+    def _lines_and_starts(self) -> tuple:
+        cached = self._line_cache
+        generation = self.doc.generation
+        if cached is not None and cached[0] == generation:
+            return cached
+        lines = self.text().split("\n")
+        starts = [0]
+        offset = 0
+        for line in lines[:-1]:
+            offset += len(line) + 1
+            starts.append(offset)
+        cached = (generation, lines, starts)
+        self._line_cache = cached
+        return cached
+
     def lines(self) -> List[str]:
         """The buffer split into lines (newline atoms delimit)."""
-        return self.text().split("\n")
+        return list(self._lines_and_starts()[1])
 
     def line_start(self, line_number: int) -> int:
         """Character offset of the start of ``line_number`` (0-based)."""
-        lines = self.lines()
+        _, lines, starts = self._lines_and_starts()
         if not 0 <= line_number < len(lines):
             raise IndexError(f"line {line_number} out of range")
-        return sum(len(line) + 1 for line in lines[:line_number])
+        return starts[line_number]
 
     # -- local editing -----------------------------------------------------------
     #
@@ -186,7 +210,7 @@ class EditorBuffer:
         from repro.core.tree import successor_slot
 
         if slot is not None and slot_is_live(slot):
-            return self._live_index_of(slot)
+            return self.doc.tree.live_rank(slot)
         if slot is None:
             # Identifier discarded (UDIS): fall back to a scan for the
             # first live identifier greater than the anchor.
@@ -199,66 +223,4 @@ class EditorBuffer:
             nxt = successor_slot(nxt)
         if nxt is None:
             return len(self.doc)
-        return self._live_index_of(nxt)
-
-    def _live_index_of(self, slot) -> int:
-        # O(depth) rank query via the cached subtree counts.
-        from repro.core.node import MiniNode, slot_is_live
-
-        index = 0
-        # Walk up from the slot, summing everything to its left.
-        from repro.core.node import PosNode, slot_host
-
-        if isinstance(slot, MiniNode):
-            host = slot.host
-            if slot.left is not None:
-                index += slot.left.live_count
-            # earlier mini regions + plain slot + left subtree of host
-            for mini in host.minis:
-                if mini is slot:
-                    break
-                index += int(slot_is_live(mini))
-                for child in (mini.left, mini.right):
-                    if child is not None:
-                        index += child.live_count
-            index += int(host.plain_state == "live")
-            if host.left is not None:
-                index += host.left.live_count
-            node = host
-        else:
-            node = slot
-            if node.left is not None:
-                index += node.left.live_count
-        while node.parent is not None:
-            container, bit = node.parent
-            if isinstance(container, MiniNode):
-                mini = container
-                host = mini.host
-                if bit == 1:  # node is mini's right child
-                    index += int(slot_is_live(mini))
-                    if mini.left is not None:
-                        index += mini.left.live_count
-                for earlier in host.minis:
-                    if earlier is mini:
-                        break
-                    index += int(slot_is_live(earlier))
-                    for child in (earlier.left, earlier.right):
-                        if child is not None:
-                            index += child.live_count
-                index += int(host.plain_state == "live")
-                if host.left is not None:
-                    index += host.left.live_count
-                node = host
-            else:
-                parent = container
-                if bit == 1:  # node is the plain right child
-                    index += int(parent.plain_state == "live")
-                    if parent.left is not None:
-                        index += parent.left.live_count
-                    for mini in parent.minis:
-                        index += int(slot_is_live(mini))
-                        for child in (mini.left, mini.right):
-                            if child is not None:
-                                index += child.live_count
-                node = parent
-        return index
+        return self.doc.tree.live_rank(nxt)

@@ -49,7 +49,7 @@ class EditorSession:
 
     def _send(self, batch: OpBatch) -> None:
         if batch.ops:
-            self.broadcast.broadcast(batch)
+            self.broadcast.broadcast(batch.seal())
 
     def cursor(self, offset: int = 0, name: str = "") -> Cursor:
         """A cursor pinned at ``offset``."""
@@ -92,7 +92,11 @@ class SharedDocument:
         self.network.run()
 
     def assert_converged(self) -> str:
-        """All users see the same text; returns it."""
+        """All users see the same text; returns it.
+
+        Reads go through each buffer's generation-cached text, so
+        polling convergence between quiescent syncs costs one cache
+        lookup per user, not a tree walk."""
         texts = {site: user.text() for site, user in self.users.items()}
         reference = next(iter(texts.values()))
         for site, text in texts.items():

@@ -60,10 +60,17 @@ class WikiPage:
     # -- reading ------------------------------------------------------------------
 
     def paragraphs(self) -> List[str]:
-        return [str(a) for a in self.doc.atoms()]
+        atoms = self.doc.atoms()
+        # Paragraph atoms are strings already; atoms() returned a fresh
+        # list, so it can be handed out directly.
+        if all(type(a) is str for a in atoms):
+            return atoms
+        return [str(a) for a in atoms]
 
     def text(self) -> str:
-        return "\n\n".join(self.paragraphs())
+        # Generation-cached join (repeated page renders between saves
+        # cost one dict-sized lookup, not a tree walk).
+        return self.doc.text("\n\n")
 
     @property
     def revision(self) -> int:

@@ -23,7 +23,8 @@ without breaking them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple, Union
+from functools import cached_property
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.disambiguator import SiteId
 from repro.core.ops import (
@@ -35,6 +36,7 @@ from repro.core.ops import (
 )
 from repro.core.treedoc import Treedoc
 from repro.errors import ReproError
+from repro.util.text import join_atoms
 
 #: What merge accepts: one batch, one bare operation, or an iterable of
 #: either (e.g. another replica's drained outbox).
@@ -49,10 +51,11 @@ class Snapshot:
     atoms: Tuple[object, ...]
     digest: str
 
-    @property
+    @cached_property
     def text(self) -> str:
-        """The snapshot joined as a string (character atoms)."""
-        return "".join(str(a) for a in self.atoms)
+        """The snapshot joined as a string (character atoms); computed
+        once per snapshot (the atoms are immutable)."""
+        return join_atoms("", self.atoms)
 
     def __len__(self) -> int:
         return len(self.atoms)
@@ -89,6 +92,9 @@ class Replica:
         self._outbox: List[OpBatch] = []
         #: Batches merged from remote replicas (monitoring aid).
         self.merged_batches = 0
+        #: (generation, Snapshot) — repeated snapshots of an unchanged
+        #: replica (convergence polling) skip the digest recomputation.
+        self._snapshot_cache: Optional[Tuple[int, Snapshot]] = None
 
     @property
     def site(self) -> SiteId:
@@ -108,7 +114,9 @@ class Replica:
         atom_list = list(atoms)
         batch = self.doc.replace_range(start, end, atom_list)
         if batch.ops:
-            self._outbox.append(batch)
+            # Stamp the digest before the batch can leave this replica,
+            # so a receiver's verify() checks transport integrity.
+            self._outbox.append(batch.seal())
         return batch
 
     def insert(self, index: int, atoms: Sequence[object]) -> OpBatch:
@@ -168,9 +176,19 @@ class Replica:
     # -- queries ------------------------------------------------------------------
 
     def snapshot(self) -> Snapshot:
-        """An immutable, digest-stamped view of the visible document."""
+        """An immutable, digest-stamped view of the visible document.
+
+        Cached against the document generation: polling convergence on
+        a quiescent replica is O(1) instead of a walk plus a digest.
+        """
+        cached = self._snapshot_cache
+        generation = self.doc.generation
+        if cached is not None and cached[0] == generation:
+            return cached[1]
         atoms = tuple(self.doc.atoms())
-        return Snapshot(self.site, atoms, content_digest(atoms))
+        snapshot = Snapshot(self.site, atoms, content_digest(atoms))
+        self._snapshot_cache = (generation, snapshot)
+        return snapshot
 
     def text(self, separator: str = "") -> str:
         """The visible document as a string."""

@@ -128,11 +128,20 @@ class ReplicaSite:
     def _check_range_unlocked(self, start: int, end: int, verb: str) -> None:
         if not len(self._locks):
             return
-        for index in range(start, end):
-            if self._locks.is_locked(self.doc.posid_at(index).bits()):
+        from repro.core.node import slot_posid
+
+        # One live-snapshot slice instead of an index descent per atom;
+        # the walk fallback covers an invalidated cache.
+        slots = self.doc.tree.live_slice(start, end)
+        if slots is not None:
+            posids = (slot_posid(slot) for slot in slots)
+        else:
+            posids = (self.doc.posid_at(i) for i in range(start, end))
+        for offset, posid in enumerate(posids):
+            if self._locks.is_locked(posid.bits()):
                 raise RegionLockedError(
-                    f"site {self.site}: {verb} at {index} hits a region "
-                    "locked by a pending flatten"
+                    f"site {self.site}: {verb} at {start + offset} hits a "
+                    "region locked by a pending flatten"
                 )
 
     def _check_unlocked_for_insert(self, index: int) -> None:
@@ -159,10 +168,11 @@ class ReplicaSite:
 
     def _ship_batch(self, batch: OpBatch) -> None:
         """Broadcast one causal envelope carrying the whole batch; the
-        batch counts as a single causal event."""
+        batch counts as a single causal event. The digest is stamped
+        at ship time (see :meth:`repro.core.ops.OpBatch.seal`)."""
         if not batch.ops:
             return
-        envelope = self.broadcast.broadcast(batch)
+        envelope = self.broadcast.broadcast(batch.seal())
         for op in batch.ops:
             self._log_op(op, batch.origin, envelope.sequence)
             if self.tombstone_gc and isinstance(op, DeleteOp):

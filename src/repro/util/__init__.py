@@ -1,7 +1,9 @@
-"""Small shared utilities: deterministic RNG handling and bit packing."""
+"""Small shared utilities: deterministic RNG handling, bit packing and
+atom-sequence rendering."""
 
 from repro.util.rng import derive_rng, spawn_seed
 from repro.util.bits import BitWriter, BitReader, bits_for_int
+from repro.util.text import join_atoms
 
 __all__ = [
     "derive_rng",
@@ -9,4 +11,5 @@ __all__ = [
     "BitWriter",
     "BitReader",
     "bits_for_int",
+    "join_atoms",
 ]

@@ -1,0 +1,20 @@
+"""Atom-sequence rendering shared by every text() surface."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def join_atoms(separator: str, atoms: Iterable[object]) -> str:
+    """Join atoms into a string, skipping per-atom ``str()`` calls when
+    every atom already is one (character, line and paragraph documents
+    — all shipped workloads). The one place the fast-path/fallback
+    pattern lives."""
+    if not isinstance(atoms, (list, tuple)):
+        # One-shot iterators would be exhausted by a failed join before
+        # the fallback could re-read them.
+        atoms = list(atoms)
+    try:
+        return separator.join(atoms)
+    except TypeError:
+        return separator.join(str(atom) for atom in atoms)

@@ -22,6 +22,37 @@ def myers_diff(a: Sequence[object], b: Sequence[object]) -> List[Tuple[str, obje
     Tags are ``"equal"`` (atom kept), ``"delete"`` (atom of ``a``
     removed) and ``"insert"`` (atom of ``b`` added); the greedy O(ND)
     algorithm of Myers (1986).
+
+    Revision edits are localized (the paper's trace observation), so
+    the common prefix and suffix — usually most of both sequences — are
+    stripped before the O(ND) core runs; replaying a history then costs
+    diff time proportional to what actually changed per revision, not
+    to the whole document.
+    """
+    n, m = len(a), len(b)
+    limit = min(n, m)
+    prefix = 0
+    while prefix < limit and a[prefix] == b[prefix]:
+        prefix += 1
+    suffix = 0
+    bound = limit - prefix
+    while suffix < bound and a[n - 1 - suffix] == b[m - 1 - suffix]:
+        suffix += 1
+    if prefix or suffix:
+        core = _myers_core(a[prefix:n - suffix], b[prefix:m - suffix])
+        script = [("equal", atom) for atom in a[:prefix]]
+        script.extend(core)
+        script.extend(("equal", atom) for atom in a[n - suffix:n])
+        return script
+    return _myers_core(a, b)
+
+
+def _myers_core(a: Sequence[object], b: Sequence[object]) -> List[Tuple[str, object]]:
+    """The untrimmed greedy O(ND) forward pass with backtracking.
+
+    Diagonals live in a flat list indexed by ``k + offset`` (the
+    classic array layout) rather than a dict — the inner loop is pure
+    index arithmetic.
     """
     n, m = len(a), len(b)
     if n == 0:
@@ -29,22 +60,29 @@ def myers_diff(a: Sequence[object], b: Sequence[object]) -> List[Tuple[str, obje
     if m == 0:
         return [("delete", atom) for atom in a]
     max_d = n + m
-    # v[k] = furthest x on diagonal k; store per-round copies for backtrack.
-    v: dict = {1: 0}
-    trace: List[dict] = []
+    offset = max_d
+    # v[offset + k] = furthest x on diagonal k; per-round copies for
+    # the backtrack. Sentinel -1 marks diagonals not yet reached.
+    v: List[int] = [-1] * (2 * max_d + 2)
+    v[offset + 1] = 0
+    trace: List[List[int]] = []
     found = False
     for d in range(max_d + 1):
-        trace.append(dict(v))
+        trace.append(v[offset - d:offset + d + 2])
         for k in range(-d, d + 1, 2):
-            if k == -d or (k != d and v.get(k - 1, -1) < v.get(k + 1, -1)):
-                x = v.get(k + 1, 0)
+            if k == -d or (k != d and v[offset + k - 1] < v[offset + k + 1]):
+                x = v[offset + k + 1]
+                if x < 0:
+                    x = 0
             else:
-                x = v.get(k - 1, 0) + 1
+                x = v[offset + k - 1] + 1
+                if x < 1:
+                    x = 1
             y = x - k
             while x < n and y < m and a[x] == b[y]:
                 x += 1
                 y += 1
-            v[k] = x
+            v[offset + k] = x
             if x >= n and y >= m:
                 found = True
                 break
@@ -52,29 +90,38 @@ def myers_diff(a: Sequence[object], b: Sequence[object]) -> List[Tuple[str, obje
             break
     if not found:  # pragma: no cover - d is bounded by n+m
         raise WorkloadError("diff failed to converge")
+
+    def v_at(row: List[int], d: int, k: int) -> int:
+        # row holds diagonals -d .. d+1 of round d; index 0 is -d.
+        position = k + d
+        if 0 <= position < len(row):
+            return row[position]
+        return -1  # pragma: no cover - out-of-cone diagonal
+
     # Backtrack through the recorded rounds.
     script: List[Tuple[str, object]] = []
     x, y = n, m
     for d in range(len(trace) - 1, 0, -1):
-        v_prev = trace[d]
+        row = trace[d]
         k = x - y
-        if k == -d or (k != d and v_prev.get(k - 1, -1) < v_prev.get(k + 1, -1)):
+        if k == -d or (k != d and v_at(row, d, k - 1) < v_at(row, d, k + 1)):
             prev_k = k + 1
         else:
             prev_k = k - 1
-        prev_x = v_prev.get(prev_k, 0)
+        prev_x = v_at(row, d, prev_k)
+        if prev_x < 0:
+            prev_x = 0
         prev_y = prev_x - prev_k
         while x > prev_x and y > prev_y:
             x -= 1
             y -= 1
             script.append(("equal", a[x]))
-        if d > 0:
-            if x == prev_x:
-                y -= 1
-                script.append(("insert", b[y]))
-            else:
-                x -= 1
-                script.append(("delete", a[x]))
+        if x == prev_x:
+            y -= 1
+            script.append(("insert", b[y]))
+        else:
+            x -= 1
+            script.append(("delete", a[x]))
     while x > 0 and y > 0:
         x -= 1
         y -= 1

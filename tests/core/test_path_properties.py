@@ -9,7 +9,7 @@ section 2.1 (total order consistent with the buffer, dense space).
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.path import compare_posids
+from repro.core.path import compare_posids, compare_posids_walk
 from repro.core.treedoc import Treedoc
 from tests.conftest import posid_strategy
 
@@ -37,6 +37,14 @@ class TestTotalOrderLaws:
         x, y, z = sorted([a, b, c])
         assert x <= y <= z
         assert x <= z
+
+    @given(posid_strategy, posid_strategy)
+    @settings(max_examples=300)
+    def test_packed_key_equals_elementwise_walk(self, a, b):
+        # The packed flat-integer sort key (PosID.sort_key) must induce
+        # exactly the order of the element-by-element reference walk.
+        assert compare_posids(a, b) == compare_posids_walk(a, b)
+        assert (a.sort_key() < b.sort_key()) == (compare_posids_walk(a, b) < 0)
 
 
 class TestDensityViaAllocation:
