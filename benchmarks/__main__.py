@@ -5,26 +5,77 @@
 Runs the pytest-benchmark table/figure modules (timing disabled unless
 pytest-benchmark is installed and ``--benchmark-only`` is passed down —
 the single-pass mode still regenerates and prints the paper tables),
-then the standalone read-path benchmark, which writes
-``BENCH_read.json``.
+then the standalone read-path and mixed-storage benchmarks, which write
+``BENCH_read.json`` and ``BENCH_storage.json``, and closes with one
+summary whose every number carries its unit (reads/s, seconds, bytes) —
+no raw result dicts.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+import json
 from pathlib import Path
+
+
+def _summary(root: Path) -> str:
+    """A units-labelled digest of the standalone benchmark reports."""
+    lines = ["", "== benchmark summary (units: explicit per metric) =="]
+    read_report = root / "BENCH_read.json"
+    if read_report.exists():
+        data = json.loads(read_report.read_text())
+        for row in data.get("snapshot", []):
+            lines.append(
+                f"  read/snapshot   {row['crdt']:14s} "
+                f"{row['reads_per_second']:>12,.0f} reads/s "
+                f"({row['atoms']:,d} atoms)"
+            )
+        for row in data.get("replay", []):
+            lines.append(
+                f"  read/replay     {row['crdt']:14s} "
+                f"{row['revisions_per_second']:>12,.1f} revs/s "
+                f"({row['seconds'] * 1e3:,.0f} ms total)"
+            )
+    storage_report = root / "BENCH_storage.json"
+    if storage_report.exists():
+        data = json.loads(storage_report.read_text())
+        current = data["current"]
+        lines.append(
+            f"  storage/quiescent resident     "
+            f"{current['resident_bytes']:>12,d} bytes "
+            f"({current['collapsed_regions']} regions, "
+            f"{current['atoms']:,d} atoms)"
+        )
+        baseline = data.get("pre_pr")
+        if baseline:
+            lines.append(
+                f"  storage/pre-PR resident        "
+                f"{baseline['resident_bytes']:>12,d} bytes "
+                f"({data['resident_bytes_reduction']:.1f}x reduction)"
+            )
+        mechanics = data.get("mechanics")
+        if mechanics:
+            lines.append(
+                f"  storage/collapse pass          "
+                f"{mechanics['collapse_seconds'] * 1e9:>12,.0f} ns "
+                f"({mechanics['array_leaves']} leaves)"
+            )
+            lines.append(
+                f"  storage/explode all            "
+                f"{mechanics['explode_seconds'] * 1e9:>12,.0f} ns"
+            )
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description="run all benchmarks")
     parser.add_argument("--quick", action="store_true",
-                        help="CI smoke sizes for the read benchmark")
+                        help="CI smoke sizes for the standalone benchmarks")
     parser.add_argument("--skip-tables", action="store_true",
                         help="skip the pytest table/figure benchmarks")
     parser.add_argument("--baseline-src", default=None,
                         help="pre-PR src/ path for the before/after "
-                        "read-path comparison")
+                        "read-path and storage comparisons")
     args = parser.parse_args(argv)
     here = Path(__file__).resolve().parent
     status = 0
@@ -40,12 +91,19 @@ def main(argv=None) -> int:
         ])
         if status:
             return int(status)
-    from benchmarks import bench_read
+    from benchmarks import bench_read, bench_storage
 
-    read_args = ["--quick"] if args.quick else []
+    shared_args = ["--quick"] if args.quick else []
     if args.baseline_src:
-        read_args += ["--baseline-src", args.baseline_src]
-    return bench_read.main(read_args)
+        shared_args += ["--baseline-src", args.baseline_src]
+    status = bench_read.main(list(shared_args))
+    if status:
+        return status
+    status = bench_storage.main(list(shared_args))
+    if status:
+        return status
+    print(_summary(here.parent))
+    return 0
 
 
 if __name__ == "__main__":

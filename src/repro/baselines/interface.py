@@ -87,6 +87,17 @@ class SequenceCRDT(abc.ABC):
         for op in batch.ops:
             self.apply(op)
 
+    def maintain(self) -> None:
+        """Run purely local storage maintenance.
+
+        Must not change the visible sequence and must not need
+        replication — the contract tests interleave it arbitrarily with
+        concurrent edits on one replica only. Treedoc collapses cold
+        canonical regions into array leaves here (section 4.2 mixed
+        storage); the baselines have no storage dimorphism, so the
+        default is a no-op.
+        """
+
     def insert_run(self, index: int, atoms: Sequence[object]) -> List[object]:
         """Insert a consecutive run; compatibility wrapper over the
         batch path (the old default looped ``insert(index + offset)``,
@@ -154,6 +165,13 @@ class TreedocAdapter(SequenceCRDT):
     def __len__(self) -> int:
         # O(1) off the subtree counts, not a snapshot materialization.
         return len(self.doc)
+
+    def maintain(self) -> None:
+        """Advance the cold clock one revision and collapse whatever
+        has gone quiescent (aggressive thresholds: maintenance in tests
+        should actually exercise the mixed form)."""
+        self.doc.note_revision()
+        self.doc.collapse_cold(min_age=1, min_atoms=2)
 
     def total_id_bits(self) -> int:
         return sum(p.size_bits for p in self.doc.posids())

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.interface import SequenceCRDT
 from repro.core.disambiguator import SiteId
@@ -45,7 +45,7 @@ Component = Tuple[int, SiteId, int]
 LogootId = Tuple[Component, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogootInsert:
     """Remote payload of a Logoot insert."""
 
@@ -58,7 +58,7 @@ class LogootInsert:
         return "insert"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogootDelete:
     """Remote payload of a Logoot delete."""
 
@@ -94,6 +94,17 @@ class LogootDoc(SequenceCRDT):
         # Parallel sorted arrays: identifiers and their atoms.
         self._ids: List[LogootId] = []
         self._atoms: List[object] = []
+        # Component interning pool: neighbouring identifiers share long
+        # digit prefixes (local generation copies neighbour components
+        # by reference, but remote payloads arrive as fresh tuples), so
+        # mapping arrivals through the pool collapses the duplicates.
+        self._component_pool: Dict[Component, Component] = {}
+
+    def _intern_ident(self, ident: LogootId) -> LogootId:
+        """``ident`` with each component replaced by the replica's
+        shared tuple for it."""
+        pool = self._component_pool
+        return tuple(pool.setdefault(c, c) for c in ident)
 
     # -- identifier generation ---------------------------------------------------
 
@@ -242,7 +253,7 @@ class LogootDoc(SequenceCRDT):
 
     def apply(self, op: object) -> None:
         if isinstance(op, LogootInsert):
-            self._insert_ident(op.ident, op.atom)
+            self._insert_ident(self._intern_ident(op.ident), op.atom)
         elif isinstance(op, LogootDelete):
             position = bisect.bisect_left(self._ids, op.ident)
             if position < len(self._ids) and self._ids[position] == op.ident:

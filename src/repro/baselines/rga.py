@@ -25,9 +25,13 @@ RgaId = Tuple[int, SiteId]
 RGA_ID_BITS = (4 + 6) * 8
 
 
-@dataclass
+@dataclass(slots=True)
 class _Node:
-    """One linked-list cell."""
+    """One linked-list cell. ``slots=True``: RGA keeps a cell per
+    element ever inserted (tombstones included), so the per-instance
+    dict would dominate replica memory — the same ``__slots__``
+    treatment the Treedoc nodes got, keeping Table 1 memory comparisons
+    apples-to-apples."""
 
     rid: RgaId
     atom: object
@@ -35,7 +39,7 @@ class _Node:
     next: Optional[RgaId]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RgaInsert:
     """Remote payload: insert ``atom`` with id ``rid`` after ``after``
     (None = document head)."""
@@ -50,7 +54,7 @@ class RgaInsert:
         return "insert"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RgaDelete:
     """Remote payload of a delete."""
 
@@ -172,8 +176,16 @@ class RgaDoc(SequenceCRDT):
             if op.rid in self._nodes:
                 return  # duplicate delivery
             self._observe(op.rid[0])
+            # Share the anchor's stored identifier tuple instead of the
+            # payload's fresh copy: every cell's ``next`` then aliases
+            # the successor's own ``rid`` (identifier interning).
+            after = op.after
+            if after is not None:
+                anchor = self._nodes.get(after)
+                if anchor is not None:
+                    after = anchor.rid
             node = _Node(op.rid, op.atom, True, None)
-            self._insert_after(op.after, node)
+            self._insert_after(after, node)
         elif isinstance(op, RgaDelete):
             node = self._nodes.get(op.rid)
             if node is None:

@@ -31,10 +31,13 @@ END_ID: WId = (-2, 0)
 WID_BITS = (6 + 4) * 8
 
 
-@dataclass
+@dataclass(slots=True)
 class WChar:
     """One stored character: identifier, visibility and its insertion-
-    time neighbours."""
+    time neighbours. ``slots=True``: one instance per character ever
+    inserted (tombstones never leave), so per-instance dicts dominate a
+    replica's memory without it — the same treatment the Treedoc nodes
+    got, keeping Table 1 memory comparisons apples-to-apples."""
 
     wid: WId
     atom: object
@@ -43,7 +46,7 @@ class WChar:
     next: WId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WootInsert:
     """Remote payload of a WOOT insert: the full W-character."""
 
@@ -58,7 +61,7 @@ class WootInsert:
         return "insert"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WootDelete:
     """Remote payload of a WOOT delete."""
 
@@ -86,6 +89,15 @@ class WootDoc(SequenceCRDT):
         # (conceptual) BEGIN and END sentinels which are not stored.
         self._chars: List[WChar] = []
         self._index: Dict[WId, int] = {}
+        # WId interning pool: every character stores three identifiers
+        # (its own + both insertion-time neighbours), and remote payloads
+        # arrive as fresh tuples — mapping them through the pool makes
+        # all references to one identifier share one tuple object.
+        self._wid_pool: Dict[WId, WId] = {BEGIN_ID: BEGIN_ID, END_ID: END_ID}
+
+    def _intern(self, wid: WId) -> WId:
+        """The replica's shared tuple for ``wid``."""
+        return self._wid_pool.setdefault(wid, wid)
 
     # -- helpers ------------------------------------------------------------------
 
@@ -153,7 +165,7 @@ class WootDoc(SequenceCRDT):
         prev = self._chars[visible[index - 1]].wid if index > 0 else BEGIN_ID
         next_ = self._chars[visible[index]].wid if index < len(visible) else END_ID
         self._counter += 1
-        wid: WId = (self.site, self._counter)
+        wid: WId = self._intern((self.site, self._counter))
         char = WChar(wid, atom, True, prev, next_)
         self._integrate(char, prev, next_)
         return WootInsert(wid, atom, prev, next_, self.site)
@@ -184,7 +196,7 @@ class WootDoc(SequenceCRDT):
         ops: List[WootInsert] = []
         for atom in atoms:
             self._counter += 1
-            wid: WId = (self.site, self._counter)
+            wid: WId = self._intern((self.site, self._counter))
             char = WChar(wid, atom, True, prev, next_)
             self._integrate(char, prev, next_)
             ops.append(WootInsert(wid, atom, prev, next_, self.site))
@@ -207,8 +219,11 @@ class WootDoc(SequenceCRDT):
         if isinstance(op, WootInsert):
             if op.wid in self._index:
                 return  # duplicate delivery
-            char = WChar(op.wid, op.atom, True, op.prev, op.next)
-            self._integrate(char, op.prev, op.next)
+            wid = self._intern(op.wid)
+            prev = self._intern(op.prev)
+            next_ = self._intern(op.next)
+            char = WChar(wid, op.atom, True, prev, next_)
+            self._integrate(char, prev, next_)
         elif isinstance(op, WootDelete):
             position = self._index.get(op.wid)
             if position is None:

@@ -37,7 +37,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.disambiguator import Disambiguator
 from repro.core.node import EMPTY, AtomSlot, MiniNode, PosNode, slot_host
 from repro.core.path import LEFT, RIGHT
-from repro.core.tree import TreedocTree
+from repro.core.tree import TreedocTree, _as_node
 from repro.errors import AllocationError
 
 #: Upper bound on the number of gap slots inspected when looking for an
@@ -220,9 +220,9 @@ class Allocator:
         if host.left is not None:
             # The gap scan found no empty slot, yet the left child
             # exists; descend its right spine to a fresh creation point.
-            node = host.left
+            node = _as_node(host.left)
             while node.right is not None:
-                node = node.right
+                node = _as_node(node.right)
             return self._create_chain(node, RIGHT, dis, append=False)
         return self._create_chain(host, LEFT, dis, append=False)
 
@@ -240,9 +240,9 @@ class Allocator:
             ):
                 # Rule 6: a direct descendant of the mini-node itself.
                 if p_slot.right is not None:
-                    node = p_slot.right
+                    node = _as_node(p_slot.right)
                     while node.left is not None:
-                        node = node.left
+                        node = _as_node(node.left)
                     return self._create_chain(node, LEFT, dis, append=False)
                 return self._create_chain(p_slot, RIGHT, dis, append=False)
             # Rules 5 and 7: strip the disambiguator — a child of the
@@ -251,9 +251,9 @@ class Allocator:
         else:
             host = p_slot
         if host.right is not None:
-            node = host.right
+            node = _as_node(host.right)
             while node.left is not None:
-                node = node.left
+                node = _as_node(node.left)
             return self._create_chain(node, LEFT, dis, append=appending)
         return self._create_chain(host, RIGHT, dis, append=appending)
 

@@ -6,20 +6,19 @@ edited are in Treedoc representation, and parts that are currently
 quiescent are represented as arrays, with no associated metadata", with
 explode happening implicitly "when applying a path to an array".
 
-This module implements that storage optimization *without touching the
-identifier semantics*:
+Two implementations live in this codebase:
 
-- :func:`find_array_regions` locates maximal *array-representable*
-  subtrees — fully plain (no disambiguators anywhere, i.e. flattened or
-  single-user regions), no tombstones, completely live — whose contents
-  a plain Python list can represent with zero per-atom metadata;
-- :class:`MixedStorage` snapshots a tree into tree-fragments + array
-  regions, answers reads (length, atom-at-index, iteration) from the
-  mixed form, accounts the §5.2 storage cost of each representation,
-  and *explodes on demand*: touching a path inside an array region
-  converts it back to tree form transparently;
-- :func:`storage_cost` compares the pure-tree cost against the mixed
-  cost (the "best case … zero overhead" claim of the abstract).
+- the **live** one — :class:`repro.core.node.ArrayLeaf` children inside
+  :class:`repro.core.tree.TreedocTree`, collapsed by
+  :func:`find_collapsible` + ``TreedocTree.collapse_subtree`` (driven by
+  ``Treedoc.collapse_cold``) and exploded implicitly when any path or
+  index lands inside a region. This is the production storage form; see
+  DESIGN.md section 7.
+- the **offline snapshot model** below (:func:`find_array_regions`,
+  :class:`MixedStorage`, :func:`storage_cost`), which predates the live
+  form and remains as the section 5.2 storage-cost accountant: it
+  computes what the mixed representation costs on a given tree without
+  committing the tree to it.
 
 Because explode is deterministic and local, no replicated operation is
 needed — exactly the paper's argument for why explicit explode
@@ -31,25 +30,64 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.core.flatten import build_exploded
-from repro.core.node import EMPTY, LIVE, PosNode
+from repro.core.flatten import ColdRegionFinder, build_exploded
+from repro.core.node import (
+    EMPTY,
+    LIVE,
+    ArrayLeaf,
+    PosNode,
+    collect_array_atoms,
+)
 from repro.core.path import PosID
 from repro.core.tree import TreedocTree
 from repro.errors import TreeError
-from repro.metrics.overhead import NODE_RECORD_BYTES
+from repro.metrics.overhead import (  # noqa: F401  (re-exported: historical home)
+    ARRAY_REGION_HEADER_BYTES,
+    ARRAY_SLOT_BYTES,
+    NODE_RECORD_BYTES,
+)
 
-#: Per-array-region bookkeeping cost in bytes: a (path, length, pointer)
-#: record replacing the whole subtree's node records.
-ARRAY_REGION_HEADER_BYTES = 12
-#: Per-atom cost inside an array region: one pointer (32-bit machine,
-#: matching the paper's 26-byte node model).
-ARRAY_SLOT_BYTES = 4
+
+def find_collapsible(
+    tree: TreedocTree,
+    stamps: dict,
+    current_revision: int,
+    min_age: int = 2,
+    min_atoms: int = 8,
+) -> List[Tuple[PosID, PosNode, List[object]]]:
+    """Cold canonical subtrees ready to collapse into array leaves.
+
+    Returns ``(plain path, subtree root, atoms)`` triples, top-down and
+    left-to-right. A subtree qualifies when it has been untouched for
+    ``min_age`` revisions (by the :class:`ColdRegionFinder` stamps), is
+    in canonical exploded form (:func:`collect_array_atoms` — fully
+    live, fully plain, the shape flatten builds), and holds at least
+    ``min_atoms`` atoms. The root itself never collapses (mirroring the
+    flatten heuristic); a cold-but-hot-shaped subtree is descended, so
+    smaller canonical pockets inside it are still found. Already
+    collapsed children are skipped.
+    """
+    newest = ColdRegionFinder._newest_stamps(tree.root, stamps)
+    regions: List[Tuple[PosID, PosNode, List[object]]] = []
+    stack: List[Tuple[PosNode, Tuple[int, ...]]] = [(tree.root, ())]
+    while stack:
+        node, bits = stack.pop()
+        if bits and current_revision - newest[id(node)] >= min_age:
+            atoms = collect_array_atoms(node, min_atoms)
+            if atoms is not None:
+                regions.append((PosID.from_bits(bits), node, atoms))
+                continue
+        for bit, child in ((0, node.left), (1, node.right)):
+            if child is not None and not isinstance(child, ArrayLeaf):
+                stack.append((child, bits + (bit,)))
+    regions.sort(key=lambda item: item[0].bits())
+    return regions
 
 
 def _is_array_representable(node: PosNode) -> bool:
     """A subtree is array-representable when every slot is a live plain
     atom or empty structure: no mini-nodes (disambiguators) and no
-    tombstones anywhere."""
+    tombstones anywhere. An already collapsed child trivially is."""
     stack = [node]
     while stack:
         current = stack.pop()
@@ -58,7 +96,7 @@ def _is_array_representable(node: PosNode) -> bool:
         if current.plain_state not in (LIVE, EMPTY):
             return False
         for child in (current.left, current.right):
-            if child is not None:
+            if child is not None and not isinstance(child, ArrayLeaf):
                 stack.append(child)
     return True
 
@@ -119,12 +157,13 @@ class MixedStorage:
     def compact(self, min_atoms: int = 2) -> int:
         """Detach every array-representable region; returns how many."""
         count = 0
+        from repro.core.flatten import subtree_atoms
+
         for path, node in find_array_regions(self.tree, min_atoms):
             key = path.bits()
             if key in self._regions:
                 continue
-            atoms = [slot.atom for slot in node.iter_slots()
-                     if slot.state == LIVE]
+            atoms = subtree_atoms(node)
             # Strip the subtree in the tree: the region root becomes a
             # placeholder; counts updated so indexed reads still work —
             # the region's atoms are accounted via the array.
@@ -156,13 +195,14 @@ class MixedStorage:
             self._explode_region(key)
 
     def _explode_region(self, key: Tuple[int, ...]) -> None:
+        from repro.core.flatten import subtree_atoms
+
         region = self._regions.pop(key)
         node = self._resolve(region.path)
         # The tree still holds the region (compaction never mutated it);
         # verify it was not edited behind the storage manager's back,
         # then canonicalize: the array is authoritative.
-        atoms = [slot.atom for slot in node.iter_slots()
-                 if slot.state == LIVE]
+        atoms = subtree_atoms(node)
         if atoms != region.atoms:
             raise TreeError(
                 "array region diverged from tree: edits bypassed "

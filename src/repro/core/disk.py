@@ -22,23 +22,41 @@ This module implements that format faithfully:
 - atoms live in a separate byte stream ("stored in a separate file"),
   referenced by index.
 
+Format v2 (live mixed storage, section 4.2): a plain child slot may
+hold an array leaf instead of a subtree. The v2 record spends two bits
+per present child — tree or leaf — and serializes a leaf inline as an
+RLE atom run: the leaf's atoms are appended to the atom file
+contiguously, so one (count, first-reference) pair names them all.
+Cold documents therefore load back as array leaves **without
+exploding**; v1 images (no leaves possible) still load.
+
 ``measure_on_disk`` reports the Table 1 "On-disk overhead": the tree
 bytes, i.e. everything except the atom payload itself.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.encoding import read_disambiguator, write_disambiguator
-from repro.core.node import EMPTY, LIVE, TOMBSTONE, MiniNode, PosNode
+from repro.core.node import (
+    EMPTY,
+    LIVE,
+    TOMBSTONE,
+    ArrayLeaf,
+    MiniNode,
+    PosNode,
+)
 from repro.core.tree import TreedocTree
 from repro.errors import EncodingError
 from repro.util.bits import BitReader, BitWriter
 
 _STATE_TAGS = {EMPTY: 0, LIVE: 1, TOMBSTONE: 2}
 _TAG_STATES = {tag: state for state, tag in _STATE_TAGS.items()}
+
+#: Current on-disk format: v2 adds array-leaf child records.
+FORMAT_VERSION = 2
 
 
 @dataclass
@@ -48,6 +66,8 @@ class DiskImage:
     tree_bytes: bytes
     tree_bits: int
     atom_payloads: List[bytes]
+    #: Record format the tree bytes use (see module docstring).
+    version: int = field(default=FORMAT_VERSION)
 
     @property
     def tree_size_bytes(self) -> int:
@@ -88,7 +108,31 @@ def _read_slot_state(reader: BitReader,
     return state, None
 
 
-def _write_subtree(writer: BitWriter, root: PosNode, atoms: _AtomFile) -> None:
+def _write_leaf(writer: BitWriter, leaf: ArrayLeaf, atoms: _AtomFile) -> None:
+    """A v2 array-leaf record: the atom count plus the first reference
+    of the leaf's RLE atom run (the atoms are appended to the atom file
+    contiguously right here, so one pair names them all)."""
+    first = atoms.add(leaf.atoms[0])
+    for atom in leaf.atoms[1:]:
+        atoms.add(atom)
+    writer.write_elias_gamma(len(leaf.atoms))
+    writer.write_elias_gamma(first + 1)
+
+
+def _read_leaf(reader: BitReader, parent, bit: int,
+               payloads: List[bytes]) -> ArrayLeaf:
+    count = reader.read_elias_gamma()
+    first = reader.read_elias_gamma() - 1
+    atoms = [payload.decode("utf-8")
+             for payload in payloads[first:first + count]]
+    if len(atoms) != count:
+        raise EncodingError("array-leaf atom run out of bounds")
+    # The owning tree is attached by load() once it exists.
+    return ArrayLeaf((parent, bit), atoms, None)
+
+
+def _write_subtree(writer: BitWriter, root: PosNode, atoms: _AtomFile,
+                   version: int) -> None:
     """Heap-style level-order encoding of one subtree skeleton."""
     level: List[Tuple[int, PosNode]] = [(0, root)]
     writer.write_bit(1)  # subtree present
@@ -101,15 +145,16 @@ def _write_subtree(writer: BitWriter, root: PosNode, atoms: _AtomFile) -> None:
         for index, node in level:
             writer.write_elias_gamma(index - previous)
             previous = index
-            _write_entry(writer, node, atoms)
-            if node.left is not None:
+            _write_entry(writer, node, atoms, version)
+            if isinstance(node.left, PosNode):
                 next_level.append((2 * index, node.left))
-            if node.right is not None:
+            if isinstance(node.right, PosNode):
                 next_level.append((2 * index + 1, node.right))
         level = next_level
 
 
-def _write_entry(writer: BitWriter, node: PosNode, atoms: _AtomFile) -> None:
+def _write_entry(writer: BitWriter, node: PosNode, atoms: _AtomFile,
+                 version: int) -> None:
     _write_slot_state(writer, node.plain_state, node.plain_atom, atoms)
     writer.write_elias_gamma(len(node.minis) + 1)
     for mini in node.minis:
@@ -118,17 +163,34 @@ def _write_entry(writer: BitWriter, node: PosNode, atoms: _AtomFile) -> None:
         for child in (mini.left, mini.right):
             if child is None:
                 writer.write_bit(0)
+            elif isinstance(child, ArrayLeaf):
+                raise EncodingError(
+                    "array leaf under a mini-node"
+                )  # pragma: no cover - the tree never builds one
             else:
                 # Escape: a mini-node's child subtree, recursively.
-                _write_subtree(writer, child, atoms)
+                _write_subtree(writer, child, atoms, version)
     # Plain-child presence: the next heap level cannot be peeked at read
-    # time, so record which children exist.
-    writer.write_bit(1 if node.left is not None else 0)
-    writer.write_bit(1 if node.right is not None else 0)
+    # time, so record which children exist. v2 spends a second bit on
+    # present children to distinguish tree subtrees from array leaves
+    # (serialized inline, not in the heap layout).
+    for child in (node.left, node.right):
+        if child is None:
+            writer.write_bit(0)
+            continue
+        writer.write_bit(1)
+        if version >= 2:
+            if isinstance(child, ArrayLeaf):
+                writer.write_bit(1)
+                _write_leaf(writer, child, atoms)
+            else:
+                writer.write_bit(0)
+        elif isinstance(child, ArrayLeaf):
+            raise EncodingError("format v1 cannot carry array leaves")
 
 
 def _read_subtree(reader: BitReader, parent, bit: int,
-                  payloads: List[bytes]) -> Optional[PosNode]:
+                  payloads: List[bytes], version: int) -> Optional[PosNode]:
     if not reader.read_bit():
         return None
     root = PosNode(parent=(parent, bit) if parent is not None else None)
@@ -144,7 +206,7 @@ def _read_subtree(reader: BitReader, parent, bit: int,
             position += reader.read_elias_gamma()
             if position != expected_index:
                 raise EncodingError("heap position mismatch")
-            children = _read_entry(reader, node, payloads)
+            children = _read_entry(reader, node, payloads, version)
             for child_bit in children:
                 child = PosNode(parent=(node, child_bit))
                 node.set_child(child_bit, child)
@@ -154,7 +216,7 @@ def _read_subtree(reader: BitReader, parent, bit: int,
 
 
 def _read_entry(reader: BitReader, node: PosNode,
-                payloads: List[bytes]) -> List[int]:
+                payloads: List[bytes], version: int) -> List[int]:
     node.plain_state, node.plain_atom = _read_slot_state(reader, payloads)
     mini_count = reader.read_elias_gamma() - 1
     for _ in range(mini_count):
@@ -162,33 +224,48 @@ def _read_entry(reader: BitReader, node: PosNode,
         mini = node.get_or_create_mini(dis)
         mini.state, mini.atom = _read_slot_state(reader, payloads)
         for child_bit in (0, 1):
-            child = _read_subtree(reader, mini, child_bit, payloads)
+            child = _read_subtree(reader, mini, child_bit, payloads, version)
             if child is not None:
                 mini.set_child(child_bit, child)
     # Plain-child presence bits, mirroring _write_entry.
     children = []
     for child_bit in (0, 1):
-        if reader.read_bit():
-            children.append(child_bit)
+        if not reader.read_bit():
+            continue
+        if version >= 2 and reader.read_bit():
+            node.set_child(
+                child_bit, _read_leaf(reader, node, child_bit, payloads)
+            )
+            continue
+        children.append(child_bit)
     return children
 
 
-def save(tree: TreedocTree) -> DiskImage:
-    """Serialize a tree to its on-disk image."""
+def save(tree: TreedocTree, version: int = FORMAT_VERSION) -> DiskImage:
+    """Serialize a tree to its on-disk image.
+
+    ``version=1`` writes the legacy record (rejecting trees that hold
+    array leaves); the default v2 serializes leaves as RLE atom runs.
+    """
     writer = BitWriter()
     atoms = _AtomFile()
-    _write_subtree(writer, tree.root, atoms)
-    return DiskImage(writer.getvalue(), writer.bit_length, atoms.payloads)
+    _write_subtree(writer, tree.root, atoms, version)
+    return DiskImage(
+        writer.getvalue(), writer.bit_length, atoms.payloads, version
+    )
 
 
 def load(image: DiskImage) -> TreedocTree:
-    """Reconstruct a tree from its on-disk image."""
+    """Reconstruct a tree from its on-disk image.
+
+    Array-leaf records come back as collapsed regions — a cold document
+    loads without exploding anything.
+    """
     reader = BitReader(image.tree_bytes, image.tree_bits)
-    root = _read_subtree(reader, None, 0, image.atom_payloads)
+    root = _read_subtree(reader, None, 0, image.atom_payloads, image.version)
     tree = TreedocTree()
     if root is not None:
         tree.root = root
-    tree.recount_subtree(tree.root)
     height = 0
     stack: List[Tuple[PosNode, int]] = [(tree.root, 0)]
     while stack:
@@ -199,8 +276,12 @@ def load(image: DiskImage) -> TreedocTree:
                 if child is not None:
                     stack.append((child, depth + 1))
         for child in (node.left, node.right):
-            if child is not None:
+            if isinstance(child, ArrayLeaf):
+                child.tree = tree
+                height = max(height, depth + child.implicit_depth)
+            elif child is not None:
                 stack.append((child, depth + 1))
+    tree.recount_subtree(tree.root)
     tree.height = height
     return tree
 

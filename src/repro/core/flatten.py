@@ -20,74 +20,22 @@ flattening.
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
-from repro.core.node import EMPTY, LIVE, MiniNode, PosNode
+from repro.core.node import (  # noqa: F401  (re-exported: historical home)
+    EMPTY,
+    LIVE,
+    ArrayLeaf,
+    MiniNode,
+    PosNode,
+    build_exploded,
+    entry_atoms,
+    explode_depth,
+    iter_subtree_entries,
+)
 from repro.core.path import LEFT, RIGHT, PosID
 from repro.core.tree import TreedocTree
 from repro.errors import TreeError
-
-
-def explode_depth(atom_count: int) -> int:
-    """Depth of the canonical complete tree for ``atom_count`` atoms."""
-    return max(1, math.ceil(math.log2(atom_count + 1)))
-
-
-def build_exploded(node: PosNode, atoms: Sequence[object]) -> None:
-    """Rebuild ``node``'s subtree as the canonical exploded form of
-    ``atoms`` (Algorithm 2), in place. The node keeps its parent link.
-
-    With no atoms the subtree becomes a bare empty node.
-    """
-    node.plain_state = EMPTY
-    node.plain_atom = None
-    node.minis = []
-    node.left = None
-    node.right = None
-    if not atoms:
-        node.live_count = 0
-        node.id_count = 0
-        return
-    _fill_complete(node, list(atoms))
-
-
-def _fill_complete(node: PosNode, atoms: List[object]) -> None:
-    """Assign ``atoms`` infix-style to a complete subtree under ``node``.
-
-    The middle atom lands on ``node`` itself; left and right halves
-    recurse into freshly created children. Surplus positions are simply
-    never created, which realizes Algorithm 2's "remove any remaining
-    nodes" without a second pass. Children are complete trees, so the
-    result equals building the full tree and pruning.
-    """
-    # Iterative splitting to cope with large arrays without recursion
-    # limits: stack of (node, atom-slice bounds).
-    stack: List[Tuple[PosNode, int, int]] = [(node, 0, len(atoms))]
-    while stack:
-        current, lo, hi = stack.pop()
-        count = hi - lo
-        depth = explode_depth(count)
-        # The subtree root takes the infix position after its complete
-        # left subtree (2^(depth-1) - 1 slots); with a partially filled
-        # last level fewer atoms remain, and the root takes the last one.
-        left_size = (1 << (depth - 1)) - 1
-        root_index = min(left_size, count - 1)
-        mid = lo + root_index
-        current.plain_state = LIVE
-        current.plain_atom = atoms[mid]
-        left_atoms = mid - lo
-        right_atoms = hi - mid - 1
-        current.live_count = count
-        current.id_count = count
-        if left_atoms > 0:
-            left = PosNode(parent=(current, LEFT))
-            current.left = left
-            stack.append((left, lo, mid))
-        if right_atoms > 0:
-            right = PosNode(parent=(current, RIGHT))
-            current.right = right
-            stack.append((right, mid + 1, hi))
 
 
 def explode(atoms: Sequence[object]) -> TreedocTree:
@@ -108,9 +56,15 @@ def explode(atoms: Sequence[object]) -> TreedocTree:
 
 def _subtree_height(node: PosNode) -> int:
     height = 0
-    stack: List[Tuple[PosNode, int]] = [(node, 0)]
+    stack: List[Tuple[object, int]] = [(node, 0)]
     while stack:
         current, depth = stack.pop()
+        if isinstance(current, ArrayLeaf):
+            # The region's exploded form would occupy this many levels.
+            depth += current.implicit_depth - 1
+            if depth > height:
+                height = depth
+            continue
         if depth > height:
             height = depth
         for mini in current.minis:
@@ -124,8 +78,18 @@ def _subtree_height(node: PosNode) -> int:
 
 
 def subtree_atoms(node: PosNode) -> List[object]:
-    """Visible atoms of ``node``'s subtree, in identifier order."""
-    return [slot.atom for slot in node.iter_slots() if slot.state == LIVE]
+    """Visible atoms of ``node``'s subtree, in identifier order
+    (collapsed regions contribute their arrays without exploding)."""
+    atoms: List[object] = []
+    append = atoms.append
+    for entry in iter_subtree_entries(node):
+        # Slots first (the common case): a leaf's pseudo-state never
+        # equals LIVE, so it falls through to the extend branch.
+        if entry.state == LIVE:
+            append(entry.atom)
+        elif type(entry) is ArrayLeaf:
+            atoms.extend(entry.atoms)
+    return atoms
 
 
 def flatten_subtree(tree: TreedocTree, path: PosID,
@@ -152,7 +116,10 @@ def flatten_subtree(tree: TreedocTree, path: PosID,
 
 
 def resolve_region(tree: TreedocTree, path: PosID) -> PosNode:
-    """The position node named by a plain-bit ``path``."""
+    """The position node named by a plain-bit ``path``.
+
+    A path landing on or inside a collapsed region explodes it —
+    applying a path to an array (section 4.2.1)."""
     node = tree.root
     for element in path:
         if element.dis is not None:
@@ -160,6 +127,8 @@ def resolve_region(tree: TreedocTree, path: PosID) -> PosNode:
         child = node.child(element.bit)
         if child is None:
             raise TreeError(f"no node at region path {path!r}")
+        if isinstance(child, ArrayLeaf):
+            child = child.explode()
         node = child
     return node
 
@@ -204,14 +173,20 @@ class ColdRegionFinder:
         # the top-down selection below reads a dict entry per node
         # instead of re-walking each candidate subtree (which made the
         # heuristic quadratic on replay workloads).
-        newest = self._newest_stamps(tree.root, stamps)
+        # Subtrees holding collapsed regions are never selected: a
+        # flatten would swallow the zero-metadata array leaves back
+        # into per-atom tree form for no tombstone gain (the leaves are
+        # fully live and canonical by construction). The finder
+        # descends past them and cleans the tree-form pockets around
+        # them instead.
+        newest, leafy = self._survey(tree.root, stamps)
         best: Optional[Tuple[Tuple[int, int], List[int]]] = None
         # Walk top-down; the first cold node on a branch dominates its
         # descendants, so do not descend past a cold subtree.
         stack: List[Tuple[PosNode, List[int]]] = [(tree.root, [])]
         while stack:
             node, bits = stack.pop()
-            if len(bits) >= self.min_depth and (
+            if len(bits) >= self.min_depth and id(node) not in leafy and (
                 current_revision - newest[id(node)] >= self.min_age
             ):
                 if node.id_count >= self.min_slots:
@@ -225,16 +200,22 @@ class ColdRegionFinder:
                         best = (score, bits)
                 continue
             for bit, child in ((LEFT, node.left), (RIGHT, node.right)):
-                if child is not None:
+                if child is not None and not isinstance(child, ArrayLeaf):
                     stack.append((child, bits + [bit]))
         if best is None:
             return None
         return PosID.from_bits(best[1])
 
     @staticmethod
-    def _newest_stamps(node: PosNode, stamps: dict) -> dict:
-        """id(PosNode) -> newest stamp in that node's subtree, for the
-        whole subtree under ``node``, in one post-order pass."""
+    def _survey(node: PosNode, stamps: dict) -> Tuple[dict, set]:
+        """One post-order pass over the subtree under ``node``:
+
+        - ``newest``: id(PosNode) -> newest stamp in that node's
+          subtree (collapsed regions are quiescent by construction and
+          never stamped, so array leaves contribute nothing);
+        - ``leafy``: ids of position nodes whose subtree holds an array
+          leaf (excluded from flatten candidacy).
+        """
         order: List[PosNode] = []
         stack: List[PosNode] = [node]
         while stack:
@@ -245,21 +226,40 @@ class ColdRegionFinder:
                     if child is not None:
                         stack.append(child)
             for child in (current.left, current.right):
-                if child is not None:
+                if child is not None and type(child) is not ArrayLeaf:
                     stack.append(child)
         newest: dict = {}
+        leafy: set = set()
+        get_stamp = stamps.get
         for current in reversed(order):
-            value = stamps.get(id(current), 0)
+            value = get_stamp(id(current), 0)
+            is_leafy = False
             for mini in current.minis:
                 for child in (mini.left, mini.right):
                     if child is not None:
                         child_value = newest[id(child)]
                         if child_value > value:
                             value = child_value
+                        if id(child) in leafy:
+                            is_leafy = True
             for child in (current.left, current.right):
-                if child is not None:
-                    child_value = newest[id(child)]
-                    if child_value > value:
-                        value = child_value
+                if child is None:
+                    continue
+                if type(child) is ArrayLeaf:
+                    is_leafy = True
+                    continue
+                child_value = newest[id(child)]
+                if child_value > value:
+                    value = child_value
+                if id(child) in leafy:
+                    is_leafy = True
             newest[id(current)] = value
-        return newest
+            if is_leafy:
+                leafy.add(id(current))
+        return newest, leafy
+
+    @classmethod
+    def _newest_stamps(cls, node: PosNode, stamps: dict) -> dict:
+        """id(PosNode) -> newest stamp in that node's subtree (see
+        :meth:`_survey`; kept for callers that need only the stamps)."""
+        return cls._survey(node, stamps)[0]

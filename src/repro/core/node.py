@@ -22,11 +22,24 @@ Position nodes cache two subtree aggregates maintained incrementally:
 - ``live_count`` — LIVE atoms in the subtree (visible document length);
 - ``id_count`` — LIVE + TOMBSTONE slots (used identifiers), which drives
   the tombstone-aware neighbour search of DESIGN.md section 3.2.
+
+Mixed storage (section 4.2)
+---------------------------
+
+A plain child slot may also hold an :class:`ArrayLeaf`: a quiescent
+subtree stored as a bare atom list with *zero per-atom metadata*. A leaf
+always stands for the **canonical exploded form** of its atoms (the
+shape :func:`build_exploded` produces — what flatten leaves behind), so
+exploding it back rebuilds the identical identifier structure
+deterministically, without any replicated operation (the paper's
+section 4.2.1 argument). The canonical-form machinery lives here, next
+to the nodes, so :mod:`repro.core.tree` can explode on touch without an
+import cycle; :mod:`repro.core.flatten` re-exports it.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.disambiguator import Disambiguator
 from repro.core.path import LEFT, RIGHT, PathElement, PosID
@@ -76,6 +89,13 @@ ParentLink = Optional[Tuple[Union["PosNode", MiniNode], int]]
 
 #: An atom slot: a position node stands for its own plain slot.
 AtomSlot = Union["PosNode", MiniNode]
+
+#: What a plain child slot can hold: a position node, or a collapsed
+#: quiescent region (section 4.2 mixed storage).
+Child = Union["PosNode", "ArrayLeaf"]
+
+#: An infix storage entry: an atom slot, or a whole collapsed region.
+Entry = Union["PosNode", MiniNode, "ArrayLeaf"]
 
 
 class PosNode:
@@ -195,6 +215,11 @@ class PosNode:
         order matches :func:`repro.core.path.compare_posids`: left child,
         plain slot, mini-nodes (each with its own left subtree, slot,
         right subtree) in disambiguator order, right child.
+
+        Raises :class:`TreeError` on an :class:`ArrayLeaf` child: leaf
+        atoms have no slot objects. Callers that must handle mixed
+        storage walk :func:`iter_subtree_entries` instead; callers that
+        need slots explode the region first.
         """
         # Iterative walk with an explicit stack: documents replayed from
         # long append-heavy histories produce trees deeper than CPython's
@@ -202,6 +227,11 @@ class PosNode:
         stack: List[Tuple[object, int]] = [(self, 0)]
         while stack:
             item, phase = stack.pop()
+            if isinstance(item, ArrayLeaf):
+                raise TreeError(
+                    "iter_slots over a subtree holding an array leaf; "
+                    "walk iter_subtree_entries or explode first"
+                )
             if isinstance(item, PosNode):
                 if phase == 0:
                     stack.append((item, 1))
@@ -225,7 +255,9 @@ class PosNode:
                         stack.append((mini.right, 0))
 
     def iter_nodes(self) -> Iterator["PosNode"]:
-        """All position nodes of this subtree (pre-order, iterative)."""
+        """All tree-resident position nodes of this subtree (pre-order,
+        iterative). Collapsed regions (:class:`ArrayLeaf`) hold no nodes
+        and are skipped; walk :func:`iter_subtree_entries` to see them."""
         stack = [self]
         while stack:
             node = stack.pop()
@@ -235,10 +267,9 @@ class PosNode:
                     stack.append(mini.right)
                 if mini.left is not None:
                     stack.append(mini.left)
-            if node.right is not None:
-                stack.append(node.right)
-            if node.left is not None:
-                stack.append(node.left)
+            for child in (node.right, node.left):
+                if child is not None and not isinstance(child, ArrayLeaf):
+                    stack.append(child)
 
 
 # ---------------------------------------------------------------------------
@@ -336,3 +367,288 @@ def slot_depth(slot: AtomSlot) -> int:
         container, _ = node.parent
         node = container.host if isinstance(container, MiniNode) else container
     return depth
+
+
+# ---------------------------------------------------------------------------
+# Canonical exploded form (section 4.2, Algorithm 2) — the shape that
+# both flatten and explode-on-touch build, and the shape a subtree must
+# have to be collapsible into an ArrayLeaf.
+# ---------------------------------------------------------------------------
+
+
+def explode_depth(atom_count: int) -> int:
+    """Depth of the canonical complete tree for ``atom_count`` atoms.
+
+    ``ceil(log2(n + 1))`` computed exactly as ``n.bit_length()`` — no
+    float round-trip (the shape check must be bit-exact at any size).
+    """
+    return atom_count.bit_length() if atom_count else 1
+
+
+def _canonical_split(count: int) -> Tuple[int, int]:
+    """``(left_atoms, right_atoms)`` of the canonical root for ``count``
+    atoms: the root sits after its complete left subtree, or takes the
+    last atom when the final level is only partially filled."""
+    left = min((1 << (explode_depth(count) - 1)) - 1, count - 1)
+    return left, count - 1 - left
+
+
+def build_exploded(node: "PosNode", atoms: Sequence[object]) -> None:
+    """Rebuild ``node``'s subtree as the canonical exploded form of
+    ``atoms`` (Algorithm 2), in place. The node keeps its parent link.
+
+    With no atoms the subtree becomes a bare empty node.
+    """
+    node.plain_state = EMPTY
+    node.plain_atom = None
+    node.minis = []
+    node.left = None
+    node.right = None
+    if not atoms:
+        node.live_count = 0
+        node.id_count = 0
+        return
+    _fill_complete(node, list(atoms))
+
+
+def _fill_complete(node: "PosNode", atoms: List[object]) -> None:
+    """Assign ``atoms`` infix-style to a complete subtree under ``node``.
+
+    The middle atom lands on ``node`` itself; left and right halves
+    recurse into freshly created children. Surplus positions are simply
+    never created, which realizes Algorithm 2's "remove any remaining
+    nodes" without a second pass. Children are complete trees, so the
+    result equals building the full tree and pruning.
+    """
+    # Iterative splitting to cope with large arrays without recursion
+    # limits: stack of (node, atom-slice bounds).
+    stack: List[Tuple[PosNode, int, int]] = [(node, 0, len(atoms))]
+    while stack:
+        current, lo, hi = stack.pop()
+        count = hi - lo
+        left_atoms, right_atoms = _canonical_split(count)
+        mid = lo + left_atoms
+        current.plain_state = LIVE
+        current.plain_atom = atoms[mid]
+        current.live_count = count
+        current.id_count = count
+        if left_atoms > 0:
+            left = PosNode(parent=(current, LEFT))
+            current.left = left
+            stack.append((left, lo, mid))
+        if right_atoms > 0:
+            right = PosNode(parent=(current, RIGHT))
+            current.right = right
+            stack.append((right, mid + 1, hi))
+
+
+def collect_array_atoms(child: Child, min_atoms: int = 1) -> Optional[List[object]]:
+    """The subtree's atoms when it is in canonical exploded form, else
+    None (the collapse predicate and atom harvest in one walk).
+
+    Canonical means: every position node holds a LIVE plain atom, no
+    mini-nodes, no tombstones, no empty structural nodes, and the left/
+    right split at every level matches :func:`build_exploded` — so a
+    later explode rebuilds the *identical* structure. An already
+    collapsed child (:class:`ArrayLeaf`) counts as canonical for its own
+    atoms, which lets neighbouring leaves merge into a larger one.
+
+    Verifying split counts before descending bounds the walk to the
+    canonical depth (O(log n) recursion), so this is safe on trees far
+    deeper than the recursion limit: a non-canonical deep chain fails
+    its count check at the top.
+    """
+    expected = (
+        len(child.atoms) if isinstance(child, ArrayLeaf) else child.live_count
+    )
+    if expected < min_atoms:
+        return None
+    out: List[object] = []
+    if _collect_canonical(child, expected, out):
+        return out
+    return None
+
+
+def _collect_canonical(child: Child, expected: int, out: List[object]) -> bool:
+    if isinstance(child, ArrayLeaf):
+        if len(child.atoms) != expected:
+            return False
+        out.extend(child.atoms)
+        return True
+    node = child
+    if (
+        node.plain_state != LIVE
+        or node.minis
+        or node.live_count != expected
+        or node.id_count != expected
+    ):
+        return False
+    left_atoms, right_atoms = _canonical_split(expected)
+    if left_atoms == 0:
+        if node.left is not None:
+            return False
+    elif node.left is None or not _collect_canonical(node.left, left_atoms, out):
+        return False
+    out.append(node.plain_atom)
+    if right_atoms == 0:
+        return node.right is None
+    if node.right is None:
+        return False
+    return _collect_canonical(node.right, right_atoms, out)
+
+
+def canonical_path_bits(count: int, index: int) -> Tuple[int, ...]:
+    """Branch bits of atom ``index`` within a canonical region of
+    ``count`` atoms, relative to the region root (O(log count))."""
+    if not 0 <= index < count:
+        raise TreeError(f"atom index {index} out of canonical region 0..{count}")
+    bits: List[int] = []
+    lo, hi = 0, count
+    while True:
+        left_atoms, _ = _canonical_split(hi - lo)
+        mid = lo + left_atoms
+        if index == mid:
+            return tuple(bits)
+        if index < mid:
+            bits.append(LEFT)
+            hi = mid
+        else:
+            bits.append(RIGHT)
+            lo = mid + 1
+
+
+def canonical_posids(base: Tuple[PathElement, ...], count: int) -> List[PosID]:
+    """PosIDs of a canonical region's atoms, in document order.
+
+    ``base`` is the path of the region root (the root atom's own PosID
+    elements); deeper atoms extend it with plain branch bits. One
+    infix-ordered pass shares the prefix tuples along each spine.
+    """
+    out: List[Optional[PosID]] = [None] * count
+    stack: List[Tuple[Tuple[PathElement, ...], int, int]] = [(base, 0, count)]
+    while stack:
+        elements, lo, hi = stack.pop()
+        left_atoms, right_atoms = _canonical_split(hi - lo)
+        mid = lo + left_atoms
+        out[mid] = PosID(elements)
+        if left_atoms > 0:
+            stack.append((elements + (PathElement(LEFT),), lo, mid))
+        if right_atoms > 0:
+            stack.append((elements + (PathElement(RIGHT),), mid + 1, hi))
+    return out  # type: ignore[return-value]
+
+
+class ArrayLeaf:
+    """A quiescent region stored as a bare atom list (section 4.2).
+
+    Replaces a whole subtree at a position node's plain child slot. The
+    region is always the canonical exploded form of ``atoms`` — fully
+    live, fully plain — so the leaf needs **no per-atom metadata**: its
+    identifier structure is implied by the atom count and the attach
+    point. :meth:`explode` rebuilds that structure deterministically and
+    locally when a path lands inside the region ("applying a path to an
+    array", section 4.2.1) — no replicated explode operation exists.
+
+    ``tree`` is the owning :class:`repro.core.tree.TreedocTree`: explode
+    must drop the tree's live-snapshot cache, and navigation helpers
+    that step into a leaf have no other route to the tree. The backref
+    creates a reference cycle (tree → root → … → leaf → tree), which
+    CPython's cycle collector handles.
+    """
+
+    __slots__ = ("parent", "atoms", "tree")
+
+    #: Class-level pseudo-state: a leaf is not an atom slot, but giving
+    #: it a ``state`` that matches no slot state lets hot dispatch loops
+    #: test ``entry.state == LIVE`` first (the common case) and fall to
+    #: a type check only for leaves, instead of paying an isinstance on
+    #: every slot.
+    state = "array"
+
+    def __init__(self, parent: ParentLink, atoms: List[object], tree) -> None:
+        if not atoms:
+            raise TreeError("an array leaf must hold at least one atom")
+        self.parent = parent
+        self.atoms = atoms
+        self.tree = tree
+
+    @property
+    def live_count(self) -> int:
+        """Visible atoms — the whole region is live by construction."""
+        return len(self.atoms)
+
+    @property
+    def id_count(self) -> int:
+        """Used identifiers — one per atom, no tombstones by construction."""
+        return len(self.atoms)
+
+    @property
+    def implicit_depth(self) -> int:
+        """Levels the exploded form of this region occupies."""
+        return explode_depth(len(self.atoms))
+
+    def explode(self) -> "PosNode":
+        """Rebuild the region as tree structure; returns the new subtree
+        root. Delegates to the owning tree (cache maintenance)."""
+        return self.tree.explode_leaf(self)
+
+    def posids(self) -> List[PosID]:
+        """The region's atom PosIDs in document order, without exploding."""
+        return canonical_posids(self.base_elements(), len(self.atoms))
+
+    def base_elements(self) -> Tuple[PathElement, ...]:
+        """Path elements of the region root (the attach point's child)."""
+        if self.parent is None:
+            raise TreeError("detached array leaf has no path")
+        container, bit = self.parent
+        if isinstance(container, MiniNode):
+            raise TreeError("array leaf attached under a mini-node")
+        return _node_posid(container).elements + (PathElement(bit),)
+
+    def __repr__(self) -> str:
+        return f"<array-leaf {len(self.atoms)} atoms>"
+
+
+def iter_subtree_entries(root: "PosNode") -> Iterator[Entry]:
+    """All storage entries of ``root``'s subtree in identifier order:
+    atom slots as in :meth:`PosNode.iter_slots`, plus each
+    :class:`ArrayLeaf` yielded whole at its region's infix position.
+
+    Type dispatch mirrors :meth:`PosNode.iter_slots` — the PosNode
+    branch first, so the common path costs exactly what the slot walk
+    costs; leaves only pay on the rare mini/leaf branches.
+    """
+    stack: List[Tuple[object, int]] = [(root, 0)]
+    while stack:
+        item, phase = stack.pop()
+        if isinstance(item, PosNode):
+            if phase == 0:
+                stack.append((item, 1))
+                if item.left is not None:
+                    stack.append((item.left, 0))
+            else:
+                yield item
+                if item.right is not None:
+                    stack.append((item.right, 0))
+                for mini in reversed(item.minis):
+                    stack.append((mini, 0))
+        elif isinstance(item, MiniNode):
+            mini = item
+            if phase == 0:
+                stack.append((mini, 1))
+                if mini.left is not None:
+                    stack.append((mini.left, 0))
+            else:
+                yield mini
+                if mini.right is not None:
+                    stack.append((mini.right, 0))
+        else:  # ArrayLeaf: the whole region, in one entry
+            yield item
+
+
+def entry_atoms(entry: Entry) -> Iterator[object]:
+    """The visible atoms an entry contributes (0, 1, or a whole region)."""
+    if isinstance(entry, ArrayLeaf):
+        yield from entry.atoms
+    elif entry.state == LIVE:
+        yield entry.atom

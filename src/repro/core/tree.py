@@ -28,10 +28,31 @@ snapshots), and an *edit finger* — the last resolved ``(index, slot)``
 pair — that resolves nearby live indexes by successor/predecessor
 chain walks when the snapshot cache is unavailable, exploiting the
 edit locality the paper's trace study reports.
+
+Live mixed storage (DESIGN.md section 7, paper section 4.2)
+-----------------------------------------------------------
+
+Quiescent subtrees in canonical exploded form may be *collapsed* into
+:class:`repro.core.node.ArrayLeaf` children — a bare atom list with one
+parent link and zero per-atom metadata (:meth:`collapse_subtree`). The
+snapshot cache then holds the leaf as **one entry contributing a
+slice**, so ``atoms()``/``text()`` extend from the array at C speed
+instead of appending per slot. Any operation that needs real structure
+inside a region — a remote path resolving into it (``materialize`` /
+``lookup``), an index descent, a successor/predecessor walk, an
+allocation landing next to it — *explodes on touch*: the canonical form
+is rebuilt deterministically and locally (:meth:`explode_leaf`), so
+replicas never ship an explode operation and a collapsing replica stays
+bit-identical in identifier space with a non-collapsing one. Collapse
+and explode preserve the subtree counts exactly (a leaf reports its
+atom count as both live and id count), so neither touches ancestor
+aggregates or the generation counter; both drop the snapshot cache,
+which the next read rebuilds.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.disambiguator import Disambiguator
@@ -39,43 +60,68 @@ from repro.core.node import (
     EMPTY,
     LIVE,
     TOMBSTONE,
+    ArrayLeaf,
     AtomSlot,
+    Entry,
     MiniNode,
     PosNode,
+    build_exploded,
+    canonical_path_bits,
+    collect_array_atoms,
+    iter_subtree_entries,
     parent_host,
+    slot_depth,
     slot_host,
     slot_is_id_holder,
     slot_is_live,
     slot_posid,
 )
-from repro.core.path import LEFT, RIGHT, PosID
+from repro.core.path import LEFT, RIGHT, PathElement, PosID
 from repro.errors import MissingAtomError, TreeError
+
+
+def _as_node(child) -> PosNode:
+    """Resolve a plain child to tree form. A walk about to step *inside*
+    a collapsed region is applying a path to an array: explode it
+    (section 4.2.1) — deterministic and local, so no replication."""
+    if isinstance(child, ArrayLeaf):
+        return child.explode()
+    return child
 
 
 def _leftmost_slot(node: PosNode) -> AtomSlot:
     """First slot (in infix order) of the subtree rooted at ``node``."""
-    while node.left is not None:
-        node = node.left
-    return node
+    # The leaf check is inlined (not _as_node): this loop runs once per
+    # tree level on the replay hot path.
+    while True:
+        child = node.left
+        if child is None:
+            return node
+        if type(child) is ArrayLeaf:
+            child = child.explode()
+        node = child
 
 
 def _mini_region_first(mini: MiniNode) -> AtomSlot:
     """First slot of a mini-node's region (its left subtree, then it)."""
     if mini.left is not None:
-        return _leftmost_slot(mini.left)
+        return _leftmost_slot(_as_node(mini.left))
     return mini
 
 
 def _rightmost_slot(node: PosNode) -> AtomSlot:
     """Last slot (in infix order) of the subtree rooted at ``node``."""
     while True:
-        if node.right is not None:
-            node = node.right
+        child = node.right
+        if child is not None:
+            if type(child) is ArrayLeaf:
+                child = child.explode()
+            node = child
             continue
         if node.minis:
             mini = node.minis[-1]
             if mini.right is not None:
-                node = mini.right
+                node = _as_node(mini.right)
                 continue
             return mini
         return node
@@ -95,7 +141,7 @@ def _after_mini_region(host: PosNode, index: int) -> Optional[AtomSlot]:
     if index + 1 < len(host.minis):
         return _mini_region_first(host.minis[index + 1])
     if host.right is not None:
-        return _leftmost_slot(host.right)
+        return _leftmost_slot(_as_node(host.right))
     return _up_successor(host)
 
 
@@ -117,10 +163,13 @@ def _up_successor(node: PosNode) -> Optional[AtomSlot]:
 
 
 def successor_slot(slot: AtomSlot) -> Optional[AtomSlot]:
-    """The next atom slot in identifier order, or None at the end."""
+    """The next atom slot in identifier order, or None at the end.
+
+    Stepping into a collapsed region explodes it (the caller needs real
+    slots: neighbour searches and range walks precede edits)."""
     if isinstance(slot, MiniNode):
         if slot.right is not None:
-            return _leftmost_slot(slot.right)
+            return _leftmost_slot(_as_node(slot.right))
         host = slot.host
         return _after_mini_region(host, _mini_index(host, slot))
     # A position node's plain slot: next is its first mini region, then
@@ -128,8 +177,11 @@ def successor_slot(slot: AtomSlot) -> Optional[AtomSlot]:
     node = slot
     if node.minis:
         return _mini_region_first(node.minis[0])
-    if node.right is not None:
-        return _leftmost_slot(node.right)
+    child = node.right
+    if child is not None:
+        if type(child) is ArrayLeaf:
+            child = child.explode()
+        return _leftmost_slot(child)
     return _up_successor(node)
 
 
@@ -138,7 +190,7 @@ def _before_mini_region(host: PosNode, index: int) -> AtomSlot:
     if index > 0:
         previous = host.minis[index - 1]
         if previous.right is not None:
-            return _rightmost_slot(previous.right)
+            return _rightmost_slot(_as_node(previous.right))
         return previous
     return host  # the host's plain slot precedes its first mini
 
@@ -159,7 +211,7 @@ def _up_predecessor(node: PosNode) -> Optional[AtomSlot]:
             if container.minis:
                 mini = container.minis[-1]
                 if mini.right is not None:
-                    return _rightmost_slot(mini.right)
+                    return _rightmost_slot(_as_node(mini.right))
                 return mini
             return container
         node = container
@@ -169,12 +221,12 @@ def predecessor_slot(slot: AtomSlot) -> Optional[AtomSlot]:
     """The previous atom slot in identifier order, or None at the start."""
     if isinstance(slot, MiniNode):
         if slot.left is not None:
-            return _rightmost_slot(slot.left)
+            return _rightmost_slot(_as_node(slot.left))
         host = slot.host
         return _before_mini_region(host, _mini_index(host, slot))
     node = slot
     if node.left is not None:
-        return _rightmost_slot(node.left)
+        return _rightmost_slot(_as_node(node.left))
     return _up_predecessor(node)
 
 
@@ -201,9 +253,20 @@ class TreedocTree:
         #: code leaves both on).
         self.cache_enabled = True
         self.finger_enabled = True
-        #: The live-snapshot cache: live slots in document order, or None
-        #: when invalidated (an empty tree has a valid empty cache).
-        self._live: Optional[List[AtomSlot]] = []
+        #: The live-snapshot cache: live *entries* in document order —
+        #: atom slots, plus one entry per collapsed region (ArrayLeaf) —
+        #: or None when invalidated (an empty tree has a valid empty
+        #: cache). Without leaves every entry has width 1 and all the
+        #: splice fast paths below apply unchanged.
+        self._live: Optional[List[Entry]] = []
+        #: True when the cache holds at least one ArrayLeaf entry; the
+        #: per-op splice machinery then stands down (a mutation drops
+        #: the cache instead — mutations explode their own region first,
+        #: and quiescent regions see none).
+        self._live_has_leaf = False
+        #: Lazily built cumulative live-index starts per cache entry
+        #: (only needed, and only built, when leaf entries exist).
+        self._live_starts: Optional[List[int]] = None
         #: Bumped on every visible-content change; downstream layers key
         #: derived caches (text, lines, snapshots) on it.
         self._generation = 0
@@ -238,6 +301,8 @@ class TreedocTree:
         self.finger_enabled = finger
         if not snapshot:
             self._live = None
+            self._live_has_leaf = False
+            self._live_starts = None
         if not finger:
             self._finger = None
 
@@ -247,7 +312,8 @@ class TreedocTree:
         """Walk ``posid``, creating missing structure; return its slot.
 
         Re-creates discarded ancestors, as the replay version of insert
-        must under UDIS (section 3.3.1).
+        must under UDIS (section 3.3.1). A path landing on or inside a
+        collapsed region explodes it first (section 4.2.1).
         """
         context: AtomSlot = self.root
         for element in posid:
@@ -255,6 +321,8 @@ class TreedocTree:
             if child is None:
                 child = PosNode(parent=(context, element.bit))
                 context.set_child(element.bit, child)
+            elif isinstance(child, ArrayLeaf):
+                child = self.explode_leaf(child)
             if element.dis is None:
                 context = child
             else:
@@ -264,12 +332,17 @@ class TreedocTree:
         return context
 
     def lookup(self, posid: PosID) -> Optional[AtomSlot]:
-        """The slot named by ``posid`` if its structure exists, else None."""
+        """The slot named by ``posid`` if its structure exists, else None.
+
+        Like :meth:`materialize`, a path routing into a collapsed region
+        explodes it — a lookup precedes a structural use of the slot."""
         context: AtomSlot = self.root
         for element in posid:
             child = context.child(element.bit)
             if child is None:
                 return None
+            if isinstance(child, ArrayLeaf):
+                child = self.explode_leaf(child)
             if element.dis is None:
                 context = child
             else:
@@ -315,24 +388,61 @@ class TreedocTree:
     def invalidate_live_cache(self) -> None:
         """Drop the live-snapshot cache and edit finger.
 
-        Called around structural surgery (flatten/explode rebuilds,
-        disk load, ``recount_subtree``): the next snapshot read rebuilds
-        the cache with one walk. Invalidation — never staleness — is the
+        Called around structural surgery (flatten rebuilds, disk load,
+        ``recount_subtree``): the next snapshot read rebuilds the cache
+        with one walk. Invalidation — never staleness — is the
         contract; the generation bump makes downstream derived caches
         (text, lines, snapshots) refresh too.
         """
         self._generation += 1
+        self._drop_live_cache()
+
+    def _drop_live_cache(self) -> None:
+        """Drop the cache and finger *without* a generation bump: used
+        by collapse/explode, which change representation but not
+        content, so derived text/line/snapshot caches stay valid."""
         self._live = None
+        self._live_has_leaf = False
+        self._live_starts = None
         self._finger = None
 
-    def _ensure_live(self) -> Optional[List[AtomSlot]]:
+    def _ensure_live(self) -> Optional[List[Entry]]:
         """The live-snapshot cache, rebuilding it if invalidated.
         Returns None when the cache is disabled."""
         live = self._live
         if live is None and self.cache_enabled:
-            live = [s for s in self.root.iter_slots() if s.state == LIVE]
+            live = []
+            append = live.append
+            has_leaf = False
+            for entry in iter_subtree_entries(self.root):
+                # Slots first (the common case); a leaf's pseudo-state
+                # never equals LIVE.
+                if entry.state == LIVE:
+                    append(entry)
+                elif type(entry) is ArrayLeaf:
+                    append(entry)
+                    has_leaf = True
             self._live = live
+            self._live_has_leaf = has_leaf
+            self._live_starts = None
         return live
+
+    def _entry_at(self, index: int) -> Tuple[Entry, int]:
+        """Cache entry covering live ``index``, plus the offset inside
+        it (0 for slots; an atom offset for ArrayLeaf entries). Valid
+        cache required."""
+        starts = self._live_starts
+        if starts is None:
+            starts = []
+            total = 0
+            for entry in self._live:
+                starts.append(total)
+                total += (
+                    len(entry.atoms) if isinstance(entry, ArrayLeaf) else 1
+                )
+            self._live_starts = starts
+        position = bisect_right(starts, index) - 1
+        return self._live[position], index - starts[position]
 
     def _note_insert(self, slot: AtomSlot) -> None:
         """Record ``slot`` turning LIVE (counts already adjusted).
@@ -350,6 +460,13 @@ class TreedocTree:
             self._bulk_added.append(slot)
             return
         live = self._live
+        if live is not None and self._live_has_leaf:
+            # Leaf entries break the index-is-rank splice arithmetic;
+            # mutations on a mixed cache drop it (the edited region
+            # itself exploded before this point — remaining leaves are
+            # elsewhere, and the next read rebuilds around them).
+            self._drop_live_cache()
+            live = None
         if live is not None:
             rank = self.live_rank(slot)
             if rank == len(live):
@@ -372,6 +489,9 @@ class TreedocTree:
             return
         rank: Optional[int] = None
         live = self._live
+        if live is not None and self._live_has_leaf:
+            self._drop_live_cache()
+            live = None
         if live is not None:
             rank = self.live_rank(slot)
             if rank < len(live) and live[rank] is slot:
@@ -424,6 +544,10 @@ class TreedocTree:
         self._finger = None
         live = self._live
         if live is None:
+            return
+        if self._live_has_leaf:
+            # See _note_insert: no splice arithmetic over leaf entries.
+            self._drop_live_cache()
             return
         if removed:
             if removed_range is not None and not added:
@@ -705,6 +829,8 @@ class TreedocTree:
         live = 0
         ids = 0
         # Post-order over position nodes, iteratively (deep trees).
+        # Array-leaf children are their own ground truth — one atom per
+        # slot, all live — and are not descended.
         order: List[PosNode] = []
         stack = [node]
         while stack:
@@ -715,10 +841,9 @@ class TreedocTree:
                     stack.append(mini.left)
                 if mini.right is not None:
                     stack.append(mini.right)
-            if current.left is not None:
-                stack.append(current.left)
-            if current.right is not None:
-                stack.append(current.right)
+            for child in (current.left, current.right):
+                if child is not None and type(child) is not ArrayLeaf:
+                    stack.append(child)
         for current in reversed(order):
             live = int(current.plain_state == LIVE)
             ids = int(current.plain_state != EMPTY)
@@ -736,6 +861,100 @@ class TreedocTree:
             current.live_count = live
             current.id_count = ids
         return (node.live_count, node.id_count)
+
+    # -- mixed storage: collapse and explode (section 4.2) -----------------------
+
+    def collapse_subtree(self, node: PosNode,
+                         atoms: Optional[List[object]] = None,
+                         min_atoms: int = 1) -> ArrayLeaf:
+        """Replace ``node``'s subtree by an :class:`ArrayLeaf` holding
+        its atoms — zero per-atom metadata.
+
+        The subtree must be in canonical exploded form (fully live,
+        fully plain, :func:`repro.core.node.collect_array_atoms`), so a
+        later explode-on-touch rebuilds the identical structure and the
+        transformation is invisible to remote operations; that is what
+        makes collapse a purely local decision needing no replication.
+        ``atoms`` may carry the pre-verified atom array when the caller
+        (the cold-region scan) already walked the region.
+
+        Counts are unchanged — the leaf reports its atom count as both
+        aggregates — so no ancestor propagation happens; the snapshot
+        cache is dropped (the next read rebuilds it with the leaf as a
+        single slice entry) without bumping the generation, since the
+        visible content is untouched.
+        """
+        if self._bulk_deltas is not None:
+            raise TreeError("collapse inside a bulk section")
+        parent = node.parent
+        if node is self.root or parent is None:
+            raise TreeError("cannot collapse the root region")
+        container, bit = parent
+        if isinstance(container, MiniNode):
+            raise TreeError("collapse regions must hang at plain children")
+        if container.child(bit) is not node:
+            raise TreeError("collapse region detached from its container")
+        if atoms is None:
+            atoms = collect_array_atoms(node, min_atoms)
+            if atoms is None:
+                raise TreeError(
+                    "subtree is not an array-representable canonical region"
+                )
+        leaf = ArrayLeaf((container, bit), list(atoms), self)
+        container.set_child(bit, leaf)
+        self._drop_live_cache()
+        return leaf
+
+    def explode_leaf(self, leaf: ArrayLeaf) -> PosNode:
+        """Rebuild a collapsed region as tree structure, in place
+        (section 4.2.1's implicit explode: deterministic and local, so
+        all replicas touching the region independently agree).
+
+        Returns the new subtree root. Counts are unchanged; the cache is
+        dropped without a generation bump. Safe inside a bulk section —
+        remote batch paths resolve into leaves mid-batch — because no
+        count deltas are involved.
+        """
+        parent = leaf.parent
+        if parent is None:
+            raise TreeError("array leaf already exploded")
+        container, bit = parent
+        if container.child(bit) is not leaf:
+            raise TreeError("array leaf detached from its container")
+        node = PosNode(parent=(container, bit))
+        build_exploded(node, leaf.atoms)
+        container.set_child(bit, node)
+        leaf.parent = None
+        depth = slot_depth(container) + leaf.implicit_depth
+        if depth > self.height:
+            self.height = depth
+        self._drop_live_cache()
+        return node
+
+    def iter_entries(self) -> Iterator[Entry]:
+        """All storage entries in identifier order: atom slots plus one
+        entry per collapsed region."""
+        return iter_subtree_entries(self.root)
+
+    def array_leaves(self) -> List[ArrayLeaf]:
+        """The collapsed regions, in document order."""
+        return [
+            entry for entry in iter_subtree_entries(self.root)
+            if isinstance(entry, ArrayLeaf)
+        ]
+
+    def walk_atoms(self) -> List[object]:
+        """Visible atoms by a fresh entry walk — never the cache, never
+        exploding (the mixed-storage reference the property tests check
+        reads against)."""
+        atoms: List[object] = []
+        append = atoms.append
+        for entry in iter_subtree_entries(self.root):
+            if entry.state == LIVE:
+                append(entry.atom)
+            elif type(entry) is ArrayLeaf:
+                atoms.extend(entry.atoms)
+        return atoms
 
     # -- slot state changes ------------------------------------------------------
 
@@ -860,13 +1079,21 @@ class TreedocTree:
 
         O(1) off the live-snapshot cache when valid; otherwise a finger
         chain walk for nearby indexes, falling back to the O(depth)
-        count descent.
+        count descent. An index inside a collapsed region explodes it —
+        the caller wants a real slot, which precedes an edit; use
+        :meth:`live_atom_at` / :meth:`live_posid_at` for pure reads that
+        should leave quiescent regions collapsed.
         """
         if index < 0 or index >= self.root.live_count:
             raise IndexError(f"visible index {index} out of range")
         live = self._live
         if live is not None:
-            return live[index]
+            if not self._live_has_leaf:
+                return live[index]
+            entry, _ = self._entry_at(index)
+            if not isinstance(entry, ArrayLeaf):
+                return entry
+            self.explode_leaf(entry)  # drops the cache; descend below
         if self.finger_enabled:
             slot = self._finger_seek(index)
             if slot is not None:
@@ -876,14 +1103,77 @@ class TreedocTree:
             self._finger = (index, slot)
         return slot
 
+    def live_atom_at(self, index: int) -> object:
+        """The ``index``-th visible atom — a pure read: served straight
+        from a collapsed region's array without exploding it."""
+        if index < 0 or index >= self.root.live_count:
+            raise IndexError(f"visible index {index} out of range")
+        if self._ensure_live() is not None:
+            if not self._live_has_leaf:
+                return self._live[index].atom
+            entry, offset = self._entry_at(index)
+            if isinstance(entry, ArrayLeaf):
+                return entry.atoms[offset]
+            return entry.atom
+        return self.live_slot_at(index).atom
+
+    def live_posid_at(self, index: int) -> PosID:
+        """PosID of the ``index``-th visible atom — a pure read: a
+        collapsed region answers from its implied canonical structure
+        without exploding."""
+        if index < 0 or index >= self.root.live_count:
+            raise IndexError(f"visible index {index} out of range")
+        if self._ensure_live() is not None and self._live_has_leaf:
+            entry, offset = self._entry_at(index)
+            if isinstance(entry, ArrayLeaf):
+                bits = canonical_path_bits(len(entry.atoms), offset)
+                return PosID(
+                    entry.base_elements()
+                    + tuple(PathElement(bit) for bit in bits)
+                )
+            return slot_posid(entry)
+        return slot_posid(self.live_slot_at(index))
+
     def live_slice(self, start: int, end: int) -> Optional[List[AtomSlot]]:
         """Slots of the visible atoms in ``[start, end)`` straight off
         the snapshot cache, or None when the cache is unavailable (the
-        caller then falls back to a descent-plus-successor walk)."""
+        caller then falls back to a descent-plus-successor walk).
+
+        Collapsed regions overlapping the range are exploded first —
+        the callers (range deletes, lock checks) need real slots."""
         live = self._live
         if live is None:
             return None
-        return live[start:end]
+        if not self._live_has_leaf:
+            return live[start:end]
+        # Slice semantics for degenerate ranges, exactly like the flat
+        # path's live[start:end] (no explosion side effects).
+        if start >= end or start >= self.root.live_count:
+            return []
+        while True:
+            live = self._ensure_live()
+            if live is None:  # pragma: no cover - cache disabled mid-loop
+                return None
+            if not self._live_has_leaf:
+                return live[start:end]
+            self._entry_at(start)  # materialize the starts index
+            starts = self._live_starts
+            first = bisect_right(starts, start) - 1
+            overlapping: List[ArrayLeaf] = []
+            position = first
+            while position < len(live) and starts[position] < end:
+                entry = live[position]
+                if type(entry) is ArrayLeaf:
+                    overlapping.append(entry)
+                position += 1
+            if not overlapping:
+                # Every entry overlapping the range is a slot: with the
+                # leaves all outside it, entry widths inside are 1.
+                return live[first:first + (end - start)]
+            # Explode every overlapping region, then rebuild the cache
+            # once (not once per leaf) on the next loop pass.
+            for leaf in overlapping:
+                self.explode_leaf(leaf)
 
     def id_slot_at(self, index: int) -> AtomSlot:
         """Slot of the ``index``-th used identifier (0-based)."""
@@ -907,6 +1197,8 @@ class TreedocTree:
             weight = node_weight(node.left)
             if index < weight:
                 node = node.left
+                if type(node) is ArrayLeaf:
+                    node = node.explode()
                 continue
             index -= weight
             weight = slot_weight(node)
@@ -917,7 +1209,7 @@ class TreedocTree:
             for mini in node.minis:
                 weight = node_weight(mini.left)
                 if index < weight:
-                    node = mini.left
+                    node = _as_node(mini.left)
                     descended = True
                     break
                 index -= weight
@@ -927,7 +1219,7 @@ class TreedocTree:
                 index -= weight
                 weight = node_weight(mini.right)
                 if index < weight:
-                    node = mini.right
+                    node = _as_node(mini.right)
                     descended = True
                     break
                 index -= weight
@@ -936,6 +1228,8 @@ class TreedocTree:
             if node.right is None:
                 raise TreeError("count bookkeeping out of sync")
             node = node.right
+            if type(node) is ArrayLeaf:
+                node = node.explode()
 
     # -- iteration --------------------------------------------------------------------
 
@@ -955,25 +1249,47 @@ class TreedocTree:
 
     def live_slots(self) -> List[AtomSlot]:
         """Visible atom slots in document order, off the snapshot cache
-        (amortized O(n) copy; rebuilds the cache when invalidated)."""
+        (amortized O(n) copy; rebuilds the cache when invalidated).
+        Promises real slots, so collapsed regions are exploded first —
+        all of them, then one rebuild — whether or not the cache is
+        enabled."""
+        for leaf in self.array_leaves():
+            self.explode_leaf(leaf)
         live = self._ensure_live()
         if live is not None:
             return list(live)
         return [s for s in self.iter_slots() if slot_is_live(s)]
 
     def atoms(self) -> List[object]:
-        """The visible document content as a list of atoms."""
+        """The visible document content as a list of atoms (a collapsed
+        region contributes its array in one ``extend``)."""
         live = self._ensure_live()
         if live is not None:
-            return [slot.atom for slot in live]
-        return [slot.atom for slot in self.iter_live_slots()]
+            if not self._live_has_leaf:
+                return [slot.atom for slot in live]
+            atoms: List[object] = []
+            for entry in live:
+                if isinstance(entry, ArrayLeaf):
+                    atoms.extend(entry.atoms)
+                else:
+                    atoms.append(entry.atom)
+            return atoms
+        return self.walk_atoms()
 
     def posids(self) -> List[PosID]:
-        """PosIDs of all visible atoms, in document order."""
+        """PosIDs of all visible atoms, in document order (collapsed
+        regions answer from their implied canonical paths)."""
         live = self._ensure_live()
-        if live is not None:
+        if live is not None and not self._live_has_leaf:
             return [slot_posid(slot) for slot in live]
-        return [slot_posid(slot) for slot in self.iter_live_slots()]
+        entries = live if live is not None else iter_subtree_entries(self.root)
+        posids: List[PosID] = []
+        for entry in entries:
+            if isinstance(entry, ArrayLeaf):
+                posids.extend(entry.posids())
+            elif entry.state == LIVE:
+                posids.append(slot_posid(entry))
+        return posids
 
     def first_slot(self) -> Optional[AtomSlot]:
         """The first slot in identifier order, if any structure exists."""
@@ -1002,14 +1318,18 @@ class TreedocTree:
     # -- integrity ---------------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Validate counts, ordering, parent links and slot states.
+        """Validate counts, ordering, parent links, slot states and
+        array-leaf boundaries.
 
         Raises :class:`TreeError` on the first violation. Used by tests
         and by the failure-injection harness; not called on hot paths.
         """
         cached_live = self._live
         if cached_live is not None:
-            fresh = [s for s in self.iter_slots() if s.state == LIVE]
+            fresh: List[Entry] = [
+                entry for entry in iter_subtree_entries(self.root)
+                if isinstance(entry, ArrayLeaf) or entry.state == LIVE
+            ]
             if len(fresh) != len(cached_live) or any(
                 a is not b for a, b in zip(fresh, cached_live)
             ):
@@ -1021,8 +1341,16 @@ class TreedocTree:
         # recount_subtree invalidated the cache defensively; it was just
         # verified against a fresh walk, so reinstate it.
         self._live = cached_live
+        if cached_live is not None:
+            self._live_has_leaf = any(
+                isinstance(entry, ArrayLeaf) for entry in cached_live
+            )
         previous: Optional[PosID] = None
-        for slot in self.iter_slots():
+        for entry in iter_subtree_entries(self.root):
+            if isinstance(entry, ArrayLeaf):
+                previous = self._check_leaf(entry, previous)
+                continue
+            slot = entry
             host = slot_host(slot)
             node: Optional[PosNode] = host
             hops = 0
@@ -1056,3 +1384,30 @@ class TreedocTree:
                         f"identifier order violated: {previous!r} !< {posid!r}"
                     )
                 previous = posid
+
+    def _check_leaf(self, leaf: ArrayLeaf,
+                    previous: Optional[PosID]) -> PosID:
+        """Validate one collapsed region: attachment, ownership, and the
+        identifier order of its implied canonical region against its
+        neighbours. Returns the region's last PosID."""
+        if not leaf.atoms:
+            raise TreeError("empty array leaf")  # pragma: no cover
+        if leaf.tree is not self:
+            raise TreeError("array leaf owned by a different tree")
+        parent = leaf.parent
+        if parent is None:
+            raise TreeError("detached array leaf still reachable")
+        container, bit = parent
+        if isinstance(container, MiniNode):
+            raise TreeError("array leaf attached under a mini-node")
+        if container.child(bit) is not leaf:
+            raise TreeError("broken parent link at array leaf")
+        region = leaf.posids()
+        if any(not a < b for a, b in zip(region, region[1:])):
+            raise TreeError("array-leaf region out of order")  # pragma: no cover
+        if previous is not None and not previous < region[0]:
+            raise TreeError(
+                f"identifier order violated at array leaf: "
+                f"{previous!r} !< {region[0]!r}"
+            )
+        return region[-1]

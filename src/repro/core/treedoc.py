@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.alloc import Allocator
+from repro.core.array_region import find_collapsible
 from repro.core.disambiguator import DisambiguatorFactory, SiteId
 from repro.core.flatten import (
     ColdRegionFinder,
@@ -65,16 +66,30 @@ class Treedoc:
     balanced:
         Enable the section 4.1 allocation balancing (log-growth on
         appends, empty-slot reuse, run grouping).
+    collapse_every:
+        When set to ``k``, run the mixed-storage collapse pass
+        (:meth:`collapse_cold`) every ``k`` revision boundaries
+        (:meth:`note_revision`): quiescent canonical regions become
+        zero-metadata array leaves, exploded implicitly on touch
+        (section 4.2). ``None`` (default) leaves collapse explicit.
     """
 
     def __init__(self, site: SiteId, mode: str = "udis",
-                 balanced: bool = True) -> None:
+                 balanced: bool = True,
+                 collapse_every: Optional[int] = None,
+                 collapse_min_age: int = 2,
+                 collapse_min_atoms: int = 8) -> None:
         if mode not in (DisambiguatorFactory.UDIS, DisambiguatorFactory.SDIS):
             raise ValueError(f"unknown disambiguator mode {mode!r}")
+        if collapse_every is not None and collapse_every < 1:
+            raise ValueError("collapse_every must be at least 1")
         self.site = site
         self.mode = mode
         self.tree = TreedocTree()
         self.allocator = Allocator(self.tree, balanced=balanced)
+        self.collapse_every = collapse_every
+        self.collapse_min_age = collapse_min_age
+        self.collapse_min_atoms = collapse_min_atoms
         self._dis_factory = DisambiguatorFactory(site, mode)
         #: Monotonic revision counter used by the cold-region heuristic;
         #: bump with :meth:`note_revision` at workload-revision boundaries.
@@ -129,12 +144,14 @@ class Treedoc:
         return text
 
     def posid_at(self, index: int) -> PosID:
-        """PosID of the visible atom at ``index``."""
-        return slot_posid(self.tree.live_slot_at(index))
+        """PosID of the visible atom at ``index`` (a pure read: served
+        from a collapsed region's implied paths without exploding)."""
+        return self.tree.live_posid_at(index)
 
     def atom_at(self, index: int) -> object:
-        """The visible atom at ``index``."""
-        return self.tree.live_slot_at(index).atom
+        """The visible atom at ``index`` (a pure read: served from a
+        collapsed region's array without exploding)."""
+        return self.tree.live_atom_at(index)
 
     def posids(self) -> List[PosID]:
         """PosIDs of all visible atoms, in document order."""
@@ -412,10 +429,49 @@ class Treedoc:
         return self.flatten_local(path)
 
     def note_revision(self) -> int:
-        """Mark a workload-revision boundary for the cold-region clock."""
+        """Mark a workload-revision boundary for the cold-region clock.
+
+        When ``collapse_every`` is configured, every ``k``-th boundary
+        also runs the mixed-storage collapse pass — the revision
+        boundary is where quiescence is defined (the stamps are
+        revision-granular), and it sits outside any bulk section, so the
+        deferred pass composes with batch flushes the same way count
+        propagation does.
+        """
         self.revision += 1
         self._touch_seen.clear()
+        if self.collapse_every and self.revision % self.collapse_every == 0:
+            self.collapse_cold()
         return self.revision
+
+    # -- mixed storage (section 4.2) ---------------------------------------------
+
+    def collapse_cold(self, min_age: Optional[int] = None,
+                      min_atoms: Optional[int] = None) -> List[PosID]:
+        """Collapse every cold canonical region into an array leaf.
+
+        Purely local — the canonical shape makes a later implicit
+        explode rebuild the identical structure, so no replicated
+        operation exists and replicas may collapse independently
+        (section 4.2.1). Returns the collapsed regions' plain paths.
+        """
+        regions = find_collapsible(
+            self.tree,
+            self._touch_stamps,
+            self.revision,
+            min_age=self.collapse_min_age if min_age is None else min_age,
+            min_atoms=(
+                self.collapse_min_atoms if min_atoms is None else min_atoms
+            ),
+        )
+        for _, node, atoms in regions:
+            self.tree.collapse_subtree(node, atoms=atoms)
+        return [path for path, _, _ in regions]
+
+    @property
+    def array_leaf_count(self) -> int:
+        """Collapsed quiescent regions currently held as arrays."""
+        return len(self.tree.array_leaves())
 
     # -- internals ---------------------------------------------------------------------
 

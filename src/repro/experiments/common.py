@@ -37,6 +37,7 @@ class DocumentRun:
     flatten_every: Optional[int]
     replay: ReplayResult
     stats: TreeStats
+    collapse_every: Optional[int] = None
 
 
 def run_document(
@@ -47,18 +48,32 @@ def run_document(
     seed: int = DEFAULT_SEED,
     with_disk: bool = True,
     probe=None,
+    collapse_every: Optional[int] = None,
 ) -> DocumentRun:
-    """Replay one document and measure its final state."""
+    """Replay one document and measure its final state.
+
+    ``collapse_every=k`` enables live mixed storage during the replay
+    (section 4.2): every k revisions, cold canonical regions collapse
+    into array leaves, and the final measurement reports the mixed-form
+    overhead alongside the pure-tree one.
+    """
     history = history_for(spec, seed)
-    doc = Treedoc(site=1, mode=mode, balanced=balanced)
+    doc = Treedoc(site=1, mode=mode, balanced=balanced,
+                  collapse_every=collapse_every)
     replay = replay_history(
         doc, history, flatten_every=flatten_every, probe=probe,
         use_runs=balanced,
     )
     stats = measure_tree(doc.tree, with_disk=with_disk)
-    return DocumentRun(spec, mode, balanced, flatten_every, replay, stats)
+    return DocumentRun(spec, mode, balanced, flatten_every, replay, stats,
+                       collapse_every=collapse_every)
 
 
-def flatten_label(flatten_every: Optional[int]) -> str:
-    """Human label for a flatten cadence ('no' or the cadence)."""
-    return "no" if flatten_every is None else str(flatten_every)
+def flatten_label(flatten_every: Optional[int],
+                  collapse_every: Optional[int] = None) -> str:
+    """Human label for a flatten cadence ('no' or the cadence), with a
+    '+ar' suffix when live mixed storage (array leaves) was on."""
+    label = "no" if flatten_every is None else str(flatten_every)
+    if collapse_every is not None:
+        label += "+ar"
+    return label

@@ -25,7 +25,7 @@ from repro.workloads.corpus import PAPER_DOCUMENTS, DocumentSpec
 
 @dataclass
 class Row:
-    """One Table 1 row (document × flatten setting)."""
+    """One Table 1 row (document × flatten/collapse setting)."""
 
     document: str
     flatten: str
@@ -33,6 +33,8 @@ class Row:
     avg_posid_bits: float
     nodes: int
     node_bytes: int
+    mixed_bytes: int
+    array_leaves: int
     mem_overhead_ratio: float
     non_tombstone_pct: float
     disk_overhead_bytes: int
@@ -44,11 +46,13 @@ def _row(run: DocumentRun) -> Row:
     stats = run.stats
     return Row(
         document=run.spec.name,
-        flatten=flatten_label(run.flatten_every),
+        flatten=flatten_label(run.flatten_every, run.collapse_every),
         max_posid_bits=stats.max_posid_bits,
         avg_posid_bits=stats.avg_posid_bits,
         nodes=stats.nodes,
         node_bytes=stats.memory_overhead_bytes,
+        mixed_bytes=stats.mixed_memory_overhead_bytes,
+        array_leaves=stats.array_leaves,
         mem_overhead_ratio=stats.memory_overhead_ratio,
         non_tombstone_pct=100.0 * stats.non_tombstone_fraction,
         disk_overhead_bytes=stats.disk_overhead_bytes,
@@ -59,7 +63,10 @@ def _row(run: DocumentRun) -> Row:
 
 def run(seed: int = DEFAULT_SEED,
         documents: Optional[List[DocumentSpec]] = None) -> List[Row]:
-    """All Table 1 rows (document × {no flatten} ∪ cadences)."""
+    """All Table 1 rows: per document, {no flatten} ∪ cadences, plus a
+    live-mixed-storage row (the tightest cadence with the section 4.2
+    collapse pass running during replay) — the mixed-form overhead
+    reported alongside the pure-tree numbers."""
     rows: List[Row] = []
     for spec in documents or PAPER_DOCUMENTS:
         cadences: List[Optional[int]] = [None, *spec.flatten_cadences]
@@ -69,16 +76,25 @@ def run(seed: int = DEFAULT_SEED,
                 flatten_every=cadence, seed=seed,
             )
             rows.append(_row(run_result))
+        if spec.flatten_cadences:
+            mixed = run_document(
+                spec, mode="sdis", balanced=True,
+                flatten_every=spec.flatten_cadences[0], seed=seed,
+                collapse_every=max(2, spec.flatten_cadences[0]),
+            )
+            rows.append(_row(mixed))
     return rows
 
 
 def render(rows: List[Row]) -> str:
-    """The paper-style table."""
+    """The paper-style table, with the mixed-form storage columns."""
     table = Table(
-        "Table 1. Measurements (SDIS, balanced allocation)",
+        "Table 1. Measurements (SDIS, balanced allocation; "
+        "'+ar' = live mixed storage)",
         (
             "Document", "Flatten", "PosID max(b)", "PosID avg(b)",
-            "Nodes", "Node bytes", "Mem ovhd x", "% non-Tomb",
+            "Nodes", "Node bytes", "Mixed bytes", "Leaves",
+            "Mem ovhd x", "% non-Tomb",
             "Disk ovhd (B)", "Disk % doc", "Replay (s)",
         ),
     )
@@ -90,6 +106,8 @@ def render(rows: List[Row]) -> str:
             row.avg_posid_bits,
             row.nodes,
             row.node_bytes,
+            row.mixed_bytes,
+            row.array_leaves,
             row.mem_overhead_ratio,
             row.non_tombstone_pct,
             row.disk_overhead_bytes,

@@ -23,12 +23,25 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.disk import measure_on_disk
-from repro.core.node import EMPTY, LIVE, TOMBSTONE, slot_posid
+from repro.core.node import (
+    EMPTY,
+    LIVE,
+    TOMBSTONE,
+    ArrayLeaf,
+    iter_subtree_entries,
+    slot_posid,
+)
 from repro.core.tree import TreedocTree
 
 #: The paper's per-node memory estimate: subtree count (4) + two child
 #: pointers (8) + disambiguator (6+4) + atom pointer (4) = 26 bytes.
 NODE_RECORD_BYTES = 26
+#: Per-array-region bookkeeping cost in bytes: a (path, length, pointer)
+#: record replacing the whole subtree's node records.
+ARRAY_REGION_HEADER_BYTES = 12
+#: Per-atom cost inside an array region: one pointer (32-bit machine,
+#: matching the paper's 26-byte node model).
+ARRAY_SLOT_BYTES = 4
 
 
 @dataclass
@@ -57,13 +70,38 @@ class TreeStats:
     disk_overhead_bytes: int = 0
     #: On-disk atom-file size in bytes.
     disk_document_bytes: int = 0
+    #: Collapsed quiescent regions (section 4.2 live mixed storage).
+    array_leaves: int = 0
+    #: Atoms held inside collapsed regions (zero per-atom metadata).
+    array_atoms: int = 0
     #: Per-atom PosID sizes (bits), for distribution plots.
     posid_bits: List[int] = field(default_factory=list)
 
     @property
     def memory_overhead_bytes(self) -> int:
-        """In-memory overhead: nodes × 26 bytes (section 5.2)."""
-        return self.nodes * NODE_RECORD_BYTES
+        """In-memory overhead of the *pure tree* form: one 26-byte
+        record per logical node, counting collapsed regions as if
+        exploded (section 5.2) — so the Table 1 number is comparable
+        regardless of the current storage form."""
+        return (self.nodes + self.array_atoms) * NODE_RECORD_BYTES
+
+    @property
+    def mixed_memory_overhead_bytes(self) -> int:
+        """In-memory overhead of the *current mixed* form: 26-byte
+        records for tree-resident nodes plus the array costs of
+        collapsed regions (a header per region, a pointer per atom)."""
+        return (
+            self.nodes * NODE_RECORD_BYTES
+            + self.array_leaves * ARRAY_REGION_HEADER_BYTES
+            + self.array_atoms * ARRAY_SLOT_BYTES
+        )
+
+    @property
+    def mixed_memory_overhead_ratio(self) -> float:
+        """Mixed-form overhead relative to the document size."""
+        if self.document_bytes == 0:
+            return 0.0
+        return self.mixed_memory_overhead_bytes / self.document_bytes
 
     @property
     def memory_overhead_ratio(self) -> float:
@@ -74,10 +112,12 @@ class TreeStats:
 
     @property
     def non_tombstone_fraction(self) -> float:
-        """Fraction of nodes that hold a live atom ("% non-Tomb")."""
-        if self.nodes == 0:
+        """Fraction of nodes that hold a live atom ("% non-Tomb"),
+        over the pure-tree-equivalent node count."""
+        total = self.nodes + self.array_atoms
+        if total == 0:
             return 1.0
-        return self.live_atoms / self.nodes
+        return self.live_atoms / total
 
     @property
     def tombstone_fraction(self) -> float:
@@ -109,26 +149,43 @@ def _atom_bytes(atom: object) -> int:
 
 
 def measure_tree(tree: TreedocTree, with_disk: bool = True) -> TreeStats:
-    """Take all Table 1 measurements of ``tree``'s current state."""
+    """Take all Table 1 measurements of ``tree``'s current state.
+
+    Collapsed regions (live mixed storage, section 4.2) are measured
+    without exploding them: their atoms' PosIDs are the implied
+    canonical plain paths, ``nodes`` counts only tree-resident
+    structure, and the ``array_*`` fields carry the mixed-form shape so
+    both the pure-tree and mixed overheads can be reported.
+    """
     stats = TreeStats()
     total_bits = 0
     total_id_bits = 0
     structural_nodes = 0
     for node in tree.root.iter_nodes():
-        occupied_slots = int(node.plain_state != EMPTY) + sum(
-            1 for mini in node.minis if mini.state != EMPTY
-        )
         # One logical node per position node, plus extra entries of the
         # mini-node array beyond the first.
-        extra_minis = max(0, len(node.minis) - 1)
-        structural_nodes += 1 + extra_minis
-        del occupied_slots
+        structural_nodes += 1 + max(0, len(node.minis) - 1)
     # Subtract the root when it is bare bookkeeping only.
     root = tree.root
     if root.plain_state == EMPTY and not root.minis:
         structural_nodes -= 1
     stats.nodes = max(0, structural_nodes)
-    for slot in tree.iter_slots():
+    for entry in iter_subtree_entries(tree.root):
+        if isinstance(entry, ArrayLeaf):
+            stats.array_leaves += 1
+            stats.array_atoms += len(entry.atoms)
+            for posid, atom in zip(entry.posids(), entry.atoms):
+                bits = posid.size_bits
+                stats.posid_bits.append(bits)
+                total_bits += bits
+                total_id_bits += bits
+                stats.live_atoms += 1
+                stats.used_ids += 1
+                stats.document_bytes += _atom_bytes(atom)
+                if bits > stats.max_posid_bits:
+                    stats.max_posid_bits = bits
+            continue
+        slot = entry
         if slot.state == LIVE:
             posid = slot_posid(slot)
             bits = posid.size_bits

@@ -181,6 +181,31 @@ class ReplicaSite:
                 )
         self.applied_ops.extend(batch.ops)
 
+    # -- storage maintenance --------------------------------------------------------
+
+    def note_revision(self) -> int:
+        """Mark a revision boundary on the local replica (drives the
+        cold-region clock behind both flatten and collapse)."""
+        return self.doc.note_revision()
+
+    def collapse_cold(self, min_age: Optional[int] = None,
+                      min_atoms: Optional[int] = None) -> List[PosID]:
+        """Collapse cold canonical regions into array leaves
+        (section 4.2 live mixed storage).
+
+        Unlike :meth:`initiate_flatten`, this needs no commitment
+        protocol, no locks and no broadcast: collapse preserves the
+        identifier structure exactly (explode-on-touch rebuilds it), so
+        each site shrinks its own storage independently while staying
+        convergent. Returns the collapsed regions' paths.
+        """
+        return self.doc.collapse_cold(min_age=min_age, min_atoms=min_atoms)
+
+    @property
+    def array_leaf_count(self) -> int:
+        """Collapsed quiescent regions currently held as arrays."""
+        return self.doc.array_leaf_count
+
     # -- flatten / commitment -------------------------------------------------------
 
     def initiate_flatten(self, path: PosID) -> FlattenCoordinator:

@@ -31,15 +31,21 @@ class TestRunDocument:
 class TestTableShapes:
     def test_table1_rows_for_one_document(self):
         rows = table1.run(seed=SEED, documents=[FAST_DOC])
-        assert [r.flatten for r in rows] == ["no", "2", "8"]
-        no_flatten, flatten2, flatten8 = rows
+        assert [r.flatten for r in rows] == ["no", "2", "8", "2+ar"]
+        no_flatten, flatten2, flatten8, mixed = rows
         # Flattening shrinks everything (Table 1's headline).
         assert flatten2.nodes < no_flatten.nodes
         assert flatten2.avg_posid_bits < no_flatten.avg_posid_bits
         assert flatten2.disk_overhead_bytes < no_flatten.disk_overhead_bytes
         assert flatten2.non_tombstone_pct > no_flatten.non_tombstone_pct
+        # Without collapse, the mixed overhead equals the pure-tree one;
+        # with live mixed storage it can only shrink (section 4.2).
+        assert flatten2.mixed_bytes == flatten2.node_bytes
+        assert flatten2.array_leaves == 0
+        assert mixed.mixed_bytes <= mixed.node_bytes
         rendered = table1.render(rows)
         assert "acf.tex" in rendered
+        assert "Mixed bytes" in rendered
 
     def test_table2_summary(self):
         rows = table2.run(seed=SEED)
