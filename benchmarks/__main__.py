@@ -5,10 +5,10 @@
 Runs the pytest-benchmark table/figure modules (timing disabled unless
 pytest-benchmark is installed and ``--benchmark-only`` is passed down —
 the single-pass mode still regenerates and prints the paper tables),
-then the standalone read-path and mixed-storage benchmarks, which write
-``BENCH_read.json`` and ``BENCH_storage.json``, and closes with one
-summary whose every number carries its unit (reads/s, seconds, bytes) —
-no raw result dicts.
+then the standalone read-path, mixed-storage and sync benchmarks, which
+write ``BENCH_read.json``, ``BENCH_storage.json`` and
+``BENCH_sync.json``, and closes with one summary whose every number
+carries its unit (reads/s, seconds, bytes) — no raw result dicts.
 """
 
 from __future__ import annotations
@@ -36,6 +36,22 @@ def _summary(root: Path) -> str:
                 f"{row['revisions_per_second']:>12,.1f} revs/s "
                 f"({row['seconds'] * 1e3:,.0f} ms total)"
             )
+    sync_report = root / "BENCH_sync.json"
+    if sync_report.exists():
+        data = json.loads(sync_report.read_text())
+        frames = data["run_frames"]
+        lines.append(
+            f"  sync/run-frames catch-up       "
+            f"{frames['wire_bytes']:>12,d} bytes "
+            f"({frames['atoms']:,d} atoms, {frames['run_segments']} runs, "
+            f"{frames['seconds'] * 1e3:,.0f} ms)"
+        )
+        lines.append(
+            f"  sync/per-op v1 replay          "
+            f"{data['per_op_v1']['wire_bytes']:>12,d} bytes "
+            f"({data['bytes_ratio_v1']:.1f}x more wire, "
+            f"{data['time_ratio_v1']:.1f}x slower)"
+        )
     storage_report = root / "BENCH_storage.json"
     if storage_report.exists():
         data = json.loads(storage_report.read_text())
@@ -91,7 +107,7 @@ def main(argv=None) -> int:
         ])
         if status:
             return int(status)
-    from benchmarks import bench_read, bench_storage
+    from benchmarks import bench_read, bench_storage, bench_sync
 
     shared_args = ["--quick"] if args.quick else []
     if args.baseline_src:
@@ -100,6 +116,11 @@ def main(argv=None) -> int:
     if status:
         return status
     status = bench_storage.main(list(shared_args))
+    if status:
+        return status
+    # bench_sync takes no baseline-src: it compares v1 and v2 wire
+    # formats of the *current* tree, plus analytic CRDT baselines.
+    status = bench_sync.main(["--quick"] if args.quick else [])
     if status:
         return status
     print(_summary(here.parent))

@@ -1,0 +1,242 @@
+"""Cold-replica catch-up benchmark: run frames vs per-operation replay.
+
+The scenario the wire format v2 exists for: a replica that is far
+behind — freshly joined, or back from a long partition — adopts a
+quiescent ~1500-line character document. Four ways to pay for it:
+
+1. **v2 run frames** (this PR): the source ships one state frame where
+   collapsed/canonical regions are runs (base path + atoms, zero
+   per-atom identifiers) that load directly into array leaves on the
+   receiver (``Replica.sync``). Measured: bytes on the wire, wall time,
+   and an *identifier-identity* check (posids, not just text).
+2. **per-op v1 replay**: one framed ``InsertOp`` per atom, decoded and
+   applied one by one — what catch-up costs without run frames.
+3. **Logoot baseline** (Weiss et al.): state catch-up ships one
+   positional identifier + atom per element; counted analytically from
+   ``total_id_bits`` (identifiers minted by one bulk insert — the
+   baseline's best case).
+4. **RGA baseline** (Roh et al.): one (timestamp, site) identifier +
+   atom per element, same accounting.
+
+Writes ``BENCH_sync.json`` (checked into the repo root; CI refreshes it
+as an artifact) and fails loudly if the synced replica is not
+identifier-identical to the source or the byte ratio regresses below
+the acceptance floor. Run::
+
+    PYTHONPATH=src python benchmarks/bench_sync.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+#: Acceptance floor: run frames must beat per-op v1 replay on wire
+#: bytes by at least this factor on the quiescent document.
+MIN_BYTES_RATIO = 5.0
+
+
+def build_quiescent_source(lines: int, chars_per_line: int):
+    """An edited-then-settled character document behind the facade:
+    bursts and trims like a real revision history, then flatten + the
+    collapse pass — the steady state of a document nobody is editing.
+    """
+    from repro.core.path import ROOT
+    from repro.replica import Replica
+
+    replica = Replica(site=1, mode="sdis")
+    doc = replica.doc
+    tag = 0
+    target = lines * chars_per_line
+    while len(doc) < target:
+        line = f"line {tag} " + "x" * (chars_per_line - 8 - len(str(tag)))
+        tag += 1
+        doc.insert_text((len(doc) * 2) // 3, list(line[:chars_per_line]))
+        if len(doc) > 400 and tag % 17 == 0:
+            doc.delete_range(len(doc) // 2, len(doc) // 2 + 5)
+    replica.pending()  # drain the build edits: the source has shipped them
+    doc.note_revision()
+    doc.flatten_local(ROOT)
+    for _ in range(3):
+        doc.note_revision()
+    doc.collapse_cold(min_age=1, min_atoms=8)
+    return replica
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_v2(source, repeats: int) -> dict:
+    """State-frame catch-up: bytes, wall time, identifier identity."""
+    from repro.replica import Replica
+
+    report = None
+    target = None
+
+    def sync():
+        nonlocal report, target
+        target = Replica(site=9, mode="sdis")
+        report = target.sync(source)
+
+    seconds = _best_of(repeats, sync)
+    if target.doc.posids() != source.doc.posids():
+        raise SystemExit("FAIL: synced replica is not identifier-identical")
+    if target.doc.atoms() != source.doc.atoms():
+        raise SystemExit("FAIL: synced replica content differs")
+    return {
+        "wire_bytes": report.wire_bytes,
+        "seconds": seconds,
+        "run_segments": report.run_segments,
+        "op_segments": report.op_segments,
+        "loaded_leaves": target.doc.array_leaf_count,
+        "atoms": report.atoms,
+    }
+
+
+def measure_v1(source, repeats: int) -> dict:
+    """Per-op replay: every atom as one framed v1 insert, decoded and
+    applied individually on a fresh replica."""
+    from repro.core.encoding import decode_operation, encode_operation
+    from repro.core.ops import InsertOp
+    from repro.core.treedoc import Treedoc
+
+    ops = [
+        InsertOp(posid, atom, source.site)
+        for posid, atom in zip(source.doc.posids(), source.doc.atoms())
+    ]
+    encoded = [encode_operation(op) for op in ops]
+    wire_bytes = sum((bits + 7) // 8 for _, bits in encoded)
+
+    target = None
+
+    def replay():
+        nonlocal target
+        target = Treedoc(site=9, mode="sdis")
+        for data, bits in encoded:
+            target.apply(decode_operation(data, bits))
+
+    seconds = _best_of(repeats, replay)
+    if target.atoms() != source.doc.atoms():
+        raise SystemExit("FAIL: per-op replay content differs")
+    return {"wire_bytes": wire_bytes, "seconds": seconds, "ops": len(ops)}
+
+
+def measure_baseline_bytes(source) -> dict:
+    """Logoot/RGA state-catch-up wire bytes, counted analytically:
+    one identifier + atom payload per element, identifiers minted by a
+    single bulk insert (each baseline's smallest possible ids)."""
+    from repro.baselines.logoot import LogootDoc
+    from repro.baselines.rga import RGA_ID_BITS, RgaDoc
+
+    atoms = source.doc.atoms()
+    atom_bytes = sum(len(str(a).encode("utf-8")) for a in atoms)
+    logoot = LogootDoc(site=1)
+    logoot.insert_text(0, atoms)
+    rga = RgaDoc(site=1)
+    rga.insert_text(0, atoms)
+    return {
+        "logoot_wire_bytes": (logoot.total_id_bits() + 7) // 8 + atom_bytes,
+        "rga_wire_bytes": (rga.total_id_bits() + 7) // 8 + atom_bytes,
+        "rga_id_bits_per_atom": RGA_ID_BITS,
+        "atom_payload_bytes": atom_bytes,
+    }
+
+
+def _fmt_bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB"):
+        if abs(value) < 1024 or unit == "MiB":
+            return f"{value:,.1f} {unit}" if unit != "B" else f"{value:,.0f} B"
+        value /= 1024
+    return f"{value:,.1f} MiB"  # pragma: no cover
+
+
+def _render(results: dict) -> str:
+    v2, v1 = results["run_frames"], results["per_op_v1"]
+    base = results["baselines"]
+    lines = [
+        "Cold-replica catch-up (quiescent document, best of N)",
+        "",
+        f"  document               {v2['atoms']:7,d} atoms "
+        f"({results['config']['lines']} lines)",
+        f"  v2 run frames          {_fmt_bytes(v2['wire_bytes']):>12s}   "
+        f"{v2['seconds'] * 1e3:8,.1f} ms   "
+        f"({v2['run_segments']} runs + {v2['op_segments']} ops, "
+        f"{v2['loaded_leaves']} leaves loaded)",
+        f"  v1 per-op replay       {_fmt_bytes(v1['wire_bytes']):>12s}   "
+        f"{v1['seconds'] * 1e3:8,.1f} ms   ({v1['ops']:,d} framed ops)",
+        f"  Logoot state ship      "
+        f"{_fmt_bytes(base['logoot_wire_bytes']):>12s}   (analytic)",
+        f"  RGA state ship         "
+        f"{_fmt_bytes(base['rga_wire_bytes']):>12s}   (analytic)",
+        "",
+        f"  bytes: v1/v2           {results['bytes_ratio_v1']:8.1f}x  "
+        f"(acceptance floor {MIN_BYTES_RATIO:.0f}x)",
+        f"  bytes: Logoot/v2       {results['bytes_ratio_logoot']:8.1f}x",
+        f"  bytes: RGA/v2          {results['bytes_ratio_rga']:8.1f}x",
+        f"  time:  v1/v2           {results['time_ratio_v1']:8.1f}x",
+        "  synced replica identifier-identical to source: yes (checked)",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizes (seconds, not minutes)")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_sync.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    if args.quick:
+        cfg = dict(lines=300, chars_per_line=40, repeats=2)
+    else:
+        # The paper's largest LaTeX document: ~1500 lines of text.
+        cfg = dict(lines=1500, chars_per_line=40, repeats=3)
+    source = build_quiescent_source(cfg["lines"], cfg["chars_per_line"])
+    results: dict = {
+        "config": {
+            "quick": args.quick,
+            **cfg,
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "run_frames": measure_v2(source, cfg["repeats"]),
+        "per_op_v1": measure_v1(source, cfg["repeats"]),
+        "baselines": measure_baseline_bytes(source),
+    }
+    v2_bytes = results["run_frames"]["wire_bytes"]
+    results["bytes_ratio_v1"] = results["per_op_v1"]["wire_bytes"] / v2_bytes
+    results["bytes_ratio_logoot"] = (
+        results["baselines"]["logoot_wire_bytes"] / v2_bytes
+    )
+    results["bytes_ratio_rga"] = (
+        results["baselines"]["rga_wire_bytes"] / v2_bytes
+    )
+    results["time_ratio_v1"] = (
+        results["per_op_v1"]["seconds"] / results["run_frames"]["seconds"]
+    )
+    print(_render(results))
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    if results["bytes_ratio_v1"] < MIN_BYTES_RATIO:
+        print(
+            f"FAIL: bytes ratio {results['bytes_ratio_v1']:.2f}x below the "
+            f"{MIN_BYTES_RATIO:.0f}x acceptance floor", file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

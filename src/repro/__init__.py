@@ -44,13 +44,14 @@ from repro.core import (
     Udis,
     batch_digest,
 )
-from repro.replica import Replica, Snapshot
+from repro.replica import Replica, Snapshot, SyncReport
 
 __version__ = "1.1.0"
 
 __all__ = [
     "Replica",
     "Snapshot",
+    "SyncReport",
     "Treedoc",
     "OpBatch",
     "batch_digest",

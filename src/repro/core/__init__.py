@@ -12,6 +12,8 @@ Public surface:
 
 from repro.core.disambiguator import Disambiguator, Udis, Sdis, SiteId
 from repro.core.path import PathElement, PosID, ROOT
+from repro.core.encoding import DocumentState
+from repro.core.runs import AtomRun
 from repro.core.treedoc import Treedoc
 from repro.core.ops import (
     InsertOp,
@@ -31,6 +33,8 @@ __all__ = [
     "PosID",
     "ROOT",
     "Treedoc",
+    "AtomRun",
+    "DocumentState",
     "InsertOp",
     "DeleteOp",
     "FlattenOp",

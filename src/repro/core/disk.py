@@ -30,6 +30,10 @@ contiguously, so one (count, first-reference) pair names them all.
 Cold documents therefore load back as array leaves **without
 exploding**; v1 images (no leaves possible) still load.
 
+The run record and the atom file are the shared segment codec of
+:mod:`repro.core.runs` (``write_run_record`` / ``AtomTable``) — the
+same layout the v2 *wire* frames use, so disk and wire cannot drift.
+
 ``measure_on_disk`` reports the Table 1 "On-disk overhead": the tree
 bytes, i.e. everything except the atom payload itself.
 """
@@ -48,6 +52,7 @@ from repro.core.node import (
     MiniNode,
     PosNode,
 )
+from repro.core.runs import AtomTable, read_run_record, write_run_record
 from repro.core.tree import TreedocTree
 from repro.errors import EncodingError
 from repro.util.bits import BitReader, BitWriter
@@ -80,16 +85,8 @@ class DiskImage:
         return sum(len(p) for p in self.atom_payloads)
 
 
-class _AtomFile:
-    """Collects atom payloads and hands out reference indices."""
-
-    def __init__(self) -> None:
-        self.payloads: List[bytes] = []
-
-    def add(self, atom: object) -> int:
-        text = atom if isinstance(atom, str) else repr(atom)
-        self.payloads.append(text.encode("utf-8"))
-        return len(self.payloads) - 1
+#: The atom file is the shared atom table of :mod:`repro.core.runs`.
+_AtomFile = AtomTable
 
 
 def _write_slot_state(writer: BitWriter, state: str, atom: object,
@@ -109,24 +106,16 @@ def _read_slot_state(reader: BitReader,
 
 
 def _write_leaf(writer: BitWriter, leaf: ArrayLeaf, atoms: _AtomFile) -> None:
-    """A v2 array-leaf record: the atom count plus the first reference
-    of the leaf's RLE atom run (the atoms are appended to the atom file
-    contiguously right here, so one pair names them all)."""
-    first = atoms.add(leaf.atoms[0])
-    for atom in leaf.atoms[1:]:
-        atoms.add(atom)
-    writer.write_elias_gamma(len(leaf.atoms))
-    writer.write_elias_gamma(first + 1)
+    """A v2 array-leaf record: the shared RLE run record of
+    :mod:`repro.core.runs` — atoms appended to the atom file
+    contiguously, one (count, first-reference) pair naming them all."""
+    write_run_record(writer, len(leaf.atoms), atoms.add_run(leaf.atoms))
 
 
 def _read_leaf(reader: BitReader, parent, bit: int,
                payloads: List[bytes]) -> ArrayLeaf:
-    count = reader.read_elias_gamma()
-    first = reader.read_elias_gamma() - 1
-    atoms = [payload.decode("utf-8")
-             for payload in payloads[first:first + count]]
-    if len(atoms) != count:
-        raise EncodingError("array-leaf atom run out of bounds")
+    count, first = read_run_record(reader)
+    atoms = AtomTable(payloads).get_run(first, count)
     # The owning tree is attached by load() once it exists.
     return ArrayLeaf((parent, bit), atoms, None)
 

@@ -1,4 +1,4 @@
-"""Bit-packed wire encoding for identifiers and operations.
+"""Bit-packed wire encoding for identifiers, operations and v2 frames.
 
 The evaluation reports identifier sizes in bits (Table 1) and estimates
 network cost as the sum of PosID sizes (section 5.2), so the encoding
@@ -12,11 +12,38 @@ here is an actual bit format, not an approximation:
 
 ``PosID.size_bits`` agrees with the encoded size by construction (both
 are derived from ``PathElement.size_bits``).
+
+Wire format v2 (run frames)
+---------------------------
+
+v1 ships one framed operation per atom. v2 adds *frames* built on the
+shared segment codec of :mod:`repro.core.runs` (see DESIGN.md §8):
+
+- a **batch frame** (:func:`encode_batch`) carries a whole
+  :class:`repro.core.ops.OpBatch` as runs plus singleton operations —
+  a local burst of *n* atoms costs one base path, one dis pattern and
+  the atoms instead of *n* framed inserts;
+- a **state frame** (:func:`encode_state`) carries an entire document
+  (the anti-entropy snapshot): collapsed and canonical regions as
+  runs, the rest as singleton records.
+
+Both frame kinds open with the 2-bit escape tag ``3`` — a value no v1
+operation uses — so one reader (:func:`decode_frame`) accepts v1
+payloads and v2 frames alike. Run atoms live in a trailing
+:class:`repro.core.runs.AtomTable`, referenced by the same RLE run
+record the disk v2 leaf record uses; the wire and the disk share one
+codec and cannot drift.
+
+The public ``decode_*`` entry points raise the typed
+:class:`repro.errors.DecodeError` on truncated, corrupt or
+trailing-garbage input; the low-level ``read_*`` stream primitives keep
+raising bare :class:`EncodingError`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
 
 from repro.core.disambiguator import (
     COUNTER_BITS,
@@ -25,19 +52,43 @@ from repro.core.disambiguator import (
     Sdis,
     Udis,
 )
-from repro.core.ops import DeleteOp, FlattenOp, InsertOp, Operation
+from repro.core.ops import DeleteOp, FlattenOp, InsertOp, OpBatch, Operation
 from repro.core.path import PathElement, PosID
-from repro.errors import EncodingError
+from repro.core.runs import (
+    AtomRun,
+    AtomTable,
+    CANONICAL,
+    PREFIX,
+    Segment,
+    find_runs,
+    read_run_record,
+    write_run_record,
+)
+from repro.errors import DecodeError, EncodingError, PathError, TreeError
 from repro.util.bits import BitReader, BitWriter
 
 # Operation tags.
 _TAG_INSERT = 0
 _TAG_DELETE = 1
 _TAG_FLATTEN = 2
+#: The v2 frame escape: a 2-bit tag value no v1 operation record uses.
+_TAG_FRAME = 3
+
+# Frame kinds (1 bit after the escape tag).
+_FRAME_BATCH = 0
+_FRAME_STATE = 1
+
+# Segment tags (1 bit each).
+_SEG_OP = 0
+_SEG_RUN = 1
 
 # Disambiguator tags.
 _DIS_SDIS = 0
 _DIS_UDIS = 1
+
+# Document modes (state frames).
+_MODE_TAGS = {"udis": 0, "sdis": 1}
+_TAG_MODES = {tag: mode for mode, tag in _MODE_TAGS.items()}
 
 
 def write_disambiguator(writer: BitWriter, dis: Disambiguator) -> None:
@@ -95,8 +146,50 @@ def encode_posid(posid: PosID) -> Tuple[bytes, int]:
 
 
 def decode_posid(data: bytes, bit_length: Optional[int] = None) -> PosID:
-    """Decode a lone PosID."""
-    return read_posid(BitReader(data, bit_length))
+    """Decode a lone PosID.
+
+    Raises :class:`repro.errors.DecodeError` on truncated input or
+    trailing garbage (non-padding bits after the identifier).
+    """
+    reader = _start_decode(data, bit_length)
+    posid = _decode_guarded(read_posid, reader, "PosID")
+    _finish_decode(reader, "PosID")
+    return posid
+
+
+def _start_decode(data: bytes, bit_length: Optional[int]) -> BitReader:
+    try:
+        return BitReader(data, bit_length)
+    except EncodingError as exc:
+        raise DecodeError(str(exc)) from exc
+
+
+def _decode_guarded(read, reader: BitReader, what: str):
+    """Run a stream reader, converting every failure mode of corrupt
+    input — exhausted stream, invalid records, bad UTF-8, oversized
+    fields — into the typed :class:`DecodeError`."""
+    try:
+        return read(reader)
+    except DecodeError:
+        raise
+    except (EncodingError, PathError, TreeError, UnicodeDecodeError,
+            ValueError, OverflowError, MemoryError) as exc:
+        raise DecodeError(f"truncated or corrupt {what}: {exc}") from exc
+
+
+def _finish_decode(reader: BitReader, what: str) -> None:
+    """Reject trailing garbage. With an explicit ``bit_length`` the
+    payload must end exactly; without one, only whole-byte zero padding
+    (at most 7 bits, as :meth:`BitWriter.getvalue` emits) may remain."""
+    remaining = reader.remaining
+    if remaining == 0:
+        return
+    if remaining >= 8:
+        raise DecodeError(
+            f"trailing garbage after {what}: {remaining} unread bits"
+        )
+    if reader.read_bits(remaining) != 0:
+        raise DecodeError(f"non-zero padding after {what}")
 
 
 def _write_atom(writer: BitWriter, atom: object) -> None:
@@ -139,18 +232,11 @@ def read_operation(reader: BitReader) -> Operation:
     operations decode without ``expected_atoms``.
     """
     tag = reader.read_bits(2)
-    origin = reader.read_bits(SITE_ID_BITS)
-    if tag == _TAG_INSERT:
-        posid = read_posid(reader)
-        atom = _read_atom(reader)
-        return InsertOp(posid, atom, origin)
-    if tag == _TAG_DELETE:
-        return DeleteOp(read_posid(reader), origin)
-    if tag == _TAG_FLATTEN:
-        path = read_posid(reader)
-        digest = _read_atom(reader)
-        return FlattenOp(path, digest, origin)
-    raise EncodingError(f"unknown operation tag {tag}")
+    if tag == _TAG_FRAME:
+        raise EncodingError(
+            "v2 frame where a bare operation was expected; use decode_frame"
+        )
+    return _read_v1_operation(reader, tag)
 
 
 def encode_operation(op: Operation) -> Tuple[bytes, int]:
@@ -161,11 +247,290 @@ def encode_operation(op: Operation) -> Tuple[bytes, int]:
 
 
 def decode_operation(data: bytes, bit_length: Optional[int] = None) -> Operation:
-    """Decode a lone operation."""
-    return read_operation(BitReader(data, bit_length))
+    """Decode a lone operation.
+
+    Raises :class:`repro.errors.DecodeError` on truncated input or
+    trailing garbage.
+    """
+    reader = _start_decode(data, bit_length)
+    op = _decode_guarded(read_operation, reader, "operation")
+    _finish_decode(reader, "operation")
+    return op
 
 
 def operation_cost_bits(op: Operation) -> int:
     """Network cost of an operation in bits (section 5.2: a PosID plus,
     for inserts, the atom)."""
     return encode_operation(op)[1]
+
+
+# ---------------------------------------------------------------------------
+# v2 frames: batches and document state as run segments.
+# ---------------------------------------------------------------------------
+
+
+def _write_run_segment(writer: BitWriter, run: AtomRun,
+                       table: AtomTable) -> None:
+    """One run segment: base path, shape bit, dis pattern, and the
+    shared RLE run record referencing the frame's atom table."""
+    write_posid(writer, PosID(run.base))
+    writer.write_bit(int(run.shape == PREFIX))
+    dis = run.dis
+    if dis is None:
+        writer.write_bit(0)
+    else:
+        writer.write_bit(1)
+        if dis[0] == "udis":
+            writer.write_bit(_DIS_UDIS)
+            writer.write_bits(dis[1], SITE_ID_BITS)
+            writer.write_bits(dis[2], COUNTER_BITS)
+        else:
+            writer.write_bit(_DIS_SDIS)
+            writer.write_bits(dis[1], SITE_ID_BITS)
+    write_run_record(writer, len(run.atoms), table.add_run(run.atoms))
+
+
+def _read_run_segment(reader: BitReader) -> Tuple:
+    """Counterpart of :func:`_write_run_segment`; atoms resolve once
+    the trailing table arrives: returns ``(base, shape, dis, count,
+    first_ref)``."""
+    base = read_posid(reader).elements
+    shape = PREFIX if reader.read_bit() else CANONICAL
+    dis: Optional[Tuple] = None
+    if reader.read_bit():
+        if reader.read_bit() == _DIS_UDIS:
+            site = reader.read_bits(SITE_ID_BITS)
+            counter = reader.read_bits(COUNTER_BITS)
+            dis = ("udis", site, counter)
+        else:
+            dis = ("sdis", reader.read_bits(SITE_ID_BITS))
+    count, first = read_run_record(reader)
+    return base, shape, dis, count, first
+
+
+def _write_atom_table(writer: BitWriter, table: AtomTable) -> None:
+    writer.write_elias_gamma(len(table.payloads) + 1)
+    for payload in table.payloads:
+        writer.write_elias_gamma(len(payload) + 1)
+        writer.write_bytes(payload)
+
+
+def _read_atom_table(reader: BitReader) -> AtomTable:
+    count = reader.read_elias_gamma() - 1
+    payloads = []
+    for _ in range(count):
+        length = reader.read_elias_gamma() - 1
+        payloads.append(reader.read_bytes(length))
+    return AtomTable(payloads)
+
+
+def _write_segments(writer: BitWriter, segments: List[Segment]) -> None:
+    writer.write_elias_gamma(len(segments) + 1)
+    table = AtomTable()
+    for segment in segments:
+        if isinstance(segment, AtomRun):
+            writer.write_bit(_SEG_RUN)
+            _write_run_segment(writer, segment, table)
+        else:
+            writer.write_bit(_SEG_OP)
+            write_operation(writer, segment)
+    _write_atom_table(writer, table)
+
+
+def _read_segments(reader: BitReader) -> List[Segment]:
+    count = reader.read_elias_gamma() - 1
+    parsed: List = []
+    for _ in range(count):
+        if reader.read_bit() == _SEG_RUN:
+            parsed.append(_read_run_segment(reader))
+        else:
+            parsed.append(read_operation(reader))
+    table = _read_atom_table(reader)
+    segments: List[Segment] = []
+    for item in parsed:
+        if isinstance(item, tuple):
+            base, shape, dis, length, first = item
+            atoms = tuple(table.get_run(first, length))
+            segments.append(AtomRun(base, atoms, shape, dis))
+        else:
+            segments.append(item)
+    return segments
+
+
+def encode_batch(batch: OpBatch,
+                 min_run_atoms: Optional[int] = None) -> Tuple[bytes, int]:
+    """Encode an :class:`OpBatch` as a v2 batch frame.
+
+    Consecutive insert bursts that realize a run shape (one
+    ``insert_text``, one grouped allocation) collapse into run segments
+    — base path + dis pattern + atoms — instead of per-op records;
+    everything else ships as v1 operation records inside the frame.
+    Returns ``(bytes, bit_length)``.
+    """
+    writer = BitWriter()
+    writer.write_bits(_TAG_FRAME, 2)
+    writer.write_bit(_FRAME_BATCH)
+    writer.write_bits(batch.origin, SITE_ID_BITS)
+    writer.write_elias_gamma(batch.seq_start + 1)
+    writer.write_elias_gamma(batch.seq_end - batch.seq_start + 1)
+    if min_run_atoms is None:
+        segments = find_runs(batch.ops, batch.origin)
+    else:
+        segments = find_runs(batch.ops, batch.origin, min_run_atoms)
+    _write_segments(writer, segments)
+    return writer.getvalue(), writer.bit_length
+
+
+def _read_batch_frame(reader: BitReader) -> OpBatch:
+    origin = reader.read_bits(SITE_ID_BITS)
+    seq_start = reader.read_elias_gamma() - 1
+    seq_span = reader.read_elias_gamma() - 1
+    ops: List[object] = []
+    for segment in _read_segments(reader):
+        if isinstance(segment, AtomRun):
+            ops.extend(segment.insert_ops(origin))
+        else:
+            ops.append(segment)
+    return OpBatch(tuple(ops), origin, seq_start, seq_start + seq_span)
+
+
+def decode_batch(data: bytes, bit_length: Optional[int] = None) -> OpBatch:
+    """Decode a v2 batch frame back into an :class:`OpBatch`.
+
+    Run segments expand to their per-atom insert operations, so the
+    result applies through the ordinary batch paths and digests equal
+    to the batch that was encoded.
+    """
+    batch = decode_frame(data, bit_length)
+    if not isinstance(batch, OpBatch):
+        raise DecodeError("payload is a lone v1 operation, not a batch frame")
+    return batch
+
+
+def decode_frame(data: bytes, bit_length: Optional[int] = None
+                 ) -> Union[Operation, OpBatch]:
+    """Decode any wire payload: a v1 operation or a v2 batch frame.
+
+    The v2 escape tag occupies the one 2-bit value v1 never wrote, so a
+    v1 payload decodes under this reader unchanged — the compatibility
+    contract the v2 format keeps.
+    """
+    reader = _start_decode(data, bit_length)
+
+    def read(inner: BitReader):
+        tag = inner.read_bits(2)
+        if tag != _TAG_FRAME:
+            return _read_v1_operation(inner, tag)
+        if inner.read_bit() != _FRAME_BATCH:
+            raise EncodingError(
+                "state frame: decode with decode_state, not decode_frame"
+            )
+        return _read_batch_frame(inner)
+
+    payload = _decode_guarded(read, reader, "frame")
+    _finish_decode(reader, "frame")
+    return payload
+
+
+def _read_v1_operation(reader: BitReader, tag: int) -> Operation:
+    """Finish reading a v1 operation whose 2-bit tag was consumed."""
+    origin = reader.read_bits(SITE_ID_BITS)
+    if tag == _TAG_INSERT:
+        posid = read_posid(reader)
+        return InsertOp(posid, _read_atom(reader), origin)
+    if tag == _TAG_DELETE:
+        return DeleteOp(read_posid(reader), origin)
+    path = read_posid(reader)
+    return FlattenOp(path, _read_atom(reader), origin)
+
+
+def batch_cost_bits(batch: OpBatch) -> int:
+    """Network cost of a batch shipped as one v2 frame, in bits (the
+    frame-level extension of :func:`operation_cost_bits`)."""
+    return encode_batch(batch)[1]
+
+
+# ---------------------------------------------------------------------------
+# Document state frames (anti-entropy snapshots).
+# ---------------------------------------------------------------------------
+
+#: Wire bytes a state snapshot spends beside the frame itself: the
+#: 32-byte content digest plus a two-byte envelope (kind + length tag).
+STATE_ENVELOPE_BYTES = 34
+
+
+@dataclass(frozen=True)
+class DocumentState:
+    """One replica's whole document, encoded as a v2 state frame.
+
+    The payload of state-transfer catch-up: collapsed and canonical
+    regions travel as run segments and load straight back into
+    :class:`repro.core.node.ArrayLeaf` storage. ``digest`` is the
+    content digest of the visible atoms, checked on load.
+    """
+
+    site: int
+    mode: str
+    frame: bytes
+    frame_bits: int
+    digest: str
+    atom_count: int
+    run_segments: int
+    op_segments: int
+
+    @property
+    def frame_bytes(self) -> int:
+        return (self.frame_bits + 7) // 8
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes this snapshot costs on the wire."""
+        return self.frame_bytes + STATE_ENVELOPE_BYTES
+
+
+def encode_state(segments: List[Segment], mode: str, site: int,
+                 digest: str) -> DocumentState:
+    """Encode document state segments as a v2 state frame."""
+    if mode not in _MODE_TAGS:
+        raise EncodingError(f"unknown document mode {mode!r}")
+    writer = BitWriter()
+    writer.write_bits(_TAG_FRAME, 2)
+    writer.write_bit(_FRAME_STATE)
+    writer.write_bits(site, SITE_ID_BITS)
+    writer.write_bit(_MODE_TAGS[mode])
+    _write_segments(writer, segments)
+    atom_count = 0
+    run_segments = 0
+    op_segments = 0
+    for segment in segments:
+        if isinstance(segment, AtomRun):
+            run_segments += 1
+            atom_count += len(segment.atoms)
+        else:
+            op_segments += 1
+            if isinstance(segment, InsertOp):
+                atom_count += 1
+    return DocumentState(
+        site, mode, writer.getvalue(), writer.bit_length, digest,
+        atom_count, run_segments, op_segments,
+    )
+
+
+def decode_state(state: DocumentState) -> Tuple[int, str, List[Segment]]:
+    """Decode a state frame: ``(site, mode, segments)``.
+
+    Raises :class:`DecodeError` on truncation, trailing garbage, or a
+    frame that is not a state frame.
+    """
+    reader = _start_decode(state.frame, state.frame_bits)
+
+    def read(inner: BitReader):
+        if inner.read_bits(2) != _TAG_FRAME or inner.read_bit() != _FRAME_STATE:
+            raise EncodingError("not a state frame")
+        site = inner.read_bits(SITE_ID_BITS)
+        mode = _TAG_MODES[inner.read_bit()]
+        return site, mode, _read_segments(inner)
+
+    result = _decode_guarded(read, reader, "state frame")
+    _finish_decode(reader, "state frame")
+    return result

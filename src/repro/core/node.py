@@ -551,9 +551,10 @@ class ArrayLeaf:
 
     ``tree`` is the owning :class:`repro.core.tree.TreedocTree`: explode
     must drop the tree's live-snapshot cache, and navigation helpers
-    that step into a leaf have no other route to the tree. The backref
-    creates a reference cycle (tree → root → … → leaf → tree), which
-    CPython's cycle collector handles.
+    that step into a leaf have no other route to the tree. Explode
+    clears both ``parent`` and ``tree`` on the way out, so an exploded
+    husk is fully detached: it dies by reference counting alone and a
+    stray reference to it cannot pin the tree.
     """
 
     __slots__ = ("parent", "atoms", "tree")
@@ -590,6 +591,8 @@ class ArrayLeaf:
     def explode(self) -> "PosNode":
         """Rebuild the region as tree structure; returns the new subtree
         root. Delegates to the owning tree (cache maintenance)."""
+        if self.tree is None:
+            raise TreeError("array leaf already exploded")
         return self.tree.explode_leaf(self)
 
     def posids(self) -> List[PosID]:

@@ -924,8 +924,13 @@ class TreedocTree:
         node = PosNode(parent=(container, bit))
         build_exploded(node, leaf.atoms)
         container.set_child(bit, node)
-        leaf.parent = None
         depth = slot_depth(container) + leaf.implicit_depth
+        # Fully detach the husk: clearing the tree backref (not just the
+        # parent link) means a stray reference to the dead leaf cannot
+        # pin the whole tree, and the husk's own death never needs the
+        # cycle collector (gc.disable() deployments).
+        leaf.parent = None
+        leaf.tree = None
         if depth > self.height:
             self.height = depth
         self._drop_live_cache()

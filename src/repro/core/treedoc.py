@@ -465,13 +465,83 @@ class Treedoc:
             ),
         )
         for _, node, atoms in regions:
+            self._purge_region_stamps(node)
             self.tree.collapse_subtree(node, atoms=atoms)
         return [path for path, _, _ in regions]
+
+    def _purge_region_stamps(self, node) -> None:
+        """Drop cold-clock bookkeeping for a subtree about to be freed
+        (collapse replaces it with an array leaf): stale ``id()`` keys
+        must not linger in ``_touch_stamps``, and ``_touch_seen`` must
+        not keep the dead nodes alive until the next revision."""
+        stamps = self._touch_stamps
+        seen = self._touch_seen
+        for freed in node.iter_nodes():
+            key = id(freed)
+            stamps.pop(key, None)
+            seen.pop(key, None)
 
     @property
     def array_leaf_count(self) -> int:
         """Collapsed quiescent regions currently held as arrays."""
         return len(self.tree.array_leaves())
+
+    # -- state transfer (anti-entropy catch-up) ----------------------------------
+
+    def capture_state(self) -> "DocumentState":
+        """Snapshot the whole document as one v2 state frame.
+
+        Collapsed regions — and quiescent subtrees still in canonical
+        tree form — travel as run segments (base path + atoms, zero
+        per-atom identifiers); everything else as singleton records.
+        The frame is digest-stamped, so :meth:`load_state` verifies
+        transport integrity.
+        """
+        from repro.core.encoding import encode_state
+        from repro.core.runs import iter_state_segments
+
+        segments = iter_state_segments(self.tree, self.site)
+        digest = content_digest(tuple(self.tree.atoms()))
+        return encode_state(segments, self.mode, self.site, digest)
+
+    def load_state(self, state: "DocumentState") -> int:
+        """Replace this replica's document with a state snapshot.
+
+        Run segments load **directly into array leaves** — the cold
+        receiver never materializes per-atom structure for quiescent
+        regions, and is identifier-identical to the source from the
+        first read. Returns the number of visible atoms loaded. The
+        caller owns the causal safety argument (the snapshot must
+        dominate this replica's state — see
+        :meth:`repro.replication.site.ReplicaSite.sync_from`).
+        """
+        from repro.core.encoding import decode_state
+        from repro.core.runs import load_state_segments
+        from repro.errors import SyncError
+
+        if state.mode != self.mode:
+            raise SyncError(
+                f"state snapshot is {state.mode}, this replica is {self.mode}"
+            )
+        _, _, segments = decode_state(state)
+        fresh = TreedocTree()
+        load_state_segments(fresh, segments,
+                            keep_tombstones=self.keeps_tombstones)
+        atoms = tuple(fresh.atoms())
+        if content_digest(atoms) != state.digest:
+            raise SyncError(
+                "state snapshot digest mismatch: corrupted in transport?"
+            )
+        # Generations must keep increasing monotonically across the
+        # swap, or downstream caches keyed on (generation, ...) could
+        # serve the pre-sync document.
+        fresh._generation = self.tree.generation + 1
+        self.tree = fresh
+        self.allocator = Allocator(fresh, balanced=self.allocator.balanced)
+        self._touch_stamps = {}
+        self._touch_seen = {}
+        self._text_cache = None
+        return len(atoms)
 
     # -- internals ---------------------------------------------------------------------
 

@@ -36,6 +36,18 @@ class EncodingError(ReproError):
     """Wire or disk encoding/decoding failed."""
 
 
+class DecodeError(EncodingError):
+    """A wire payload could not be decoded: truncated input, trailing
+    garbage, or a corrupt/invalid record. Raised by the public decode
+    entry points of :mod:`repro.core.encoding`; low-level stream
+    primitives keep raising :class:`EncodingError`."""
+
+
+class SyncError(ReproError):
+    """A state-transfer (anti-entropy) exchange was invalid: mode
+    mismatch, diverged replicas, or a corrupt snapshot."""
+
+
 class ReplicationError(ReproError):
     """Causal delivery or site bookkeeping was violated."""
 

@@ -49,13 +49,16 @@ def run_document(
     with_disk: bool = True,
     probe=None,
     collapse_every: Optional[int] = None,
+    with_sync: bool = False,
 ) -> DocumentRun:
     """Replay one document and measure its final state.
 
     ``collapse_every=k`` enables live mixed storage during the replay
     (section 4.2): every k revisions, cold canonical regions collapse
     into array leaves, and the final measurement reports the mixed-form
-    overhead alongside the pure-tree one.
+    overhead alongside the pure-tree one. ``with_sync`` measures the
+    anti-entropy message sizes of the final state (run frames vs per-op
+    replay) for the Table 3 sync columns.
     """
     history = history_for(spec, seed)
     doc = Treedoc(site=1, mode=mode, balanced=balanced,
@@ -64,7 +67,7 @@ def run_document(
         doc, history, flatten_every=flatten_every, probe=probe,
         use_runs=balanced,
     )
-    stats = measure_tree(doc.tree, with_disk=with_disk)
+    stats = measure_tree(doc.tree, with_disk=with_disk, with_sync=with_sync)
     return DocumentRun(spec, mode, balanced, flatten_every, replay, stats,
                        collapse_every=collapse_every)
 

@@ -1,10 +1,16 @@
-"""Table 3: fraction of tombstones (LaTeX documents).
+"""Table 3: fraction of tombstones and anti-entropy sync cost.
 
 The {no-flatten, flatten-8, flatten-2} × {no balancing, balancing}
 grid, averaged over the three LaTeX documents, under SDIS. The paper's
 findings to reproduce in shape: flattening garbage-collects tombstones,
 aggressiveness pays (flatten-2 ≪ flatten-8 ≪ no-flatten), and balancing
 augments the effect.
+
+The two sync columns extend the table with the wire-format-v2
+consequence of the same mechanism: flattening canonicalizes regions,
+canonical regions ship as runs, so the cost of catching up a cold
+replica (one v2 state frame vs per-op v1 replay of the balanced run)
+shrinks with flatten aggressiveness.
 """
 
 from __future__ import annotations
@@ -22,47 +28,71 @@ CADENCES: List[Optional[int]] = [None, 8, 2]
 
 @dataclass
 class Row:
-    """One grid row: a flatten cadence, both balancing settings."""
+    """One grid row: a flatten cadence, both balancing settings, plus
+    the balanced run's cold-sync wire cost (run frame vs per-op)."""
 
     flatten: str
     tombstone_pct_unbalanced: float
     tombstone_pct_balanced: float
+    sync_frame_kib: float = 0.0
+    sync_per_op_kib: float = 0.0
+
+    @property
+    def sync_compression(self) -> float:
+        """Per-op replay bytes over run-frame bytes (bigger = better)."""
+        if self.sync_frame_kib == 0:
+            return 1.0
+        return self.sync_per_op_kib / self.sync_frame_kib
 
 
-def _average_tombstone_pct(balanced: bool, cadence: Optional[int],
-                           seed: int) -> float:
+def _measure(balanced: bool, cadence: Optional[int], seed: int,
+             with_sync: bool):
+    """``(avg tombstone %, avg sync frame KiB, avg per-op KiB)``."""
     fractions = []
+    frame_bytes = []
+    per_op_bytes = []
     for spec in LATEX_DOCUMENTS:
         result = run_document(
             spec, mode="sdis", balanced=balanced,
             flatten_every=cadence, seed=seed, with_disk=False,
+            with_sync=with_sync,
         )
         fractions.append(result.stats.tombstone_fraction)
-    return 100.0 * sum(fractions) / len(fractions)
+        frame_bytes.append(result.stats.sync_frame_bytes)
+        per_op_bytes.append(result.stats.sync_per_op_bytes)
+    count = len(LATEX_DOCUMENTS)
+    return (
+        100.0 * sum(fractions) / count,
+        sum(frame_bytes) / count / 1024.0,
+        sum(per_op_bytes) / count / 1024.0,
+    )
 
 
 def run(seed: int = DEFAULT_SEED) -> List[Row]:
     rows = []
     for cadence in CADENCES:
         label = "no-flatten" if cadence is None else f"flatten-{cadence}"
+        unbalanced_pct, _, _ = _measure(False, cadence, seed, with_sync=False)
+        balanced_pct, frame_kib, per_op_kib = _measure(
+            True, cadence, seed, with_sync=True
+        )
         rows.append(
-            Row(
-                label,
-                _average_tombstone_pct(False, cadence, seed),
-                _average_tombstone_pct(True, cadence, seed),
-            )
+            Row(label, unbalanced_pct, balanced_pct, frame_kib, per_op_kib)
         )
     return rows
 
 
 def render(rows: List[Row]) -> str:
     table = Table(
-        "Table 3. Fraction of tombstones, % (LaTeX documents, SDIS)",
-        ("", "no balancing", "balancing"),
+        "Table 3. Tombstones (%) and cold-sync wire cost "
+        "(LaTeX documents, SDIS)",
+        ("", "no balancing", "balancing",
+         "sync v2 KiB", "per-op KiB", "sync x"),
     )
     for row in rows:
         table.add_row(row.flatten, row.tombstone_pct_unbalanced,
-                      row.tombstone_pct_balanced)
+                      row.tombstone_pct_balanced, row.sync_frame_kib,
+                      row.sync_per_op_kib, row.sync_compression)
     return table.render()
 
 

@@ -74,6 +74,17 @@ class TreeStats:
     array_leaves: int = 0
     #: Atoms held inside collapsed regions (zero per-atom metadata).
     array_atoms: int = 0
+    #: State-transfer (anti-entropy) message size in bits, with the
+    #: run-aware v2 state frame (``measure_tree(..., with_sync=True)``).
+    sync_frame_bits: int = 0
+    #: The same state shipped as per-operation v1 records (one framed
+    #: insert per atom, one framed delete per tombstone) — the replay
+    #: baseline the run frames are measured against.
+    sync_per_op_bits: int = 0
+    #: Run segments in the measured state frame.
+    sync_run_segments: int = 0
+    #: Singleton records in the measured state frame.
+    sync_op_segments: int = 0
     #: Per-atom PosID sizes (bits), for distribution plots.
     posid_bits: List[int] = field(default_factory=list)
 
@@ -132,6 +143,24 @@ class TreeStats:
         return self.disk_overhead_bytes / self.document_bytes
 
     @property
+    def sync_frame_bytes(self) -> int:
+        """Run-aware state-transfer message size, in bytes."""
+        return (self.sync_frame_bits + 7) // 8
+
+    @property
+    def sync_per_op_bytes(self) -> int:
+        """Per-operation replay message size, in bytes."""
+        return (self.sync_per_op_bits + 7) // 8
+
+    @property
+    def sync_compression(self) -> float:
+        """How many times smaller the run-aware state frame is than
+        per-op replay (the Table 3 sync column)."""
+        if self.sync_frame_bits == 0:
+            return 1.0
+        return self.sync_per_op_bits / self.sync_frame_bits
+
+    @property
     def overhead_per_atom_bits(self) -> float:
         """Identifier overhead per visible atom in bits: the total PosID
         size of *all used identifiers* amortized over visible atoms
@@ -148,7 +177,39 @@ def _atom_bytes(atom: object) -> int:
     return len(text.encode("utf-8"))
 
 
-def measure_tree(tree: TreedocTree, with_disk: bool = True) -> TreeStats:
+def measure_sync(tree: TreedocTree, mode: str = "sdis",
+                 site: int = 0) -> Tuple[int, int, int, int]:
+    """State-transfer message sizes of ``tree``'s current state:
+    ``(frame_bits, per_op_bits, run_segments, op_segments)``.
+
+    ``frame_bits`` is the run-aware v2 state frame
+    (:func:`repro.core.encoding.encode_state`); ``per_op_bits`` ships
+    the same information as framed v1 records — one insert per visible
+    atom, one delete per tombstone. The per-op figure is a *lower*
+    bound on real replay (a tombstone's original insert is not even
+    counted), so the compression ratio reported is conservative.
+    """
+    from repro.core.encoding import encode_state, operation_cost_bits
+    from repro.core.runs import AtomRun, iter_state_segments
+
+    segments = iter_state_segments(tree, site)
+    state = encode_state(segments, mode, site, digest="")
+    per_op_bits = 0
+    run_segments = 0
+    op_segments = 0
+    for segment in segments:
+        if isinstance(segment, AtomRun):
+            run_segments += 1
+            for op in segment.insert_ops(site):
+                per_op_bits += operation_cost_bits(op)
+        else:
+            op_segments += 1
+            per_op_bits += operation_cost_bits(segment)
+    return state.frame_bits, per_op_bits, run_segments, op_segments
+
+
+def measure_tree(tree: TreedocTree, with_disk: bool = True,
+                 with_sync: bool = False) -> TreeStats:
     """Take all Table 1 measurements of ``tree``'s current state.
 
     Collapsed regions (live mixed storage, section 4.2) are measured
@@ -156,6 +217,8 @@ def measure_tree(tree: TreedocTree, with_disk: bool = True) -> TreeStats:
     canonical plain paths, ``nodes`` counts only tree-resident
     structure, and the ``array_*`` fields carry the mixed-form shape so
     both the pure-tree and mixed overheads can be reported.
+    ``with_sync`` additionally measures the state-transfer message
+    sizes (:func:`measure_sync`), feeding the Table 3 sync columns.
     """
     stats = TreeStats()
     total_bits = 0
@@ -210,6 +273,9 @@ def measure_tree(tree: TreedocTree, with_disk: bool = True) -> TreeStats:
         overhead, document = measure_on_disk(tree)
         stats.disk_overhead_bytes = overhead
         stats.disk_document_bytes = document
+    if with_sync:
+        (stats.sync_frame_bits, stats.sync_per_op_bits,
+         stats.sync_run_segments, stats.sync_op_segments) = measure_sync(tree)
     return stats
 
 

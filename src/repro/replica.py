@@ -35,12 +35,26 @@ from repro.core.ops import (
     content_digest,
 )
 from repro.core.treedoc import Treedoc
-from repro.errors import ReproError
+from repro.errors import ReproError, SyncError
 from repro.util.text import join_atoms
 
 #: What merge accepts: one batch, one bare operation, or an iterable of
 #: either (e.g. another replica's drained outbox).
 Patch = Union[OpBatch, InsertOp, DeleteOp, FlattenOp]
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """What one :meth:`Replica.sync` catch-up cost and carried."""
+
+    #: Visible atoms this replica now holds.
+    atoms: int
+    #: Bytes the state snapshot costs on the wire.
+    wire_bytes: int
+    #: Regions that travelled as runs (and landed as array leaves).
+    run_segments: int
+    #: Singleton records in the snapshot.
+    op_segments: int
 
 
 @dataclass(frozen=True)
@@ -92,6 +106,8 @@ class Replica:
         self._outbox: List[OpBatch] = []
         #: Batches merged from remote replicas (monitoring aid).
         self.merged_batches = 0
+        #: State snapshots adopted via :meth:`sync` (monitoring aid).
+        self.synced_states = 0
         #: (generation, Snapshot) — repeated snapshots of an unchanged
         #: replica (convergence polling) skip the digest recomputation.
         self._snapshot_cache: Optional[Tuple[int, Snapshot]] = None
@@ -172,6 +188,52 @@ class Replica:
         for item in patch:
             applied += self.merge(item, verify=verify)
         return applied
+
+    def sync(self, source: "Replica") -> SyncReport:
+        """Catch this replica up to ``source`` by state transfer.
+
+        Instead of merging ``source``'s batches one by one, the source
+        document arrives as one v2 state frame: quiescent regions ship
+        as runs and load directly into collapsed array storage, so a
+        cold replica adopting a large settled document pays a handful
+        of segments rather than per-atom replay. Afterwards this
+        replica is identifier-identical to the source (same posids,
+        not just the same text).
+
+        Only valid as a *catch-up*: this replica must have no pending
+        local batches (:meth:`pending` not yet shipped) — those would
+        be silently lost, so :class:`repro.errors.SyncError` is raised
+        instead. Merges this replica has already applied are fine when
+        the source has applied them too (the usual anti-entropy
+        deployment syncs from a strictly-ahead peer; the site layer's
+        :meth:`repro.replication.site.ReplicaSite.sync_from` enforces
+        that with vector clocks).
+        """
+        if self._outbox:
+            raise SyncError(
+                f"replica {self.site}: {len(self._outbox)} pending local "
+                "batches would be lost by a state sync; ship them first"
+            )
+        if source._outbox:
+            # The snapshot would embed edits the source has not shipped
+            # yet; when the source later drains its outbox normally,
+            # replaying those batches against a state that already
+            # contains them can fault (e.g. an insert whose identifier
+            # the snapshot carries as a tombstone).
+            raise SyncError(
+                f"replica {source.site}: source has {len(source._outbox)} "
+                "unshipped batches; drain source.pending() first"
+            )
+        state = source.doc.capture_state()
+        atoms = self.doc.load_state(state)
+        self._snapshot_cache = None
+        self.synced_states += 1
+        return SyncReport(
+            atoms=atoms,
+            wire_bytes=state.wire_bytes,
+            run_segments=state.run_segments,
+            op_segments=state.op_segments,
+        )
 
     # -- queries ------------------------------------------------------------------
 

@@ -17,6 +17,9 @@ testing:
   allows any commitment protocol);
 - :mod:`repro.replication.stability` — SDIS tombstone garbage collection
   through causal stability (section 4.2);
+- :mod:`repro.replication.sync` — state-transfer anti-entropy: a lagging
+  replica catches up from one v2 state frame (collapsed regions as
+  runs) instead of per-atom replay;
 - :mod:`repro.replication.cluster` — an N-site simulation harness with
   convergence checking.
 """
@@ -26,6 +29,7 @@ from repro.replication.network import SimulatedNetwork, NetworkConfig
 from repro.replication.broadcast import CausalBroadcast
 from repro.replication.site import ReplicaSite
 from repro.replication.commit import FlattenCoordinator, CommitDecision
+from repro.replication.sync import StateTransfer, SyncStats
 from repro.replication.cluster import Cluster
 
 __all__ = [
@@ -37,5 +41,7 @@ __all__ = [
     "ReplicaSite",
     "FlattenCoordinator",
     "CommitDecision",
+    "StateTransfer",
+    "SyncStats",
     "Cluster",
 ]

@@ -16,7 +16,7 @@ test are paid once per edit, not once per atom.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, List
 
 from repro.core.disambiguator import SiteId
 from repro.errors import CausalityError
@@ -54,7 +54,6 @@ class CausalBroadcast:
         self._deliver = deliver
         self.clock = VectorClock()
         self._buffer: List[CausalEnvelope] = []
-        self._delivered: Set[Tuple[SiteId, int]] = set()
         if register:
             network.register(site, self.on_message)
 
@@ -68,9 +67,25 @@ class CausalBroadcast:
         """
         self.clock = self.clock.tick(self.site)
         envelope = CausalEnvelope(self.site, self.clock.copy(), payload)
-        self._delivered.add((self.site, envelope.sequence))
         self.network.broadcast(self.site, envelope)
         return envelope
+
+    # -- state-transfer catch-up ---------------------------------------------------
+
+    def catch_up(self, clock: VectorClock) -> None:
+        """Adopt a state snapshot's causal frontier.
+
+        Every event the snapshot covers is already reflected in the
+        loaded document state; the duplicate filter treats any sequence
+        at or below the clock as delivered (see :meth:`has_delivered`),
+        so adopting a frontier is O(clock entries) no matter how much
+        history it covers. Buffered envelopes are then re-drained:
+        messages that were stuck waiting on the gap this snapshot just
+        filled become deliverable; ones the snapshot already contains
+        drop as duplicates.
+        """
+        self.clock = self.clock.merge(clock)
+        self._drain()
 
     # -- receiving -----------------------------------------------------------------
 
@@ -79,9 +94,8 @@ class CausalBroadcast:
         message kinds over one site handler call this directly)."""
         if not isinstance(message, CausalEnvelope):
             raise CausalityError(f"unexpected message {message!r}")
-        key = (message.origin, message.sequence)
-        if key in self._delivered:
-            return  # duplicate from a retransmission
+        if self.has_delivered(message.origin, message.sequence):
+            return  # duplicate from a retransmission (or a state sync)
         self._buffer.append(message)
         self._drain()
 
@@ -102,14 +116,12 @@ class CausalBroadcast:
         while progressed:
             progressed = False
             for envelope in list(self._buffer):
-                key = (envelope.origin, envelope.sequence)
-                if key in self._delivered:
+                if self.has_delivered(envelope.origin, envelope.sequence):
                     self._buffer.remove(envelope)
                     progressed = True
                     continue
                 if self._deliverable(envelope):
                     self._buffer.remove(envelope)
-                    self._delivered.add(key)
                     self.clock = self.clock.merge(envelope.clock)
                     self._deliver(envelope.origin, envelope.payload)
                     progressed = True
@@ -122,5 +134,13 @@ class CausalBroadcast:
         return len(self._buffer)
 
     def has_delivered(self, origin: SiteId, sequence: int) -> bool:
-        """Whether the ``sequence``-th event of ``origin`` was delivered."""
-        return (origin, sequence) in self._delivered
+        """Whether the ``sequence``-th event of ``origin`` was delivered.
+
+        Causal delivery is in-sequence per origin, and a delivery only
+        ever advances the origin's own clock component by one (the
+        other components were already satisfied), so the clock *is* the
+        delivered set: no per-event bookkeeping, and adopting a whole
+        state-snapshot frontier (:meth:`catch_up`) costs O(1) per site
+        regardless of how much history it covers.
+        """
+        return sequence <= self.clock.get(origin)

@@ -206,6 +206,67 @@ class ReplicaSite:
         """Collapsed quiescent regions currently held as arrays."""
         return self.doc.array_leaf_count
 
+    # -- state-transfer anti-entropy ------------------------------------------------
+
+    def make_state_transfer(self) -> "StateTransfer":
+        """Snapshot this site's document and causal frontier for a
+        lagging peer (the sender half of :meth:`sync_from`)."""
+        from repro.replication.sync import StateTransfer
+
+        return StateTransfer(
+            self.site, self.broadcast.clock.copy(), self.doc.capture_state()
+        )
+
+    def sync_from(self, peer: "ReplicaSite") -> "SyncStats":
+        """Catch up to ``peer`` by state transfer instead of replay.
+
+        The peer's document arrives as one v2 state frame: collapsed
+        and canonical regions as runs that load **directly into array
+        leaves** — a cold 1500-line document costs a handful of
+        segments, not per-atom envelopes and materializations. Safe
+        only when the peer's frontier dominates this site's (this site
+        has nothing the peer lacks); otherwise
+        :class:`repro.errors.SyncError` is raised and nothing changes.
+        """
+        return self.apply_state_transfer(peer.make_state_transfer())
+
+    def apply_state_transfer(self, transfer: "StateTransfer") -> "SyncStats":
+        """Adopt a peer's state snapshot (the receiver half).
+
+        Verifies the causal-domination precondition, replaces the
+        document, adopts the frontier (buffered envelopes covered by
+        the snapshot are dropped as duplicates, newer ones re-drain),
+        and conservatively poisons future flatten votes for snapshots
+        older than the adopted frontier. Inherited SDIS tombstones have
+        no local delete-log entries, so they are purged only by a later
+        flatten, not by the stability tracker.
+        """
+        from repro.errors import SyncError
+        from repro.replication.sync import SyncStats
+
+        if transfer.site == self.site:
+            raise SyncError(f"site {self.site}: cannot sync from itself")
+        if not transfer.clock.dominates(self.broadcast.clock):
+            raise SyncError(
+                f"site {self.site}: snapshot from {transfer.site} does not "
+                "dominate this replica — catch up by replay instead"
+            )
+        atoms = self.doc.load_state(transfer.state)
+        self.broadcast.catch_up(transfer.clock)
+        # The op-level region log did not see the snapshot's edits; log
+        # a whole-document touch per site at the adopted frontier so
+        # this site votes No on any flatten whose initiator snapshot
+        # predates the state it just inherited.
+        for site, sequence in transfer.clock.items():
+            self._region_log.append(((), site, sequence))
+        return SyncStats(
+            atoms=atoms,
+            wire_bytes=transfer.wire_bytes,
+            run_segments=transfer.state.run_segments,
+            op_segments=transfer.state.op_segments,
+            loaded_leaves=self.doc.array_leaf_count,
+        )
+
     # -- flatten / commitment -------------------------------------------------------
 
     def initiate_flatten(self, path: PosID) -> FlattenCoordinator:

@@ -1,0 +1,70 @@
+"""State-transfer anti-entropy: catch-up by snapshot, not by replay.
+
+A replica that is far behind — freshly joined, or reconnecting after a
+long partition — would pay one causal envelope and one tree
+materialization *per atom* to catch up by operation replay. The paper's
+storage insight (quiescent regions need no per-atom metadata) applies
+to the wire just as it does to RAM and disk: the up-to-date peer ships
+its document as a v2 **state frame** (:mod:`repro.core.encoding`),
+where collapsed and canonical regions travel as runs, and the receiver
+loads those runs straight into :class:`repro.core.node.ArrayLeaf`
+storage without ever exploding them.
+
+The safety argument is the standard state-shipping one: the receiver
+may adopt the snapshot only if the sender's causal frontier dominates
+its own — then the snapshot contains every event the receiver has
+applied (including the receiver's own edits, echoed back), and
+replacing the document loses nothing. :class:`StateTransfer` carries
+the frontier; :meth:`repro.replication.site.ReplicaSite.sync_from`
+enforces the check and
+:meth:`repro.replication.broadcast.CausalBroadcast.catch_up` adopts
+the frontier so in-flight envelopes already covered by the snapshot
+are filtered as duplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.disambiguator import SiteId
+from repro.core.encoding import DocumentState
+from repro.replica import SyncReport
+from repro.replication.clock import VectorClock
+
+#: Wire bytes per vector-clock entry shipped with a snapshot: a 6-byte
+#: site id plus a 4-byte counter.
+CLOCK_ENTRY_WIRE_BYTES = 10
+
+
+@dataclass(frozen=True)
+class StateTransfer:
+    """One replica's document state plus its causal frontier.
+
+    The anti-entropy message: ``state`` is the encoded v2 state frame
+    (runs + singleton records + digest), ``clock`` the sender's vector
+    clock at snapshot time. A receiver whose clock the snapshot
+    dominates may replace its document with the snapshot and adopt the
+    frontier.
+    """
+
+    site: SiteId
+    clock: VectorClock
+    state: DocumentState
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the wire: the state frame plus the clock."""
+        entries = sum(1 for _ in self.clock.items())
+        return self.state.wire_bytes + CLOCK_ENTRY_WIRE_BYTES * entries
+
+
+@dataclass(frozen=True)
+class SyncStats(SyncReport):
+    """A site-level catch-up report: the facade's
+    :class:`repro.replica.SyncReport` (atoms, wire bytes, segment
+    counts — one definition, not two) plus what only the site layer
+    can see."""
+
+    #: Collapsed regions the receiver holds as array leaves after the
+    #: load (runs land as leaves — they are never exploded in transit).
+    loaded_leaves: int = 0

@@ -1,0 +1,213 @@
+"""Wire format v2: frame round trips, v1 compatibility, typed errors."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.baselines.interface import TreedocAdapter
+from repro.baselines.logoot import LogootDoc
+from repro.baselines.rga import RgaDoc
+from repro.baselines.woot import WootDoc
+from repro.core import encoding
+from repro.core.ops import InsertOp, OpBatch
+from repro.core.path import PathElement, PosID, ROOT
+from repro.core.treedoc import Treedoc
+from repro.errors import DecodeError, EncodingError
+
+#: An edit script: (kind, position seed, payload text) triples, the
+#: same shape the CRDT contract tests replay.
+script_strategy = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 999),
+              st.text(st.characters(codec="utf-8",
+                                    blacklist_categories=("Cs",)),
+                      min_size=1, max_size=8)),
+    min_size=1, max_size=10,
+)
+
+
+def _apply_script(crdt, script):
+    """Replay a script through the batch API; returns the batches."""
+    batches = []
+    for kind, where, text in script:
+        index = where % (len(crdt) + 1)
+        if kind == 0 or len(crdt) < 2:
+            batches.append(crdt.insert_text(index, list(text)))
+        elif kind == 1:
+            end = min(len(crdt), index + 2)
+            batches.append(crdt.delete_range(min(index, end - 1), end))
+        else:
+            end = min(len(crdt), index + 2)
+            start = min(index, end - 1)
+            if hasattr(crdt, "replace_range"):
+                batches.append(crdt.replace_range(start, end, list(text)))
+            else:  # baseline adapters: a modify is delete + insert
+                batches.append(crdt.delete_range(start, end))
+                batches.append(crdt.insert_text(start, list(text)))
+    return batches
+
+
+class TestBatchFrames:
+    @settings(max_examples=40, deadline=None)
+    @given(script_strategy)
+    def test_round_trip_preserves_apply_result(self, script):
+        # Arbitrary batches -> encode -> decode -> identical apply
+        # result: the decoded stream must rebuild an identifier-
+        # identical replica, and the same script must leave every CRDT
+        # adapter with the same visible text the decoded stream yields.
+        source = Treedoc(site=1)
+        batches = _apply_script(source, script)
+        frames = [encoding.encode_batch(batch) for batch in batches]
+        decoded = [encoding.decode_batch(data, bits)
+                   for data, bits in frames]
+        for original, back in zip(batches, decoded):
+            assert tuple(back.ops) == tuple(original.ops)
+            assert (back.origin, back.seq_start, back.seq_end) == (
+                original.origin, original.seq_start, original.seq_end
+            )
+            assert back.verify()
+            assert back.digest == original.seal().digest
+        replayed = Treedoc(site=2)
+        for batch in decoded:
+            replayed.apply_batch(batch)
+        assert replayed.atoms() == source.atoms()
+        assert replayed.posids() == source.posids()
+        # The same script leaves all four CRDT adapters with the same
+        # text as the decoded-frame replay.
+        for crdt in (TreedocAdapter(site=3), LogootDoc(site=3),
+                     RgaDoc(site=3), WootDoc(site=3)):
+            _apply_script(crdt, script)
+            assert crdt.text() == replayed.text()
+
+    @settings(max_examples=25, deadline=None)
+    @given(script_strategy)
+    def test_sdis_round_trip(self, script):
+        source = Treedoc(site=4, mode="sdis")
+        batches = _apply_script(source, script)
+        replayed = Treedoc(site=5, mode="sdis")
+        for batch in batches:
+            data, bits = encoding.encode_batch(batch)
+            replayed.apply_batch(encoding.decode_batch(data, bits))
+        assert replayed.posids() == source.posids()
+
+    def test_run_frame_beats_per_op_framing(self):
+        doc = Treedoc(site=1)
+        batch = doc.insert_text(0, list("the quick brown fox jumps"))
+        frame_bits = encoding.batch_cost_bits(batch)
+        per_op_bits = sum(
+            encoding.operation_cost_bits(op) for op in batch.ops
+        )
+        assert frame_bits * 4 < per_op_bits
+
+    def test_v1_payload_decodes_under_v2_reader(self):
+        doc = Treedoc(site=1)
+        ops = list(doc.insert_text(0, list("compat")).ops)
+        ops.append(doc.delete(0))
+        for op in ops:
+            data, bits = encoding.encode_operation(op)
+            back = encoding.decode_frame(data, bits)
+            assert type(back) is type(op)
+            assert back.posid == op.posid
+            assert back.origin == op.origin
+        frame = encoding.encode_batch(
+            OpBatch.build(tuple(ops), 1, 0)
+        )
+        assert isinstance(encoding.decode_frame(*frame), OpBatch)
+
+
+class TestStateFrames:
+    def test_capture_load_identifier_identity(self):
+        source = Treedoc(site=1, mode="sdis")
+        source.insert_text(0, [f"line {i}" for i in range(48)])
+        source.delete_range(3, 6)
+        source.note_revision()
+        source.flatten_local(ROOT)
+        source.collapse_cold(min_age=0, min_atoms=8)
+        state = source.capture_state()
+        target = Treedoc(site=2, mode="sdis")
+        target.insert_text(0, list("pre-sync content to be replaced"))
+        loaded = target.load_state(state)
+        assert loaded == len(source)
+        assert target.posids() == source.posids()
+        assert target.atoms() == source.atoms()
+        assert target.array_leaf_count > 0
+        target.check()
+
+    def test_mode_mismatch_refused(self):
+        from repro.errors import SyncError
+
+        source = Treedoc(site=1, mode="sdis")
+        source.insert_text(0, list("abc"))
+        with pytest.raises(SyncError):
+            Treedoc(site=2, mode="udis").load_state(source.capture_state())
+
+    def test_digest_tamper_detected(self):
+        from dataclasses import replace
+
+        from repro.errors import SyncError
+
+        source = Treedoc(site=1)
+        source.insert_text(0, list("abcdef"))
+        state = replace(source.capture_state(), digest="0" * 64)
+        with pytest.raises(SyncError):
+            Treedoc(site=2).load_state(state)
+
+    def test_generation_strictly_increases_across_load(self):
+        source = Treedoc(site=1)
+        source.insert_text(0, list("abcdef"))
+        target = Treedoc(site=2)
+        target.insert_text(0, list("xyz"))
+        before = target.generation
+        target.load_state(source.capture_state())
+        assert target.generation > before
+
+
+class TestTypedDecodeErrors:
+    def _insert_payload(self):
+        doc = Treedoc(site=1)
+        op = doc.insert_text(0, list("hello")).ops[0]
+        return encoding.encode_operation(op)
+
+    def test_truncated_operation_raises_decode_error(self):
+        data, bits = self._insert_payload()
+        for cut_bits in (1, 7, bits // 2):
+            truncated = data[: max(1, (bits - cut_bits) // 8)]
+            with pytest.raises(DecodeError):
+                encoding.decode_operation(truncated,
+                                          min(bits - cut_bits,
+                                              len(truncated) * 8))
+
+    def test_trailing_garbage_raises_decode_error(self):
+        data, bits = self._insert_payload()
+        with pytest.raises(DecodeError):
+            encoding.decode_operation(data + b"\xffgarbage")
+
+    def test_truncated_posid_raises_decode_error(self):
+        data, bits = encoding.encode_posid(
+            PosID([PathElement(1), PathElement(0), PathElement(1)])
+        )
+        with pytest.raises(DecodeError):
+            encoding.decode_posid(data[:0], 0)
+        with pytest.raises(DecodeError):
+            encoding.decode_posid(data, bits + 64)
+
+    def test_trailing_garbage_after_posid(self):
+        data, _ = encoding.encode_posid(PosID([PathElement(1)]))
+        with pytest.raises(DecodeError):
+            encoding.decode_posid(data + b"\x01\x02\x03")
+
+    def test_truncated_batch_frame(self):
+        doc = Treedoc(site=1)
+        data, bits = encoding.encode_batch(doc.insert_text(0, list("abcdef")))
+        with pytest.raises(DecodeError):
+            encoding.decode_batch(data[: len(data) // 2],
+                                  min(bits // 2, (len(data) // 2) * 8))
+
+    def test_decode_error_is_an_encoding_error(self):
+        # Callers catching the old exception keep working.
+        assert issubclass(DecodeError, EncodingError)
+
+    def test_lone_op_refused_by_decode_batch(self):
+        data, bits = self._insert_payload()
+        with pytest.raises(DecodeError):
+            encoding.decode_batch(data, bits)

@@ -1,0 +1,174 @@
+"""State-transfer anti-entropy: catch-up, safety checks, causal hand-off."""
+
+import pytest
+
+from repro.core.path import ROOT
+from repro.errors import SyncError
+from repro.replica import Replica
+from repro.replication.network import SimulatedNetwork
+from repro.replication.site import ReplicaSite
+from repro.replication.sync import StateTransfer
+
+
+def _settled_pair(mode="sdis"):
+    """Two converged sites with a committed flatten and a collapsed,
+    quiescent document on site 1."""
+    net = SimulatedNetwork(seed=7)
+    a = ReplicaSite(1, net, mode=mode)
+    b = ReplicaSite(2, net, mode=mode)
+    a.insert_text(0, list("the quick brown fox jumps over the lazy dog"))
+    net.run()
+    coordinator = a.initiate_flatten(ROOT)
+    net.run()
+    assert coordinator.decision is not None
+    a.note_revision()
+    a.collapse_cold(min_age=0, min_atoms=4)
+    return net, a, b
+
+
+class TestSiteSync:
+    def test_late_joiner_catches_up_identifier_identical(self):
+        net, a, b = _settled_pair()
+        c = ReplicaSite(3, net, mode="sdis")
+        stats = c.sync_from(a)
+        assert stats.atoms == len(a.doc)
+        assert stats.run_segments > 0
+        assert stats.loaded_leaves > 0  # runs landed as leaves, unexploded
+        assert c.doc.posids() == a.doc.posids()
+        assert c.text() == a.text()
+
+    def test_post_sync_editing_converges(self):
+        net, a, b = _settled_pair()
+        c = ReplicaSite(3, net, mode="sdis")
+        c.sync_from(a)
+        c.insert_text(4, list("VERY "))
+        b.insert_text(0, list(">> "))
+        net.run()
+        assert a.text() == b.text() == c.text()
+        assert a.doc.posids() == b.doc.posids() == c.doc.posids()
+
+    def test_diverged_receiver_refused_and_unchanged(self):
+        net, a, b = _settled_pair()
+        d = ReplicaSite(4, net, mode="sdis")
+        d.insert_text(0, list("local-only"))
+        before = d.text()
+        with pytest.raises(SyncError):
+            d.sync_from(a)
+        assert d.text() == before
+        # Once the sender has seen d's edits, the same sync is legal.
+        net.run()
+        d.sync_from(a)
+        assert d.text() == a.text()
+        assert d.doc.posids() == a.doc.posids()
+
+    def test_self_sync_refused(self):
+        net, a, b = _settled_pair()
+        with pytest.raises(SyncError):
+            a.apply_state_transfer(a.make_state_transfer())
+
+    def test_mode_mismatch_refused(self):
+        net, a, b = _settled_pair(mode="sdis")
+        other_net = SimulatedNetwork(seed=9)
+        u = ReplicaSite(5, other_net, mode="udis")
+        with pytest.raises(SyncError):
+            u.apply_state_transfer(a.make_state_transfer())
+
+    def test_buffered_envelopes_covered_by_snapshot_are_dropped(self):
+        net = SimulatedNetwork(seed=7)
+        a = ReplicaSite(1, net, mode="sdis")
+        a.insert_text(0, list("first "))
+        net.run()
+        c = ReplicaSite(3, net, mode="sdis")  # joined after the first batch
+        a.insert_text(len(a.doc), list("second"))
+        net.run()
+        # c holds the second envelope but can never deliver it: the
+        # first one predates its registration.
+        assert c.broadcast.buffered == 1
+        assert len(c.doc) == 0
+        stats = c.sync_from(a)
+        assert stats.atoms == len(a.doc)
+        assert c.broadcast.buffered == 0  # duplicate of the snapshot
+        assert c.text() == a.text()
+
+    def test_catch_up_unblocks_future_deliveries(self):
+        net = SimulatedNetwork(seed=7)
+        a = ReplicaSite(1, net, mode="sdis")
+        a.insert_text(0, list("first "))  # not yet run: only a has it
+        c = ReplicaSite(3, net, mode="sdis")
+        c.apply_state_transfer(a.make_state_transfer())
+        net.run()  # the original envelope arrives late: dropped as dup
+        assert c.text() == a.text()
+        a.insert_text(len(a.doc), list("second"))
+        net.run()
+        assert c.text() == a.text()
+
+    def test_synced_site_votes_no_on_stale_flatten_snapshots(self):
+        net, a, b = _settled_pair()
+        stale_snapshot = b.broadcast.clock.copy()
+        a.insert_text(0, list("new "))
+        net.run()
+        c = ReplicaSite(3, net, mode="sdis")
+        c.sync_from(a)
+        from repro.replication.commit import PrepareMsg
+
+        prepare = PrepareMsg("t0", ROOT, stale_snapshot, b.site)
+        assert c._vote(prepare) is False
+
+    def test_transfer_wire_bytes_accounting(self):
+        net, a, b = _settled_pair()
+        transfer = a.make_state_transfer()
+        assert isinstance(transfer, StateTransfer)
+        assert transfer.wire_bytes > transfer.state.frame_bytes
+        assert transfer.state.run_segments > 0
+
+
+class TestReplicaFacadeSync:
+    def test_sync_replaces_and_reports(self):
+        source = Replica(site=1)
+        source.edit(0, 0, "state transfer moves settled documents cheaply")
+        source.pending()
+        source.doc.note_revision()
+        source.doc.flatten_local(ROOT)
+        source.doc.collapse_cold(min_age=0, min_atoms=4)
+        target = Replica(site=2)
+        report = target.sync(source)
+        assert report.atoms == len(source)
+        assert report.run_segments > 0
+        assert target.doc.posids() == source.doc.posids()
+        assert target.snapshot() == source.snapshot()
+        assert target.synced_states == 1
+
+    def test_pending_outbox_blocks_sync(self):
+        source = Replica(site=1)
+        source.edit(0, 0, "abc")
+        source.pending()
+        target = Replica(site=2)
+        target.edit(0, 0, "unshipped")
+        with pytest.raises(SyncError):
+            target.sync(source)
+
+    def test_unshipped_source_outbox_blocks_sync(self):
+        # A snapshot taken while the source holds unshipped batches
+        # embeds those edits; replaying the batches later against the
+        # synced replica can fault (insert at a tombstoned identifier).
+        source = Replica(site=1)
+        source.edit(0, 0, "hello world")
+        source.edit(0, 3)  # still in the outbox alongside the insert
+        target = Replica(site=2)
+        with pytest.raises(SyncError):
+            target.sync(source)
+        # Once shipped (and merged), the same sync is legal.
+        target.merge(source.pending())
+        target2 = Replica(site=3)
+        target2.sync(source)
+        assert target2.text() == source.text()
+
+    def test_snapshot_cache_does_not_leak_across_sync(self):
+        source = Replica(site=1)
+        source.edit(0, 0, "fresh content")
+        source.pending()
+        target = Replica(site=2)
+        stale = target.snapshot()
+        target.sync(source)
+        assert target.snapshot().text == "fresh content"
+        assert target.snapshot() != stale
