@@ -5,10 +5,11 @@
 Runs the pytest-benchmark table/figure modules (timing disabled unless
 pytest-benchmark is installed and ``--benchmark-only`` is passed down —
 the single-pass mode still regenerates and prints the paper tables),
-then the standalone read-path, mixed-storage and sync benchmarks, which
-write ``BENCH_read.json``, ``BENCH_storage.json`` and
-``BENCH_sync.json``, and closes with one summary whose every number
-carries its unit (reads/s, seconds, bytes) — no raw result dicts.
+then the standalone read-path, mixed-storage, sync and network
+benchmarks, which write ``BENCH_read.json``, ``BENCH_storage.json``,
+``BENCH_sync.json`` and ``BENCH_network.json``, and closes with one
+summary whose every number carries its unit (reads/s, seconds, bytes)
+— no raw result dicts.
 """
 
 from __future__ import annotations
@@ -51,6 +52,29 @@ def _summary(root: Path) -> str:
             f"{data['per_op_v1']['wire_bytes']:>12,d} bytes "
             f"({data['bytes_ratio_v1']:.1f}x more wire, "
             f"{data['time_ratio_v1']:.1f}x slower)"
+        )
+    network_report = root / "BENCH_network.json"
+    if network_report.exists():
+        data = json.loads(network_report.read_text())
+        replay = data["replay"]
+        sync = data["anti_entropy"]
+        lines.append(
+            f"  network/replay catch-up        "
+            f"{replay['wire_bytes_to_laggard']:>12,d} bytes "
+            f"({replay['messages_to_laggard']:,d} messages)"
+        )
+        lines.append(
+            f"  network/anti-entropy catch-up  "
+            f"{sync['wire_bytes_to_joiner']:>12,d} bytes "
+            f"({data['bytes_ratio']:.1f}x fewer, "
+            f"{sync['loaded_leaves']} leaves loaded)"
+        )
+        faulty = data["anti_entropy_under_faults"]
+        lines.append(
+            f"  network/corruption handling    "
+            f"{faulty['decode_rejections']:>12,d} frames rejected+retried "
+            f"({faulty['corrupted_transmissions']} corrupted, "
+            f"{faulty['dropped_transmissions']} dropped)"
         )
     storage_report = root / "BENCH_storage.json"
     if storage_report.exists():
@@ -107,7 +131,7 @@ def main(argv=None) -> int:
         ])
         if status:
             return int(status)
-    from benchmarks import bench_read, bench_storage, bench_sync
+    from benchmarks import bench_network, bench_read, bench_storage, bench_sync
 
     shared_args = ["--quick"] if args.quick else []
     if args.baseline_src:
@@ -118,9 +142,13 @@ def main(argv=None) -> int:
     status = bench_storage.main(list(shared_args))
     if status:
         return status
-    # bench_sync takes no baseline-src: it compares v1 and v2 wire
-    # formats of the *current* tree, plus analytic CRDT baselines.
+    # bench_sync and bench_network take no baseline-src: they compare
+    # wire strategies of the *current* stack (v1 vs v2 frames; replay
+    # vs anti-entropy catch-up on the simulated network).
     status = bench_sync.main(["--quick"] if args.quick else [])
+    if status:
+        return status
+    status = bench_network.main(["--quick"] if args.quick else [])
     if status:
         return status
     print(_summary(here.parent))

@@ -1,0 +1,259 @@
+"""Networked catch-up benchmark: replay vs anti-entropy, measured on the wire.
+
+Since the bytes-first redesign, every replication message is an encoded
+frame on the :class:`SimulatedNetwork`, so catch-up cost is **read from
+the network's byte counters**, not estimated. Two ways a replica that
+missed an edit-heavy history can catch up:
+
+1. **replay** — the laggard was partitioned away while the others
+   edited; on heal, every held envelope (one per edit batch) is
+   delivered and replayed. The wire pays for the whole history,
+   including content that was later deleted.
+2. **anti-entropy** — the laggard *joined late* (the history predates
+   it; no envelopes exist for it). Hearing one post-join envelope it
+   cannot causally deliver, the :class:`AntiEntropyPolicy` fires a
+   ``SyncRequest`` and the origin ships one ``SyncResponse`` state
+   frame: the final document only, quiescent regions as runs.
+
+A third scenario repeats the anti-entropy exchange under loss +
+duplication + **corruption** (bit flips): every damaged frame must be
+rejected by the CRC and retransmitted, and the cluster must still
+converge — the fault-tolerance story measured end to end.
+
+Writes ``BENCH_network.json`` (checked into the repo root; CI refreshes
+it as an artifact) and fails loudly if the anti-entropy path does not
+beat replay on wire bytes by the acceptance floor, or if any scenario
+fails to converge identifier-identically. Run::
+
+    PYTHONPATH=src python benchmarks/bench_network.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+#: Acceptance floor: anti-entropy catch-up must beat replay catch-up on
+#: wire bytes to the laggard by at least this factor on the edit-heavy
+#: history.
+MIN_BYTES_RATIO = 1.5
+
+#: Fire on any persistent gap immediately: benchmark scenarios settle
+#: between phases, so little simulated time elapses.
+def _eager_policy():
+    from repro.replication.sync import AntiEntropyPolicy
+
+    return AntiEntropyPolicy(max_buffered=1, max_gap_age=0.0,
+                             min_request_interval=0.0)
+
+
+def _drive_history(cluster, cfg, rng) -> None:
+    """An edit-heavy two-site history: bootstrap, then churn (bursts
+    and trims) — the kind of history whose replay cost far exceeds its
+    final state."""
+    cluster.bootstrap(list("seed line of shared text. "))
+    for edit in range(cfg["edits"]):
+        site = cluster[1 + edit % 2]
+        if len(site) > 60 and rng.random() < 0.35:
+            start = rng.randrange(len(site) - 20)
+            site.delete_range(start, start + rng.randint(4, 16))
+        else:
+            text = f"edit {edit} " + "x" * rng.randint(4, 24)
+            site.insert_text(rng.randint(0, len(site)), list(text))
+        if edit % 40 == 39:
+            cluster.settle()
+    cluster.settle()
+
+
+def _settle_storage(cluster) -> None:
+    """Flatten (commitment) + collapse so the responder's document is
+    canonical and run-dense — the steady state of a settled document."""
+    from repro.core.path import ROOT
+
+    coordinator = cluster[1].initiate_flatten(ROOT)
+    cluster.settle()
+    from repro.replication.commit import CommitDecision
+
+    if coordinator.decision is not CommitDecision.COMMITTED:
+        raise SystemExit("FAIL: benchmark flatten did not commit")
+    for _ in range(2):
+        for site in cluster:
+            site.note_revision()
+    for site in cluster:
+        site.collapse_cold(min_age=1, min_atoms=8)
+    cluster.settle()
+
+
+def measure_replay(cfg) -> dict:
+    """Partitioned laggard catches up by replaying the held history."""
+    from repro.replication.cluster import Cluster
+
+    cluster = Cluster(3, mode="sdis", seed=cfg["seed"],
+                      policy=_eager_policy())
+    laggard = 3
+    cluster.partition({1, 2}, {laggard})
+    _drive_history(cluster, cfg, random.Random(cfg["seed"]))
+    bytes_before = cluster.network.link_bytes_to(laggard)
+    delivered_before = cluster.network.delivered_messages
+    sim_before = cluster.network.now
+    started = time.perf_counter()
+    cluster.heal()
+    cluster.settle()
+    wall = time.perf_counter() - started
+    cluster.assert_converged()
+    return {
+        "wire_bytes_to_laggard": cluster.network.link_bytes_to(laggard)
+        - bytes_before,
+        "messages_to_laggard": (
+            cluster.network.delivered_messages - delivered_before
+        ),
+        "catch_up_sim_ms": cluster.network.now - sim_before,
+        "wall_seconds": wall,
+        "atoms": len(cluster[laggard]),
+    }
+
+
+def measure_anti_entropy(cfg, config=None, label_faults=False) -> dict:
+    """Late joiner catches up by the networked SyncRequest/SyncResponse
+    exchange (plus the one nudge envelope that reveals the gap)."""
+    from repro.replication.cluster import Cluster
+
+    cluster = Cluster(2, mode="sdis", seed=cfg["seed"], config=config,
+                      policy=_eager_policy())
+    _drive_history(cluster, cfg, random.Random(cfg["seed"]))
+    _settle_storage(cluster)
+    joiner = cluster.add_site()
+    bytes_before = cluster.network.link_bytes_to(joiner.site)
+    sim_before = cluster.network.now
+    started = time.perf_counter()
+    cluster[1].insert_text(0, list(">> "))  # the gap-revealing nudge
+    requests = cluster.anti_entropy()
+    wall = time.perf_counter() - started
+    cluster.assert_converged()
+    if joiner.doc.posids() != cluster[1].doc.posids():
+        raise SystemExit("FAIL: joiner is not identifier-identical")
+    if joiner.sync_responses_applied < 1:
+        raise SystemExit("FAIL: catch-up did not use the sync exchange")
+    result = {
+        "wire_bytes_to_joiner": cluster.network.link_bytes_to(joiner.site)
+        - bytes_before,
+        "sync_requests": requests,
+        "catch_up_sim_ms": cluster.network.now - sim_before,
+        "wall_seconds": wall,
+        "atoms": len(joiner),
+        "loaded_leaves": joiner.array_leaf_count,
+    }
+    if label_faults:
+        network = cluster.network
+        result.update({
+            "corrupted_transmissions": network.corrupted_transmissions,
+            "decode_rejections": network.decode_rejections,
+            "dropped_transmissions": network.dropped_transmissions,
+        })
+        if network.decode_rejections != network.corrupted_transmissions:
+            raise SystemExit(
+                "FAIL: a corrupted frame slipped past the decoder"
+            )
+    return result
+
+
+def _fmt_bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB"):
+        if abs(value) < 1024 or unit == "MiB":
+            return f"{value:,.1f} {unit}" if unit != "B" else f"{value:,.0f} B"
+        value /= 1024
+    return f"{value:,.1f} MiB"  # pragma: no cover
+
+
+def _render(results: dict) -> str:
+    replay = results["replay"]
+    sync = results["anti_entropy"]
+    faulty = results["anti_entropy_under_faults"]
+    lines = [
+        "Networked catch-up (edit-heavy history; bytes read from the "
+        "network's counters)",
+        "",
+        f"  history                {results['config']['edits']:,d} edit "
+        f"batches -> {sync['atoms']:,d} atoms",
+        f"  replay catch-up        "
+        f"{_fmt_bytes(replay['wire_bytes_to_laggard']):>12s}   "
+        f"{replay['messages_to_laggard']:,d} messages, "
+        f"{replay['catch_up_sim_ms']:,.0f} sim-ms",
+        f"  anti-entropy catch-up  "
+        f"{_fmt_bytes(sync['wire_bytes_to_joiner']):>12s}   "
+        f"{sync['sync_requests']} request(s), "
+        f"{sync['loaded_leaves']} leaves loaded, "
+        f"{sync['catch_up_sim_ms']:,.0f} sim-ms",
+        f"  under faults           "
+        f"{_fmt_bytes(faulty['wire_bytes_to_joiner']):>12s}   "
+        f"{faulty['corrupted_transmissions']} corrupted, "
+        f"{faulty['decode_rejections']} rejected+retried, "
+        f"{faulty['dropped_transmissions']} dropped",
+        "",
+        f"  bytes: replay/anti-entropy {results['bytes_ratio']:8.1f}x  "
+        f"(acceptance floor {MIN_BYTES_RATIO:.1f}x)",
+        "  joiner identifier-identical to source: yes (checked)",
+        "  every corrupted frame rejected by CRC and retried: yes (checked)",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    from repro.replication.network import NetworkConfig
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizes (seconds, not minutes)")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_network.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    if args.quick:
+        cfg = dict(edits=160, seed=2009)
+    else:
+        cfg = dict(edits=900, seed=2009)
+    faults = NetworkConfig(drop_rate=0.15, duplicate_rate=0.05,
+                           corruption_rate=0.1, min_latency=1,
+                           max_latency=80)
+    results: dict = {
+        "config": {
+            "quick": args.quick,
+            **cfg,
+            "fault_rates": {
+                "drop": faults.drop_rate,
+                "duplicate": faults.duplicate_rate,
+                "corruption": faults.corruption_rate,
+            },
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "replay": measure_replay(cfg),
+        "anti_entropy": measure_anti_entropy(cfg),
+        "anti_entropy_under_faults": measure_anti_entropy(
+            cfg, config=faults, label_faults=True
+        ),
+    }
+    results["bytes_ratio"] = (
+        results["replay"]["wire_bytes_to_laggard"]
+        / results["anti_entropy"]["wire_bytes_to_joiner"]
+    )
+    print(_render(results))
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    if results["bytes_ratio"] < MIN_BYTES_RATIO:
+        print(
+            f"FAIL: bytes ratio {results['bytes_ratio']:.2f}x below the "
+            f"{MIN_BYTES_RATIO:.1f}x acceptance floor", file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

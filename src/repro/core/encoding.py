@@ -27,9 +27,11 @@ shared segment codec of :mod:`repro.core.runs` (see DESIGN.md §8):
   (the anti-entropy snapshot): collapsed and canonical regions as
   runs, the rest as singleton records.
 
-Both frame kinds open with the 2-bit escape tag ``3`` — a value no v1
-operation uses — so one reader (:func:`decode_frame`) accepts v1
-payloads and v2 frames alike. Run atoms live in a trailing
+Every frame opens with the 2-bit escape tag ``3`` — a value no v1
+operation uses — followed by a 2-bit frame kind (batch, state, or the
+:data:`FRAME_WIRE` escape reserved for the peer protocol of
+:mod:`repro.replication.wire`), so one reader (:func:`decode_frame`)
+accepts v1 payloads and v2 frames alike. Run atoms live in a trailing
 :class:`repro.core.runs.AtomTable`, referenced by the same RLE run
 record the disk v2 leaf record uses; the wire and the disk share one
 codec and cannot drift.
@@ -72,11 +74,20 @@ _TAG_INSERT = 0
 _TAG_DELETE = 1
 _TAG_FLATTEN = 2
 #: The v2 frame escape: a 2-bit tag value no v1 operation record uses.
-_TAG_FRAME = 3
+#: Public so :mod:`repro.replication.wire` can open its frames with the
+#: same escape and stay self-describing under one tag grammar.
+FRAME_TAG = 3
+_TAG_FRAME = FRAME_TAG
 
-# Frame kinds (1 bit after the escape tag).
+#: Width of the frame-kind field following the escape tag.
+FRAME_KIND_BITS = 2
+
+# Frame kinds (2 bits after the escape tag).
 _FRAME_BATCH = 0
 _FRAME_STATE = 1
+#: Reserved for the peer protocol: :mod:`repro.replication.wire` owns
+#: the grammar behind this kind (envelopes, acks, sync, commitment).
+FRAME_WIRE = 2
 
 # Segment tags (1 bit each).
 _SEG_OP = 0
@@ -86,9 +97,12 @@ _SEG_RUN = 1
 _DIS_SDIS = 0
 _DIS_UDIS = 1
 
-# Document modes (state frames).
-_MODE_TAGS = {"udis": 0, "sdis": 1}
-_TAG_MODES = {tag: mode for mode, tag in _MODE_TAGS.items()}
+# Document modes (state frames). Public: the peer protocol's
+# SyncResponse header (repro.replication.wire) carries the same tag.
+MODE_TAGS = {"udis": 0, "sdis": 1}
+TAG_MODES = {tag: mode for mode, tag in MODE_TAGS.items()}
+_MODE_TAGS = MODE_TAGS
+_TAG_MODES = TAG_MODES
 
 
 def write_disambiguator(writer: BitWriter, dis: Disambiguator) -> None:
@@ -151,20 +165,22 @@ def decode_posid(data: bytes, bit_length: Optional[int] = None) -> PosID:
     Raises :class:`repro.errors.DecodeError` on truncated input or
     trailing garbage (non-padding bits after the identifier).
     """
-    reader = _start_decode(data, bit_length)
-    posid = _decode_guarded(read_posid, reader, "PosID")
-    _finish_decode(reader, "PosID")
+    reader = start_decode(data, bit_length)
+    posid = decode_guarded(read_posid, reader, "PosID")
+    finish_decode(reader, "PosID")
     return posid
 
 
-def _start_decode(data: bytes, bit_length: Optional[int]) -> BitReader:
+def start_decode(data: bytes, bit_length: Optional[int]) -> BitReader:
+    """Open a guarded decode: a :class:`BitReader` whose construction
+    failures surface as the typed :class:`DecodeError`."""
     try:
         return BitReader(data, bit_length)
     except EncodingError as exc:
         raise DecodeError(str(exc)) from exc
 
 
-def _decode_guarded(read, reader: BitReader, what: str):
+def decode_guarded(read, reader: BitReader, what: str):
     """Run a stream reader, converting every failure mode of corrupt
     input — exhausted stream, invalid records, bad UTF-8, oversized
     fields — into the typed :class:`DecodeError`."""
@@ -177,7 +193,7 @@ def _decode_guarded(read, reader: BitReader, what: str):
         raise DecodeError(f"truncated or corrupt {what}: {exc}") from exc
 
 
-def _finish_decode(reader: BitReader, what: str) -> None:
+def finish_decode(reader: BitReader, what: str) -> None:
     """Reject trailing garbage. With an explicit ``bit_length`` the
     payload must end exactly; without one, only whole-byte zero padding
     (at most 7 bits, as :meth:`BitWriter.getvalue` emits) may remain."""
@@ -192,17 +208,28 @@ def _finish_decode(reader: BitReader, what: str) -> None:
         raise DecodeError(f"non-zero padding after {what}")
 
 
-def _write_atom(writer: BitWriter, atom: object) -> None:
-    """Append an atom as a length-prefixed UTF-8 payload."""
-    text = atom if isinstance(atom, str) else repr(atom)
+def write_text(writer: BitWriter, value: object) -> None:
+    """Append a text field as a length-prefixed UTF-8 payload (atoms,
+    digests, transaction tags — every string on the wire uses this)."""
+    text = value if isinstance(value, str) else repr(value)
     payload = text.encode("utf-8")
     writer.write_elias_gamma(len(payload) + 1)
     writer.write_bytes(payload)
 
 
-def _read_atom(reader: BitReader) -> str:
+def read_text(reader: BitReader) -> str:
+    """Read a field written by :func:`write_text`."""
     length = reader.read_elias_gamma() - 1
     return reader.read_bytes(length).decode("utf-8")
+
+
+def _write_atom(writer: BitWriter, atom: object) -> None:
+    """Append an atom as a length-prefixed UTF-8 payload."""
+    write_text(writer, atom)
+
+
+def _read_atom(reader: BitReader) -> str:
+    return read_text(reader)
 
 
 def write_operation(writer: BitWriter, op: Operation) -> None:
@@ -221,6 +248,14 @@ def write_operation(writer: BitWriter, op: Operation) -> None:
         writer.write_bits(op.origin, SITE_ID_BITS)
         write_posid(writer, op.path)
         _write_atom(writer, op.digest)
+        # The commitment-protocol transaction tag must survive the wire:
+        # participants match the committed flatten to their vote lock by
+        # it (see repro.replication.site).
+        if op.txn is None:
+            writer.write_bit(0)
+        else:
+            writer.write_bit(1)
+            write_text(writer, op.txn)
     else:
         raise EncodingError(f"unknown operation {op!r}")
 
@@ -252,9 +287,9 @@ def decode_operation(data: bytes, bit_length: Optional[int] = None) -> Operation
     Raises :class:`repro.errors.DecodeError` on truncated input or
     trailing garbage.
     """
-    reader = _start_decode(data, bit_length)
-    op = _decode_guarded(read_operation, reader, "operation")
-    _finish_decode(reader, "operation")
+    reader = start_decode(data, bit_length)
+    op = decode_guarded(read_operation, reader, "operation")
+    finish_decode(reader, "operation")
     return op
 
 
@@ -369,7 +404,7 @@ def encode_batch(batch: OpBatch,
     """
     writer = BitWriter()
     writer.write_bits(_TAG_FRAME, 2)
-    writer.write_bit(_FRAME_BATCH)
+    writer.write_bits(_FRAME_BATCH, FRAME_KIND_BITS)
     writer.write_bits(batch.origin, SITE_ID_BITS)
     writer.write_elias_gamma(batch.seq_start + 1)
     writer.write_elias_gamma(batch.seq_end - batch.seq_start + 1)
@@ -411,24 +446,37 @@ def decode_frame(data: bytes, bit_length: Optional[int] = None
                  ) -> Union[Operation, OpBatch]:
     """Decode any wire payload: a v1 operation or a v2 batch frame.
 
-    The v2 escape tag occupies the one 2-bit value v1 never wrote, so a
-    v1 payload decodes under this reader unchanged — the compatibility
-    contract the v2 format keeps.
+    The v2 escape tag occupies the one 2-bit value v1 never wrote, so
+    v1 insert and delete payloads decode under this reader unchanged.
+    The flatten record is the one exception to byte-level stability
+    across releases: it gained an optional commitment-transaction tag
+    (a presence bit after the digest), so flatten bytes written by the
+    pre-wire-protocol encoder do not decode under this one. Flatten
+    records only ever travel inside live envelopes — never persisted —
+    so the format change has no migration surface.
     """
-    reader = _start_decode(data, bit_length)
+    reader = start_decode(data, bit_length)
 
     def read(inner: BitReader):
         tag = inner.read_bits(2)
         if tag != _TAG_FRAME:
             return _read_v1_operation(inner, tag)
-        if inner.read_bit() != _FRAME_BATCH:
+        kind = inner.read_bits(FRAME_KIND_BITS)
+        if kind == _FRAME_STATE:
             raise EncodingError(
                 "state frame: decode with decode_state, not decode_frame"
             )
+        if kind == FRAME_WIRE:
+            raise EncodingError(
+                "peer-protocol frame: decode with "
+                "repro.replication.wire.decode_wire"
+            )
+        if kind != _FRAME_BATCH:
+            raise EncodingError(f"unknown frame kind {kind}")
         return _read_batch_frame(inner)
 
-    payload = _decode_guarded(read, reader, "frame")
-    _finish_decode(reader, "frame")
+    payload = decode_guarded(read, reader, "frame")
+    finish_decode(reader, "frame")
     return payload
 
 
@@ -441,7 +489,9 @@ def _read_v1_operation(reader: BitReader, tag: int) -> Operation:
     if tag == _TAG_DELETE:
         return DeleteOp(read_posid(reader), origin)
     path = read_posid(reader)
-    return FlattenOp(path, _read_atom(reader), origin)
+    digest = _read_atom(reader)
+    txn = read_text(reader) if reader.read_bit() else None
+    return FlattenOp(path, digest, origin, txn=txn)
 
 
 def batch_cost_bits(batch: OpBatch) -> int:
@@ -495,7 +545,7 @@ def encode_state(segments: List[Segment], mode: str, site: int,
         raise EncodingError(f"unknown document mode {mode!r}")
     writer = BitWriter()
     writer.write_bits(_TAG_FRAME, 2)
-    writer.write_bit(_FRAME_STATE)
+    writer.write_bits(_FRAME_STATE, FRAME_KIND_BITS)
     writer.write_bits(site, SITE_ID_BITS)
     writer.write_bit(_MODE_TAGS[mode])
     _write_segments(writer, segments)
@@ -522,15 +572,16 @@ def decode_state(state: DocumentState) -> Tuple[int, str, List[Segment]]:
     Raises :class:`DecodeError` on truncation, trailing garbage, or a
     frame that is not a state frame.
     """
-    reader = _start_decode(state.frame, state.frame_bits)
+    reader = start_decode(state.frame, state.frame_bits)
 
     def read(inner: BitReader):
-        if inner.read_bits(2) != _TAG_FRAME or inner.read_bit() != _FRAME_STATE:
+        if (inner.read_bits(2) != _TAG_FRAME
+                or inner.read_bits(FRAME_KIND_BITS) != _FRAME_STATE):
             raise EncodingError("not a state frame")
         site = inner.read_bits(SITE_ID_BITS)
         mode = _TAG_MODES[inner.read_bit()]
         return site, mode, _read_segments(inner)
 
-    result = _decode_guarded(read, reader, "state frame")
-    _finish_decode(reader, "state frame")
+    result = decode_guarded(read, reader, "state frame")
+    finish_decode(reader, "state frame")
     return result

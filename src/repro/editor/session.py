@@ -13,7 +13,7 @@ from repro.core.disambiguator import SiteId
 from repro.core.ops import DeleteOp, FlattenOp, InsertOp, OpBatch
 from repro.editor.buffer import Cursor, EditorBuffer
 from repro.errors import ReplicationError
-from repro.replication.broadcast import CausalBroadcast, CausalEnvelope
+from repro.replication.broadcast import CausalBroadcast
 from repro.replication.network import NetworkConfig, SimulatedNetwork
 
 

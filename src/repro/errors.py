@@ -39,8 +39,16 @@ class EncodingError(ReproError):
 class DecodeError(EncodingError):
     """A wire payload could not be decoded: truncated input, trailing
     garbage, or a corrupt/invalid record. Raised by the public decode
-    entry points of :mod:`repro.core.encoding`; low-level stream
-    primitives keep raising :class:`EncodingError`."""
+    entry points of :mod:`repro.core.encoding` and
+    :mod:`repro.replication.wire`; low-level stream primitives keep
+    raising :class:`EncodingError`. The simulated network treats a
+    handler raising this as a lost transmission and retransmits."""
+
+
+class CorruptFrameError(DecodeError):
+    """A wire frame failed its integrity check (CRC mismatch): the
+    bytes were damaged in transit. A strict subset of
+    :class:`DecodeError` so transports need only one except clause."""
 
 
 class SyncError(ReproError):

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.treedoc import Treedoc
-from repro.metrics.overhead import TreeStats, measure_tree
+from repro.metrics.overhead import TreeStats, measure_network_sync, measure_tree
 from repro.workloads.corpus import DocumentSpec
 from repro.workloads.editing import generate_history
 from repro.workloads.replay import ReplayResult, replay_history
@@ -57,8 +57,10 @@ def run_document(
     (section 4.2): every k revisions, cold canonical regions collapse
     into array leaves, and the final measurement reports the mixed-form
     overhead alongside the pure-tree one. ``with_sync`` measures the
-    anti-entropy message sizes of the final state (run frames vs per-op
-    replay) for the Table 3 sync columns.
+    anti-entropy cost of the final state for the Table 3 sync columns:
+    the per-op replay estimate, plus the **measured** wire bytes of one
+    real SyncRequest/SyncResponse exchange over a simulated link
+    (read from the network's byte counters).
     """
     history = history_for(spec, seed)
     doc = Treedoc(site=1, mode=mode, balanced=balanced,
@@ -68,6 +70,9 @@ def run_document(
         use_runs=balanced,
     )
     stats = measure_tree(doc.tree, with_disk=with_disk, with_sync=with_sync)
+    if with_sync:
+        (stats.sync_wire_bytes,
+         stats.sync_request_bytes) = measure_network_sync(doc)
     return DocumentRun(spec, mode, balanced, flatten_every, replay, stats,
                        collapse_every=collapse_every)
 

@@ -198,7 +198,11 @@ class Replica:
         cold replica adopting a large settled document pays a handful
         of segments rather than per-atom replay. Afterwards this
         replica is identifier-identical to the source (same posids,
-        not just the same text).
+        not just the same text). The snapshot travels as real wire
+        bytes — the source's state is encoded into one
+        :class:`repro.replication.wire.SyncResponse` frame and decoded
+        back before loading — so ``wire_bytes`` in the report is the
+        measured frame length, CRC and framing included.
 
         Only valid as a *catch-up*: this replica must have no pending
         local batches (:meth:`pending` not yet shipped) — those would
@@ -224,15 +228,24 @@ class Replica:
                 f"replica {source.site}: source has {len(source._outbox)} "
                 "unshipped batches; drain source.pending() first"
             )
-        state = source.doc.capture_state()
-        atoms = self.doc.load_state(state)
+        # The facade has no vector clocks (its outbox checks above are
+        # the safety argument), so the frame carries an empty frontier;
+        # everything else is exactly the site layer's wire path.
+        from repro.replication.clock import VectorClock
+        from repro.replication.wire import SyncResponse, decode_wire
+
+        wire = SyncResponse(
+            source.site, VectorClock(), source.doc.capture_state()
+        ).to_wire()
+        response = decode_wire(wire)
+        atoms = self.doc.load_state(response.state)
         self._snapshot_cache = None
         self.synced_states += 1
         return SyncReport(
             atoms=atoms,
-            wire_bytes=state.wire_bytes,
-            run_segments=state.run_segments,
-            op_segments=state.op_segments,
+            wire_bytes=len(wire),
+            run_segments=response.state.run_segments,
+            op_segments=response.state.op_segments,
         )
 
     # -- queries ------------------------------------------------------------------

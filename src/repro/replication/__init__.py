@@ -17,19 +17,31 @@ testing:
   allows any commitment protocol);
 - :mod:`repro.replication.stability` — SDIS tombstone garbage collection
   through causal stability (section 4.2);
+- :mod:`repro.replication.wire` — the peer protocol: every replication
+  message as a typed, self-describing, CRC-guarded byte frame (causal
+  envelopes, ack gossip, anti-entropy request/response, commitment);
 - :mod:`repro.replication.sync` — state-transfer anti-entropy: a lagging
   replica catches up from one v2 state frame (collapsed regions as
-  runs) instead of per-atom replay;
+  runs) instead of per-atom replay, with :class:`AntiEntropyPolicy`
+  deciding when to stop waiting for replay;
 - :mod:`repro.replication.cluster` — an N-site simulation harness with
-  convergence checking.
+  convergence checking and an anti-entropy tick.
 """
 
 from repro.replication.clock import VectorClock, LamportClock
 from repro.replication.network import SimulatedNetwork, NetworkConfig
 from repro.replication.broadcast import CausalBroadcast
+from repro.replication.wire import (
+    AckFrame,
+    EnvelopeFrame,
+    SyncRequest,
+    SyncResponse,
+    decode_wire,
+    encode_wire,
+)
 from repro.replication.site import ReplicaSite
 from repro.replication.commit import FlattenCoordinator, CommitDecision
-from repro.replication.sync import StateTransfer, SyncStats
+from repro.replication.sync import AntiEntropyPolicy, StateTransfer, SyncStats
 from repro.replication.cluster import Cluster
 
 __all__ = [
@@ -38,9 +50,16 @@ __all__ = [
     "SimulatedNetwork",
     "NetworkConfig",
     "CausalBroadcast",
+    "EnvelopeFrame",
+    "AckFrame",
+    "SyncRequest",
+    "SyncResponse",
+    "encode_wire",
+    "decode_wire",
     "ReplicaSite",
     "FlattenCoordinator",
     "CommitDecision",
+    "AntiEntropyPolicy",
     "StateTransfer",
     "SyncStats",
     "Cluster",

@@ -7,45 +7,34 @@ message once it has delivered everything the sender had, buffering it
 otherwise. Duplicates (from the lossy transport's retransmissions) are
 filtered by the per-origin sequence number embedded in the clock.
 
-Payloads are opaque; with the batch-first API one envelope carries one
-:class:`repro.core.ops.OpBatch` (a whole typed string, deleted range or
-replayed revision), so the per-envelope vector-clock stamp and delivery
-test are paid once per edit, not once per atom.
+The channel speaks bytes: :meth:`CausalBroadcast.broadcast` encodes the
+event — one :class:`repro.core.ops.OpBatch` (a whole typed string,
+deleted range or replayed revision) or one bare operation — into an
+:class:`repro.replication.wire.EnvelopeFrame` and puts only the encoded
+frame on the network; delivery decodes the payload after the causal
+test passes. The per-envelope vector-clock stamp, the encode and the
+delivery test are all paid once per edit, not once per atom.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional, Union
 
 from repro.core.disambiguator import SiteId
+from repro.core.encoding import encode_batch, encode_operation
+from repro.core.ops import OpBatch, Operation
 from repro.errors import CausalityError
 from repro.replication.clock import VectorClock
 from repro.replication.network import SimulatedNetwork
+from repro.replication.wire import EnvelopeFrame, decode_wire, encode_wire
 
-#: Application callback on causal delivery: callback(origin, payload).
-DeliverFn = Callable[[SiteId, object], None]
-
-
-@dataclass(frozen=True)
-class CausalEnvelope:
-    """A broadcast payload stamped with its origin's vector clock.
-
-    ``clock`` includes the message's own event: the message is the
-    ``clock.get(origin)``-th event of ``origin``.
-    """
-
-    origin: SiteId
-    clock: VectorClock
-    payload: object
-
-    @property
-    def sequence(self) -> int:
-        return self.clock.get(self.origin)
+#: Application callback on causal delivery: callback(origin, event),
+#: where the event is the decoded OpBatch or bare operation.
+DeliverFn = Callable[[SiteId, Union[Operation, OpBatch]], None]
 
 
 class CausalBroadcast:
-    """Per-site causal broadcast endpoint."""
+    """Per-site causal broadcast endpoint (bytes in, bytes out)."""
 
     def __init__(self, site: SiteId, network: SimulatedNetwork,
                  deliver: DeliverFn, register: bool = True) -> None:
@@ -53,22 +42,31 @@ class CausalBroadcast:
         self.network = network
         self._deliver = deliver
         self.clock = VectorClock()
-        self._buffer: List[CausalEnvelope] = []
+        self._buffer: List[EnvelopeFrame] = []
+        #: Simulated time at which the buffer last became non-empty
+        #: (None while empty): the age of the oldest unmet causal gap,
+        #: which the anti-entropy policy reads.
+        self.blocked_since: Optional[float] = None
         if register:
             network.register(site, self.on_message)
 
     # -- sending ------------------------------------------------------------------
 
-    def broadcast(self, payload: object) -> CausalEnvelope:
-        """Stamp and broadcast a locally generated event.
+    def broadcast(self, event: Union[Operation, OpBatch]) -> EnvelopeFrame:
+        """Stamp, encode and broadcast a locally generated event.
 
         The local event is delivered to the local application by the
         caller (it already applied the operation); this only ships it.
+        Returns the envelope frame that went on the wire.
         """
+        if isinstance(event, OpBatch):
+            payload, bits = encode_batch(event)
+        else:
+            payload, bits = encode_operation(event)
         self.clock = self.clock.tick(self.site)
-        envelope = CausalEnvelope(self.site, self.clock.copy(), payload)
-        self.network.broadcast(self.site, envelope)
-        return envelope
+        frame = EnvelopeFrame(self.site, self.clock.copy(), payload, bits)
+        self.network.broadcast(self.site, encode_wire(frame))
+        return frame
 
     # -- state-transfer catch-up ---------------------------------------------------
 
@@ -89,23 +87,34 @@ class CausalBroadcast:
 
     # -- receiving -----------------------------------------------------------------
 
-    def on_message(self, src: SiteId, message: object) -> None:
-        """Network delivery entry point (owners that multiplex several
-        message kinds over one site handler call this directly)."""
-        if not isinstance(message, CausalEnvelope):
-            raise CausalityError(f"unexpected message {message!r}")
-        if self.has_delivered(message.origin, message.sequence):
+    def on_message(self, src: SiteId, data: bytes) -> None:
+        """Network delivery entry point for a standalone endpoint: the
+        raw wire bytes of one envelope frame. Raises
+        :class:`repro.errors.DecodeError` on damaged bytes (the network
+        retransmits) and :class:`CausalityError` on a frame that is not
+        an envelope."""
+        frame = decode_wire(data)
+        if not isinstance(frame, EnvelopeFrame):
+            raise CausalityError(f"unexpected wire frame {frame!r}")
+        self.on_frame(frame)
+
+    def on_frame(self, frame: EnvelopeFrame) -> None:
+        """Accept one decoded envelope (owners that multiplex several
+        frame kinds over one site handler call this directly)."""
+        if self.has_delivered(frame.origin, frame.sequence):
             return  # duplicate from a retransmission (or a state sync)
-        self._buffer.append(message)
+        self._buffer.append(frame)
+        if self.blocked_since is None:
+            self.blocked_since = self.network.now
         self._drain()
 
-    def _deliverable(self, envelope: CausalEnvelope) -> bool:
+    def _deliverable(self, frame: EnvelopeFrame) -> bool:
         """Standard causal-delivery test: next-in-sequence from its
         origin, and all its other dependencies already delivered."""
-        if envelope.sequence != self.clock.get(envelope.origin) + 1:
+        if frame.sequence != self.clock.get(frame.origin) + 1:
             return False
-        for site, count in envelope.clock.items():
-            if site == envelope.origin:
+        for site, count in frame.clock.items():
+            if site == frame.origin:
                 continue
             if self.clock.get(site) < count:
                 return False
@@ -115,16 +124,29 @@ class CausalBroadcast:
         progressed = True
         while progressed:
             progressed = False
-            for envelope in list(self._buffer):
-                if self.has_delivered(envelope.origin, envelope.sequence):
-                    self._buffer.remove(envelope)
+            for frame in list(self._buffer):
+                if self.has_delivered(frame.origin, frame.sequence):
+                    self._buffer.remove(frame)
                     progressed = True
                     continue
-                if self._deliverable(envelope):
-                    self._buffer.remove(envelope)
-                    self.clock = self.clock.merge(envelope.clock)
-                    self._deliver(envelope.origin, envelope.payload)
+                if self._deliverable(frame):
+                    # Decode after the causal test (buffered frames stay
+                    # bytes until applied) but BEFORE merging the clock:
+                    # a payload that fails to decode must not be
+                    # recorded as delivered, or no retransmission could
+                    # ever recover it. The frame IS dequeued first, so
+                    # a permanently undecodable one (sender defect)
+                    # cannot wedge the buffer — the raised DecodeError
+                    # reaches the transport, which retries the bytes;
+                    # if they never decode, the gap persists and the
+                    # anti-entropy policy recovers by state transfer.
+                    self._buffer.remove(frame)
+                    payload = frame.decode_payload()
+                    self.clock = self.clock.merge(frame.clock)
+                    self._deliver(frame.origin, payload)
                     progressed = True
+        if not self._buffer:
+            self.blocked_since = None
 
     # -- introspection --------------------------------------------------------------
 
@@ -132,6 +154,12 @@ class CausalBroadcast:
     def buffered(self) -> int:
         """Messages waiting for their causal dependencies."""
         return len(self._buffer)
+
+    def buffered_origins(self) -> List[SiteId]:
+        """Origins of the buffered envelopes, oldest arrival first
+        (candidate peers for an anti-entropy request: each is provably
+        ahead of this site on some component)."""
+        return [frame.origin for frame in self._buffer]
 
     def has_delivered(self, origin: SiteId, sequence: int) -> bool:
         """Whether the ``sequence``-th event of ``origin`` was delivered.

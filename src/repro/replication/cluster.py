@@ -2,8 +2,11 @@
 
 ``Cluster`` assembles N replica sites over one simulated network and
 offers the operations the integration tests and examples need: drive
-edits at any site, run the network to quiescence, and check convergence
-(the CRDT property: same operations, any causal order, same state).
+edits at any site, run the network to quiescence, tick the anti-entropy
+policy, and check convergence (the CRDT property: same operations, any
+causal order, same state). The network carries only wire-frame bytes,
+so ``cluster.network.bytes_delivered`` / ``link_bytes`` are measured
+traffic, not estimates.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from repro.core.disambiguator import SiteId
 from repro.errors import ReplicationError
 from repro.replication.network import NetworkConfig, SimulatedNetwork
 from repro.replication.site import ReplicaSite
+from repro.replication.sync import AntiEntropyPolicy
 
 
 class Cluster:
@@ -28,17 +32,34 @@ class Cluster:
         seed: int = 0,
         first_site: SiteId = 1,
         tombstone_gc: bool = False,
+        policy: Optional[AntiEntropyPolicy] = None,
     ) -> None:
         if n_sites < 1:
             raise ReplicationError("a cluster needs at least one site")
         self.network = SimulatedNetwork(config, seed=seed)
+        self.mode = mode
+        self.balanced = balanced
+        self.tombstone_gc = tombstone_gc
+        self.policy = policy
         self.sites: Dict[SiteId, ReplicaSite] = {}
         for offset in range(n_sites):
-            site_id = first_site + offset
-            self.sites[site_id] = ReplicaSite(
-                site_id, self.network, mode=mode, balanced=balanced,
-                tombstone_gc=tombstone_gc,
-            )
+            self.add_site(first_site + offset)
+
+    def add_site(self, site_id: Optional[SiteId] = None) -> ReplicaSite:
+        """Register one more site (default id: max + 1) — a late
+        joiner. It starts empty and catches up like any lagging
+        replica: by replay for what still reaches it, and by the
+        anti-entropy exchange (see :meth:`anti_entropy`) for the
+        history sent before it existed."""
+        if site_id is None:
+            site_id = max(self.sites) + 1 if self.sites else 1
+        if site_id in self.sites:
+            raise ReplicationError(f"site {site_id} already in the cluster")
+        self.sites[site_id] = ReplicaSite(
+            site_id, self.network, mode=self.mode, balanced=self.balanced,
+            tombstone_gc=self.tombstone_gc, policy=self.policy,
+        )
+        return self.sites[site_id]
 
     def __getitem__(self, site: SiteId) -> ReplicaSite:
         return self.sites[site]
@@ -59,6 +80,30 @@ class Cluster:
         """Run the network until no undelivered messages remain."""
         return self.network.run(max_events)
 
+    def anti_entropy(self, max_rounds: int = 8,
+                     max_events: int = 1_000_000) -> int:
+        """Tick the anti-entropy policy until no site wants a snapshot.
+
+        Each round settles the network, then lets every site consult
+        its :class:`repro.replication.sync.AntiEntropyPolicy`; sites
+        with a persistent causal gap send ``SyncRequest`` frames, the
+        next settle carries the responses. Returns the number of
+        requests issued. Sites that have heard nothing (no buffered
+        envelopes) have no gap to detect — a joiner that must catch up
+        from silence calls ``site.request_sync(peer)`` explicitly.
+        """
+        requests = 0
+        for _ in range(max_rounds):
+            self.settle(max_events)
+            fired = sum(
+                1 for site in self.sites.values() if site.maybe_request_sync()
+            )
+            if not fired:
+                break
+            requests += fired
+        self.settle(max_events)
+        return requests
+
     def partition(self, *groups) -> None:
         """Partition the network (see :meth:`SimulatedNetwork.partition`)."""
         self.network.partition(*groups)
@@ -76,11 +121,22 @@ class Cluster:
 
     def assert_converged(self) -> List[object]:
         """Check convergence and shared-state integrity; returns the
-        common atom sequence."""
+        common atom sequence.
+
+        Requires true quiescence: no messages pending in the queue
+        *and* none held behind a partition — a partitioned cluster has
+        traffic its isolated sites have not seen, so agreement among
+        them would be vacuous, not convergence. Heal and settle first.
+        """
         if self.network.pending:
             raise ReplicationError(
                 f"{self.network.pending} messages still pending; "
                 "call settle() before checking convergence"
+            )
+        if self.network.held:
+            raise ReplicationError(
+                f"{self.network.held} messages held behind a partition; "
+                "heal() and settle() before checking convergence"
             )
         reference: Optional[List[object]] = None
         for site in self.sites.values():

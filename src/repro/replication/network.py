@@ -3,8 +3,18 @@
 Models the asynchronous message-passing environment the paper assumes:
 messages between sites experience variable latency (hence reordering),
 can be lost (the transport retransmits, so delivery is eventual — the
-fair-lossy link + retry abstraction), can be duplicated, and partitions
-can isolate groups of sites for a while.
+fair-lossy link + retry abstraction), can be duplicated, can be
+corrupted in transit (bit flips; the receiver detects the damage, the
+transport retransmits), and partitions can isolate groups of sites for
+a while.
+
+Payloads are **bytes** — the wire carries frames from
+:mod:`repro.replication.wire`, never live objects — so every cost the
+simulation reports (per-link byte counters, totals) is a measured
+property of real encoded traffic, and the corruption fault operates on
+actual bits. A handler that cannot decode what it received raises
+:class:`repro.errors.DecodeError`; the transport treats that exactly
+like a lost transmission and retries.
 
 Everything is driven by one seeded RNG, so a whole multi-site scenario
 replays identically from its seed.
@@ -14,14 +24,14 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Set, Tuple
 
 from repro.core.disambiguator import SiteId
-from repro.errors import ReplicationError
+from repro.errors import DecodeError, ReplicationError
 from repro.util.rng import derive_rng
 
-#: A handler invoked on delivery: handler(src, payload).
-Handler = Callable[[SiteId, object], None]
+#: A handler invoked on delivery: handler(src, payload bytes).
+Handler = Callable[[SiteId, bytes], None]
 
 
 @dataclass(frozen=True)
@@ -35,7 +45,12 @@ class NetworkConfig:
     drop_rate: float = 0.0
     #: Probability a delivered message is delivered once more.
     duplicate_rate: float = 0.0
-    #: Delay before a lost transmission is retried.
+    #: Probability a transmission arrives with a flipped bit. The
+    #: receiver's decoder rejects the damaged frame (CRC mismatch →
+    #: :class:`repro.errors.DecodeError`) and the transport retries —
+    #: corruption is loss that costs a round trip to notice.
+    corruption_rate: float = 0.0
+    #: Delay before a lost (or corrupted) transmission is retried.
     retransmit_delay: float = 100.0
     #: Attempts before the transport stops pretending to lose the
     #: message (keeps simulations finite; models eventual delivery).
@@ -48,12 +63,18 @@ class _Event:
     sequence: int
     src: SiteId = field(compare=False)
     dst: SiteId = field(compare=False)
-    payload: object = field(compare=False)
+    payload: bytes = field(compare=False)
     attempt: int = field(compare=False, default=1)
 
 
 class SimulatedNetwork:
-    """An event-queue network connecting registered sites."""
+    """An event-queue network connecting registered sites.
+
+    The wire carries bytes only: :meth:`send` rejects anything that is
+    not a ``bytes`` payload, which is what keeps the byte counters
+    honest — every number below measures encoded frames that actually
+    crossed a link.
+    """
 
     def __init__(self, config: NetworkConfig | None = None,
                  seed: int = 0) -> None:
@@ -70,6 +91,17 @@ class SimulatedNetwork:
         self.delivered_messages = 0
         self.dropped_transmissions = 0
         self.duplicated_messages = 0
+        self.corrupted_transmissions = 0
+        #: Deliveries the receiver rejected as undecodable (corruption
+        #: detected); each one triggered a retransmission.
+        self.decode_rejections = 0
+        #: Byte counters: payload bytes accepted by :meth:`send` /
+        #: payload bytes handed to handlers (duplicates included).
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        #: Delivered payload bytes per directed link ``(src, dst)`` —
+        #: what the wire-cost experiments and benchmarks read.
+        self.link_bytes: Dict[Tuple[SiteId, SiteId], int] = {}
 
     # -- wiring ------------------------------------------------------------------
 
@@ -113,14 +145,27 @@ class SimulatedNetwork:
 
     # -- sending --------------------------------------------------------------------
 
-    def send(self, src: SiteId, dst: SiteId, payload: object) -> None:
-        """Enqueue a message; delivery happens during :meth:`run`."""
+    def send(self, src: SiteId, dst: SiteId, payload: bytes) -> None:
+        """Enqueue a message; delivery happens during :meth:`run`.
+
+        Only ``bytes`` payloads are accepted: the network is a wire,
+        not an object bus. Encode with
+        :func:`repro.replication.wire.encode_wire` first.
+        """
         if dst not in self._handlers:
             raise ReplicationError(f"unknown destination site {dst}")
+        if not isinstance(payload, (bytes, bytearray)):
+            raise ReplicationError(
+                "network payloads must be bytes (a wire frame); got "
+                f"{type(payload).__name__} — encode with "
+                "repro.replication.wire.encode_wire"
+            )
+        payload = bytes(payload)
         self.sent_messages += 1
+        self.bytes_sent += len(payload)
         self._schedule(src, dst, payload, self.now + self._latency(), 1)
 
-    def broadcast(self, src: SiteId, payload: object) -> None:
+    def broadcast(self, src: SiteId, payload: bytes) -> None:
         """Send to every other registered site."""
         for dst in self._handlers:
             if dst != src:
@@ -130,12 +175,34 @@ class SimulatedNetwork:
         return self._rng.uniform(self.config.min_latency,
                                  self.config.max_latency)
 
-    def _schedule(self, src: SiteId, dst: SiteId, payload: object,
+    def _schedule(self, src: SiteId, dst: SiteId, payload: bytes,
                   time: float, attempt: int) -> None:
         self._sequence += 1
         heapq.heappush(
             self._queue, _Event(time, self._sequence, src, dst, payload, attempt)
         )
+
+    def _retransmit(self, event: _Event) -> None:
+        self._schedule(
+            event.src,
+            event.dst,
+            event.payload,
+            self.now + self.config.retransmit_delay + self._latency(),
+            event.attempt + 1,
+        )
+
+    def _flip_bit(self, payload: bytes) -> bytes:
+        """A copy of ``payload`` with one RNG-chosen bit inverted."""
+        damaged = bytearray(payload)
+        position = self._rng.randrange(len(damaged) * 8)
+        damaged[position // 8] ^= 0x80 >> (position % 8)
+        return bytes(damaged)
+
+    def _account_delivery(self, event: _Event, size: int) -> None:
+        self.delivered_messages += 1
+        self.bytes_delivered += size
+        link = (event.src, event.dst)
+        self.link_bytes[link] = self.link_bytes.get(link, 0) + size
 
     # -- running -----------------------------------------------------------------------
 
@@ -147,22 +214,48 @@ class SimulatedNetwork:
             if self._blocked(event.src, event.dst):
                 self._held.append(event)
                 continue
-            if (
-                event.attempt < self.config.max_transmit_attempts
-                and self._rng.random() < self.config.drop_rate
-            ):
+            final_attempt = event.attempt >= self.config.max_transmit_attempts
+            if (not final_attempt
+                    and self._rng.random() < self.config.drop_rate):
                 # Lost transmission: the transport retries later.
                 self.dropped_transmissions += 1
-                self._schedule(
-                    event.src,
-                    event.dst,
-                    event.payload,
-                    self.now + self.config.retransmit_delay + self._latency(),
-                    event.attempt + 1,
-                )
+                self._retransmit(event)
                 return True
-            self._handlers[event.dst](event.src, event.payload)
-            self.delivered_messages += 1
+            handler = self._handlers[event.dst]
+            if (not final_attempt and len(event.payload)
+                    and self._rng.random() < self.config.corruption_rate):
+                # Bit flip in transit. The damaged frame still crosses
+                # the wire (and is billed to the link); the receiver's
+                # decoder rejects it and the transport retries. The
+                # final attempt is never corrupted, so delivery stays
+                # eventual, mirroring the drop fault.
+                self.corrupted_transmissions += 1
+                damaged = self._flip_bit(event.payload)
+                try:
+                    handler(event.src, damaged)
+                except DecodeError:
+                    self.decode_rejections += 1
+                    self._account_delivery(event, len(damaged))
+                    self._retransmit(event)
+                    return True
+                # The flip survived decoding (possible only for frames
+                # without an integrity check): it was delivered, fall
+                # through to normal accounting.
+                self._account_delivery(event, len(damaged))
+                return True
+            try:
+                handler(event.src, event.payload)
+            except DecodeError:
+                # The receiver rejected intact bytes (sender-side
+                # framing defect): still loss to the transport, which
+                # retries until attempts run out, then abandons the
+                # poison message rather than aborting the simulation.
+                self.decode_rejections += 1
+                self._account_delivery(event, len(event.payload))
+                if not final_attempt:
+                    self._retransmit(event)
+                return True
+            self._account_delivery(event, len(event.payload))
             if self._rng.random() < self.config.duplicate_rate:
                 self.duplicated_messages += 1
                 self._schedule(
@@ -192,3 +285,8 @@ class SimulatedNetwork:
     def held(self) -> int:
         """Messages currently blocked by the partition."""
         return len(self._held)
+
+    def link_bytes_to(self, dst: SiteId) -> int:
+        """Total delivered payload bytes addressed to ``dst``."""
+        return sum(size for (_, to), size in self.link_bytes.items()
+                   if to == dst)

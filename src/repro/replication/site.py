@@ -6,6 +6,16 @@ operations execute optimistically, with no latency; replicas synchronise
 only in the background") and ship on the causal channel; remote
 operations replay on causal delivery; ``initiate_flatten`` runs the
 section 4.2.1 commitment protocol.
+
+Everything a site puts on the network is **bytes**: one handler
+(:meth:`_on_message`) decodes each incoming wire frame
+(:mod:`repro.replication.wire`) and dispatches — causal envelopes to
+the broadcast layer, commitment messages to the 2PC machinery, ack
+gossip to the stability tracker, and anti-entropy traffic
+(``SyncRequest``/``SyncResponse``) to the state-transfer responder.
+A site is therefore also an anti-entropy *server*: any peer may ask it
+for a snapshot, and :class:`repro.replication.sync.AntiEntropyPolicy`
+decides when this site becomes the *client* and asks one itself.
 """
 
 from __future__ import annotations
@@ -17,8 +27,9 @@ from repro.core.disambiguator import SiteId
 from repro.core.ops import DeleteOp, FlattenOp, InsertOp, OpBatch, Operation
 from repro.core.path import PosID
 from repro.core.treedoc import Treedoc
-from repro.errors import CommitError, ReplicationError
-from repro.replication.broadcast import CausalBroadcast, CausalEnvelope
+from repro.errors import CommitError, ReplicationError, SyncError
+from repro.replication.broadcast import CausalBroadcast
+from repro.replication.clock import VectorClock
 from repro.replication.commit import (
     AbortMsg,
     CommitDecision,
@@ -28,6 +39,15 @@ from repro.replication.commit import (
     VoteMsg,
 )
 from repro.replication.network import SimulatedNetwork
+from repro.replication.wire import (
+    AckFrame,
+    EnvelopeFrame,
+    SyncRequest,
+    SyncResponse,
+    WireFrame,
+    decode_wire,
+    encode_wire,
+)
 
 
 class RegionLockedError(ReplicationError):
@@ -44,7 +64,10 @@ class ReplicaSite:
         mode: str = "udis",
         balanced: bool = True,
         tombstone_gc: bool = False,
+        policy: Optional["AntiEntropyPolicy"] = None,
     ) -> None:
+        from repro.replication.sync import AntiEntropyPolicy
+
         self.site = site
         self.network = network
         self.doc = Treedoc(site, mode=mode, balanced=balanced)
@@ -60,14 +83,22 @@ class ReplicaSite:
         #: Operations applied, in local application order (for metrics).
         self.applied_ops: List[Operation] = []
         #: SDIS tombstone GC (section 4.2): causal-stability tracking.
-        #: Acks ride the causal channel and purging is a deterministic
-        #: function of (delete log, frontier), so every site purges a
-        #: tombstone before applying anything that could re-mint its
-        #: identifier.
+        #: Acks ride the wire as AckFrames and purging is a
+        #: deterministic function of (delete log, frontier), so every
+        #: site purges a tombstone before applying anything that could
+        #: re-mint its identifier.
         self.tombstone_gc = tombstone_gc and self.doc.keeps_tombstones
         self._stability: Optional["StabilityTracker"] = None
-        self._delete_log: List[Tuple[object, SiteId, int]] = []
+        self._delete_log: List[Tuple[PosID, SiteId, int]] = []
         self.purged_tombstones = 0
+        #: Anti-entropy: when this site stops waiting for replay and
+        #: asks a peer for a snapshot instead.
+        self.policy = policy or AntiEntropyPolicy()
+        self._last_sync_request = float("-inf")
+        self.sync_requests_sent = 0
+        self.sync_responses_sent = 0
+        self.sync_responses_applied = 0
+        self.sync_responses_ignored = 0
 
     # -- local editing ------------------------------------------------------------
 
@@ -162,8 +193,8 @@ class ReplicaSite:
             )
 
     def _ship(self, op: Operation) -> None:
-        envelope = self.broadcast.broadcast(op)
-        self._log_op(op, op.origin, envelope.sequence)
+        frame = self.broadcast.broadcast(op)
+        self._log_op(op, op.origin, frame.sequence)
         self.applied_ops.append(op)
 
     def _ship_batch(self, batch: OpBatch) -> None:
@@ -172,12 +203,12 @@ class ReplicaSite:
         at ship time (see :meth:`repro.core.ops.OpBatch.seal`)."""
         if not batch.ops:
             return
-        envelope = self.broadcast.broadcast(batch.seal())
+        frame = self.broadcast.broadcast(batch.seal())
         for op in batch.ops:
-            self._log_op(op, batch.origin, envelope.sequence)
+            self._log_op(op, batch.origin, frame.sequence)
             if self.tombstone_gc and isinstance(op, DeleteOp):
                 self._delete_log.append(
-                    (op.posid, self.site, envelope.sequence)
+                    (op.posid, self.site, frame.sequence)
                 )
         self.applied_ops.extend(batch.ops)
 
@@ -208,40 +239,42 @@ class ReplicaSite:
 
     # -- state-transfer anti-entropy ------------------------------------------------
 
-    def make_state_transfer(self) -> "StateTransfer":
-        """Snapshot this site's document and causal frontier for a
-        lagging peer (the sender half of :meth:`sync_from`)."""
-        from repro.replication.sync import StateTransfer
-
-        return StateTransfer(
-            self.site, self.broadcast.clock.copy(), self.doc.capture_state()
+    def make_state_transfer(self) -> SyncResponse:
+        """Snapshot this site's document, causal frontier and
+        outstanding delete log for a lagging peer (the sender half of
+        the anti-entropy exchange)."""
+        return SyncResponse(
+            self.site,
+            self.broadcast.clock.copy(),
+            self.doc.capture_state(),
+            tuple(self._delete_log) if self.tombstone_gc else (),
         )
 
     def sync_from(self, peer: "ReplicaSite") -> "SyncStats":
         """Catch up to ``peer`` by state transfer instead of replay.
 
-        The peer's document arrives as one v2 state frame: collapsed
-        and canonical regions as runs that load **directly into array
-        leaves** — a cold 1500-line document costs a handful of
-        segments, not per-atom envelopes and materializations. Safe
-        only when the peer's frontier dominates this site's (this site
-        has nothing the peer lacks); otherwise
-        :class:`repro.errors.SyncError` is raised and nothing changes.
+        A convenience for tests and tools that routes through the
+        *same wire path* as the networked exchange: the peer's response
+        frame is encoded to bytes and decoded back before application,
+        so the byte accounting is the measured frame length and any
+        encode/decode defect surfaces here too. In a live simulation
+        prefer :meth:`request_sync` — the request/response then crosses
+        the simulated network with its losses and corruption.
         """
-        return self.apply_state_transfer(peer.make_state_transfer())
+        frame = decode_wire(peer.make_state_transfer().to_wire())
+        return self.apply_state_transfer(frame)
 
-    def apply_state_transfer(self, transfer: "StateTransfer") -> "SyncStats":
+    def apply_state_transfer(self, transfer: SyncResponse) -> "SyncStats":
         """Adopt a peer's state snapshot (the receiver half).
 
         Verifies the causal-domination precondition, replaces the
         document, adopts the frontier (buffered envelopes covered by
         the snapshot are dropped as duplicates, newer ones re-drain),
         and conservatively poisons future flatten votes for snapshots
-        older than the adopted frontier. Inherited SDIS tombstones have
-        no local delete-log entries, so they are purged only by a later
-        flatten, not by the stability tracker.
+        older than the adopted frontier. The sender's delete log rides
+        along, so inherited SDIS tombstones purge as soon as causal
+        stability reaches them — no flatten required.
         """
-        from repro.errors import SyncError
         from repro.replication.sync import SyncStats
 
         if transfer.site == self.site:
@@ -253,6 +286,25 @@ class ReplicaSite:
             )
         atoms = self.doc.load_state(transfer.state)
         self.broadcast.catch_up(transfer.clock)
+        inherited = 0
+        if self.tombstone_gc:
+            # The snapshot replaced the document, so the sender's
+            # outstanding delete log replaces ours: it names exactly
+            # the tombstones the new document still holds.
+            self._delete_log = [
+                (posid, origin, sequence)
+                for posid, origin, sequence in transfer.delete_log
+            ]
+            inherited = len(self._delete_log)
+            if self._stability is not None:
+                from repro.replication.stability import (
+                    purge_stable_tombstones,
+                )
+
+                self.purged_tombstones += purge_stable_tombstones(
+                    self.doc, self._delete_log,
+                    self._stability.stable_frontier(),
+                )
         # The op-level region log did not see the snapshot's edits; log
         # a whole-document touch per site at the adopted frontier so
         # this site votes No on any flatten whose initiator snapshot
@@ -265,7 +317,69 @@ class ReplicaSite:
             run_segments=transfer.state.run_segments,
             op_segments=transfer.state.op_segments,
             loaded_leaves=self.doc.array_leaf_count,
+            inherited_deletes=inherited,
         )
+
+    def request_sync(self, peer: Optional[SiteId] = None) -> bool:
+        """Send a ``SyncRequest`` to ``peer`` (default: the origin of
+        the oldest buffered envelope — a site provably ahead of this
+        one). Returns False when no candidate peer exists. The response
+        arrives over the network; run the simulation to receive it.
+        """
+        if peer is None:
+            candidates = self.broadcast.buffered_origins()
+            if not candidates:
+                return False
+            peer = candidates[0]
+        request = SyncRequest(self.site, self.broadcast.clock.copy())
+        self.network.send(self.site, peer, encode_wire(request))
+        self._last_sync_request = self.network.now
+        self.sync_requests_sent += 1
+        return True
+
+    def maybe_request_sync(self) -> bool:
+        """Apply the anti-entropy policy: request a snapshot when the
+        oldest causal gap has persisted too long (or parked too many
+        envelopes), with back-off between requests. Returns whether a
+        request went out. Driven by
+        :meth:`repro.replication.cluster.Cluster.anti_entropy`.
+        """
+        blocked_since = self.broadcast.blocked_since
+        if blocked_since is None:
+            return False
+        now = self.network.now
+        if not self.policy.should_request(
+            self.broadcast.buffered, now - blocked_since
+        ):
+            return False
+        if now - self._last_sync_request < self.policy.min_request_interval:
+            return False
+        return self.request_sync()
+
+    def _answer_sync_request(self, request: SyncRequest) -> None:
+        """The anti-entropy responder: ship a snapshot iff this site is
+        strictly ahead of the requester (otherwise the response could
+        not be adopted — stay silent and let another peer, or replay,
+        serve it)."""
+        clock = self.broadcast.clock
+        if not clock.dominates(request.clock) or clock == request.clock:
+            return
+        self.network.send(
+            self.site, request.requester, self.make_state_transfer().to_wire()
+        )
+        self.sync_responses_sent += 1
+
+    def _apply_sync_response(self, response: SyncResponse) -> None:
+        """Adopt a snapshot that arrived over the network, unless this
+        site advanced past it while the response was in flight."""
+        try:
+            self.apply_state_transfer(response)
+        except SyncError:
+            # Stale response (replay caught us up, or we edited since
+            # the request): ignore it; the policy may re-request later.
+            self.sync_responses_ignored += 1
+        else:
+            self.sync_responses_applied += 1
 
     # -- flatten / commitment -------------------------------------------------------
 
@@ -294,7 +408,7 @@ class ReplicaSite:
         if not participants:
             coordinator.decide_alone()
             return coordinator
-        prepare = PrepareMsg(txn, path, snapshot, self.site)
+        prepare = encode_wire(PrepareMsg(txn, path, snapshot, self.site))
         for participant in participants:
             self.network.send(self.site, participant, prepare)
         return coordinator
@@ -304,15 +418,16 @@ class ReplicaSite:
         op = FlattenOp(op.path, op.digest, op.origin, txn=txn)
         self.doc.apply_flatten(op)
         self._locks.unlock(txn)
-        envelope = self.broadcast.broadcast(op)
-        self._log_op(op, op.origin, envelope.sequence)
+        frame = self.broadcast.broadcast(op)
+        self._log_op(op, op.origin, frame.sequence)
         self.applied_ops.append(op)
 
     def _abort_flatten(self, txn: str) -> None:
         self._locks.unlock(txn)
+        abort = encode_wire(AbortMsg(txn))
         for participant in self.network.sites:
             if participant != self.site:
-                self.network.send(self.site, participant, AbortMsg(txn))
+                self.network.send(self.site, participant, abort)
 
     def _vote(self, prepare: PrepareMsg) -> bool:
         """Section 4.2.1: vote No when this site has executed an insert,
@@ -334,32 +449,46 @@ class ReplicaSite:
 
     # -- message handling ------------------------------------------------------------
 
-    def _on_message(self, src: SiteId, message: object) -> None:
-        if isinstance(message, CausalEnvelope):
-            self.broadcast.on_message(src, message)
-        elif isinstance(message, PrepareMsg):
-            yes = self._vote(message)
-            if yes:
-                self._locks.lock(message.txn, message.path)
-            self.network.send(
-                self.site, message.initiator, VoteMsg(message.txn, self.site, yes)
+    def _on_message(self, src: SiteId, data: bytes) -> None:
+        """The single network entry point: decode the wire frame, then
+        dispatch. A :class:`repro.errors.DecodeError` (bit flip in
+        transit) propagates to the network, which counts it as loss
+        and retransmits."""
+        if not isinstance(data, (bytes, bytearray)):
+            raise ReplicationError(
+                f"site {self.site}: non-bytes delivery {data!r} — the "
+                "network carries wire frames only"
             )
-        elif isinstance(message, VoteMsg):
-            coordinator = self._coordinators.get(message.txn)
+        self._on_frame(src, decode_wire(data))
+
+    def _on_frame(self, src: SiteId, frame: WireFrame) -> None:
+        if isinstance(frame, EnvelopeFrame):
+            self.broadcast.on_frame(frame)
+        elif isinstance(frame, AckFrame):
+            self._record_ack(frame.site, frame.applied)
+        elif isinstance(frame, SyncRequest):
+            self._answer_sync_request(frame)
+        elif isinstance(frame, SyncResponse):
+            self._apply_sync_response(frame)
+        elif isinstance(frame, PrepareMsg):
+            yes = self._vote(frame)
+            if yes:
+                self._locks.lock(frame.txn, frame.path)
+            self.network.send(
+                self.site, frame.initiator,
+                encode_wire(VoteMsg(frame.txn, self.site, yes)),
+            )
+        elif isinstance(frame, VoteMsg):
+            coordinator = self._coordinators.get(frame.txn)
             if coordinator is None:
-                raise CommitError(f"vote for unknown transaction {message.txn}")
-            coordinator.on_vote(message)
-        elif isinstance(message, AbortMsg):
-            self._locks.unlock(message.txn)
-        else:
-            raise ReplicationError(f"unhandled message {message!r}")
+                raise CommitError(f"vote for unknown transaction {frame.txn}")
+            coordinator.on_vote(frame)
+        elif isinstance(frame, AbortMsg):
+            self._locks.unlock(frame.txn)
+        else:  # pragma: no cover - decode_wire yields only the above
+            raise ReplicationError(f"unhandled wire frame {frame!r}")
 
     def _on_causal_deliver(self, origin: SiteId, payload: object) -> None:
-        from repro.replication.stability import AckMsg
-
-        if isinstance(payload, AckMsg):
-            self._record_ack(payload)
-            return
         if isinstance(payload, OpBatch):
             self.doc.apply_batch(payload)
             sequence = self.broadcast.clock.get(origin)
@@ -394,17 +523,19 @@ class ReplicaSite:
         """Gossip this site's applied clock (drives the stable frontier).
 
         Call periodically (the cluster harness does) when
-        ``tombstone_gc`` is enabled.
+        ``tombstone_gc`` is enabled. Acks are idempotent,
+        order-insensitive clock merges, so they travel as plain wire
+        frames — no causal ordering, no clock tick.
         """
-        from repro.replication.stability import AckMsg
-
         if not self.tombstone_gc:
             return
-        ack = AckMsg(self.site, self.broadcast.clock.copy())
-        self._record_ack(ack)
-        self.broadcast.broadcast(ack)
+        applied = self.broadcast.clock.copy()
+        self._record_ack(self.site, applied)
+        self.network.broadcast(
+            self.site, encode_wire(AckFrame(self.site, applied))
+        )
 
-    def _record_ack(self, ack: "AckMsg") -> None:
+    def _record_ack(self, site: SiteId, applied: VectorClock) -> None:
         from repro.replication.stability import (
             StabilityTracker,
             purge_stable_tombstones,
@@ -414,7 +545,7 @@ class ReplicaSite:
             return
         if self._stability is None:
             self._stability = StabilityTracker(tuple(self.network.sites))
-        self._stability.record_ack(ack.site, ack.applied)
+        self._stability.record_ack(site, applied)
         frontier = self._stability.stable_frontier()
         self.purged_tombstones += purge_stable_tombstones(
             self.doc, self._delete_log, frontier

@@ -21,27 +21,23 @@ A tombstone created by delete ``d`` can be purged once ``d`` is stable
   tombstones are kept as empty structure, exactly like UDIS interiors.
 
 ``StabilityTracker`` maintains the frontier; ``purge_stable_tombstones``
-applies it to a Treedoc replica. The replica site wires both together
-and piggybacks acknowledgement clocks on the causal channel.
+applies it to a Treedoc replica. The replica site wires both together;
+acknowledgement clocks travel as plain
+:class:`repro.replication.wire.AckFrame` wire frames (merges are
+idempotent and order-insensitive, so acks need no causal ordering).
+A replica that adopted a state snapshot inherits the sender's
+outstanding delete log with it, so inherited tombstones purge here
+too once the frontier reaches them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.disambiguator import SiteId
 from repro.core.node import TOMBSTONE
 from repro.core.treedoc import Treedoc
 from repro.replication.clock import VectorClock
-
-
-@dataclass(frozen=True)
-class AckMsg:
-    """Gossiped acknowledgement: ``site`` has applied ``applied``."""
-
-    site: SiteId
-    applied: VectorClock
 
 
 class StabilityTracker:

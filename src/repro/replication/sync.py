@@ -10,52 +10,77 @@ where collapsed and canonical regions travel as runs, and the receiver
 loads those runs straight into :class:`repro.core.node.ArrayLeaf`
 storage without ever exploding them.
 
+Since this PR the exchange is a real network protocol
+(:mod:`repro.replication.wire`): the lagging site sends a
+:class:`~repro.replication.wire.SyncRequest` carrying its clock; a
+peer whose clock dominates it answers with a
+:class:`~repro.replication.wire.SyncResponse` — the state frame, the
+sender's frontier and its outstanding delete log, CRC-guarded bytes on
+the simulated wire. :class:`StateTransfer` *is* that response frame
+(one definition, not two); the direct
+:meth:`repro.replication.site.ReplicaSite.sync_from` convenience still
+exists but routes through the same encode → decode path, so its byte
+accounting is the measured frame length.
+
 The safety argument is the standard state-shipping one: the receiver
 may adopt the snapshot only if the sender's causal frontier dominates
 its own — then the snapshot contains every event the receiver has
 applied (including the receiver's own edits, echoed back), and
-replacing the document loses nothing. :class:`StateTransfer` carries
-the frontier; :meth:`repro.replication.site.ReplicaSite.sync_from`
+replacing the document loses nothing.
+:meth:`repro.replication.site.ReplicaSite.apply_state_transfer`
 enforces the check and
 :meth:`repro.replication.broadcast.CausalBroadcast.catch_up` adopts
 the frontier so in-flight envelopes already covered by the snapshot
 are filtered as duplicates.
+
+*When* to fall back from replay to state transfer is
+:class:`AntiEntropyPolicy`'s call: a replica that has been staring at
+an unmet causal gap for too long (or has too many envelopes parked
+behind it) stops waiting for retransmissions and asks the gap's origin
+for a snapshot. :meth:`repro.replication.cluster.Cluster.anti_entropy`
+ticks the policy across a whole simulation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.disambiguator import SiteId
-from repro.core.encoding import DocumentState
 from repro.replica import SyncReport
-from repro.replication.clock import VectorClock
+from repro.replication.wire import StateTransfer as _WireStateTransfer
 
-#: Wire bytes per vector-clock entry shipped with a snapshot: a 6-byte
-#: site id plus a 4-byte counter.
-CLOCK_ENTRY_WIRE_BYTES = 10
+#: Re-exported: the anti-entropy message is the wire's SyncResponse
+#: frame under its historical name (see module docstring).
+StateTransfer = _WireStateTransfer
 
 
 @dataclass(frozen=True)
-class StateTransfer:
-    """One replica's document state plus its causal frontier.
+class AntiEntropyPolicy:
+    """When a lagging replica requests state transfer instead of
+    waiting for replay.
 
-    The anti-entropy message: ``state`` is the encoded v2 state frame
-    (runs + singleton records + digest), ``clock`` the sender's vector
-    clock at snapshot time. A receiver whose clock the snapshot
-    dominates may replace its document with the snapshot and adopt the
-    frontier.
+    Replay is the cheap path (retransmissions usually fill a gap), so
+    the policy is deliberately lazy: it fires only when a causal gap
+    has *persisted* — measured by the age of the oldest buffered
+    envelope's arrival, or by how many envelopes are parked behind the
+    gap — and backs off between requests so a slow responder is not
+    pelted with duplicate snapshot work.
     """
 
-    site: SiteId
-    clock: VectorClock
-    state: DocumentState
+    #: Buffered envelopes that trigger a request regardless of age.
+    max_buffered: int = 8
+    #: Simulated milliseconds a causal gap may persist before a
+    #: request fires.
+    max_gap_age: float = 400.0
+    #: Minimum simulated milliseconds between two requests from the
+    #: same site.
+    min_request_interval: float = 200.0
 
-    @property
-    def wire_bytes(self) -> int:
-        """Total bytes on the wire: the state frame plus the clock."""
-        entries = sum(1 for _ in self.clock.items())
-        return self.state.wire_bytes + CLOCK_ENTRY_WIRE_BYTES * entries
+    def should_request(self, buffered: int, gap_age: float) -> bool:
+        """The trigger test, given the current buffer depth and the
+        age of the oldest unmet gap."""
+        if buffered <= 0:
+            return False
+        return buffered >= self.max_buffered or gap_age >= self.max_gap_age
 
 
 @dataclass(frozen=True)
@@ -68,3 +93,6 @@ class SyncStats(SyncReport):
     #: Collapsed regions the receiver holds as array leaves after the
     #: load (runs land as leaves — they are never exploded in transit).
     loaded_leaves: int = 0
+    #: Delete-log entries inherited from the sender (tombstones the
+    #: receiver can now purge once they become causally stable).
+    inherited_deletes: int = 0

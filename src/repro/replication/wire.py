@@ -1,0 +1,394 @@
+"""The peer protocol: every replication message as bytes on the wire.
+
+The paper's system model is asynchronous message passing over fair-lossy
+links; nothing but bytes ever crosses a link. This module defines the
+complete frame vocabulary one replica site may send another — the only
+payloads :class:`repro.replication.network.SimulatedNetwork` accepts:
+
+- :class:`EnvelopeFrame` — a causal-broadcast event: the sender's
+  vector clock plus an encoded v2 batch frame (or bare v1 operation)
+  from :mod:`repro.core.encoding`;
+- :class:`AckFrame` — a gossiped applied-clock acknowledgement (drives
+  the causal-stability frontier for SDIS tombstone GC);
+- :class:`SyncRequest` — an anti-entropy probe: the requester's clock;
+- :class:`SyncResponse` — the anti-entropy answer: one encoded state
+  frame, the sender's frontier, and the sender's outstanding delete
+  log (so a synced SDIS replica can purge inherited tombstones once
+  they become causally stable);
+- the flatten commitment messages (:class:`~repro.replication.commit.
+  PrepareMsg`, :class:`~repro.replication.commit.VoteMsg`,
+  :class:`~repro.replication.commit.AbortMsg`) — serialized here, the
+  protocol itself lives in :mod:`repro.replication.commit`.
+
+Frame grammar (DESIGN.md §8): a wire frame opens with the shared v2
+escape (2-bit tag ``3``), the reserved frame kind
+:data:`repro.core.encoding.FRAME_WIRE`, and a 3-bit wire kind; the body
+follows, then the stream is byte-padded and a 32-bit CRC over all body
+bytes closes the frame. Vector clocks travel as a gamma-coded entry
+count followed by ``(site, gamma(counter))`` pairs — a compact varint
+layout whose cost tracks the number of *sites*, not the amount of
+history. Embedded core payloads (batch/state frames) ride as a
+gamma-coded bit length plus their own bytes, so the inner codec stays
+byte-for-byte the one :mod:`repro.core.encoding` defines.
+
+``decode_wire`` is the single entry point: it verifies the CRC first
+(raising :class:`repro.errors.CorruptFrameError` on a mismatch — the
+receiver's reaction to a bit flip in transit) and then parses under the
+same typed-:class:`repro.errors.DecodeError` discipline as the core
+decoders. The simulated network treats a handler raising
+:class:`DecodeError` as a lost transmission and retransmits, closing
+the corruption → detection → retry loop end to end.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from repro.core.disambiguator import SITE_ID_BITS, SiteId
+from repro.core.encoding import (
+    FRAME_KIND_BITS,
+    FRAME_TAG,
+    FRAME_WIRE,
+    MODE_TAGS,
+    TAG_MODES,
+    DocumentState,
+    decode_frame,
+    decode_guarded,
+    finish_decode,
+    read_posid,
+    read_text,
+    start_decode,
+    write_posid,
+    write_text,
+)
+from repro.core.ops import OpBatch, Operation
+from repro.core.path import PosID
+from repro.errors import CorruptFrameError, DecodeError, EncodingError
+from repro.replication.clock import VectorClock
+from repro.replication.commit import AbortMsg, PrepareMsg, VoteMsg
+from repro.util.bits import BitReader, BitWriter
+
+# Wire frame kinds (3 bits after the FRAME_WIRE escape).
+_KIND_ENVELOPE = 0
+_KIND_ACK = 1
+_KIND_SYNC_REQUEST = 2
+_KIND_SYNC_RESPONSE = 3
+_KIND_PREPARE = 4
+_KIND_VOTE = 5
+_KIND_ABORT = 6
+
+_WIRE_KIND_BITS = 3
+
+#: Bytes of the trailing integrity check (CRC-32 over the body bytes).
+CRC_BYTES = 4
+
+#: One delete-log entry: (tombstone PosID, delete origin, sequence).
+DeleteLogEntry = Tuple[PosID, SiteId, int]
+
+
+# ---------------------------------------------------------------------------
+# Frame dataclasses.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EnvelopeFrame:
+    """A causal-broadcast event, stamped with its origin's clock.
+
+    ``clock`` includes the message's own event (the message is the
+    ``clock.get(origin)``-th event of ``origin``); ``payload`` is the
+    encoded batch frame or bare v1 operation, exactly as
+    :mod:`repro.core.encoding` wrote it, with its bit length alongside
+    so padding bits never become ambiguous.
+    """
+
+    origin: SiteId
+    clock: VectorClock
+    payload: bytes
+    payload_bits: int
+
+    @property
+    def sequence(self) -> int:
+        return self.clock.get(self.origin)
+
+    def decode_payload(self) -> Union[Operation, OpBatch]:
+        """The carried event, decoded (one batch or one operation)."""
+        return decode_frame(self.payload, self.payload_bits)
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Gossiped acknowledgement: ``site`` has applied ``applied``."""
+
+    site: SiteId
+    applied: VectorClock
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """An anti-entropy probe: ``requester`` asks a peer for a state
+    snapshot if the peer is ahead of ``clock``."""
+
+    requester: SiteId
+    clock: VectorClock
+
+
+@dataclass(frozen=True)
+class SyncResponse:
+    """An anti-entropy answer: one replica's document state, causal
+    frontier, and outstanding SDIS delete log.
+
+    ``state`` is the encoded v2 state frame (runs + singleton records +
+    digest); ``clock`` the sender's vector clock at snapshot time. A
+    receiver whose clock the snapshot dominates may replace its
+    document and adopt the frontier. ``delete_log`` carries the
+    sender's not-yet-stable delete records so the receiver can purge
+    inherited tombstones once causal stability reaches them, instead
+    of waiting for a flatten.
+    """
+
+    site: SiteId
+    clock: VectorClock
+    state: DocumentState
+    delete_log: Tuple[DeleteLogEntry, ...] = ()
+    #: Lazily-cached encoded form (the frame is immutable, so the
+    #: encoding is too); ``wire_bytes`` and ``to_wire`` share it.
+    _encoded: List[bytes] = field(default_factory=list, repr=False,
+                                  compare=False)
+
+    def to_wire(self) -> bytes:
+        """This response as one wire frame (cached)."""
+        if not self._encoded:
+            self._encoded.append(encode_wire(self))
+        return self._encoded[0]
+
+    @property
+    def wire_bytes(self) -> int:
+        """Measured bytes this response costs on the wire: the actual
+        encoded frame length (state payload + clock + delete log +
+        framing + CRC), not an estimate."""
+        return len(self.to_wire())
+
+
+#: Historical name of the anti-entropy transfer object (PR 4's direct
+#: pull): the response frame *is* the transfer — one definition of the
+#: state-shipping message, whether it travels or is handed over.
+StateTransfer = SyncResponse
+
+#: Everything :func:`decode_wire` can return.
+WireFrame = Union[EnvelopeFrame, AckFrame, SyncRequest, SyncResponse,
+                  PrepareMsg, VoteMsg, AbortMsg]
+
+
+# ---------------------------------------------------------------------------
+# Field codecs.
+# ---------------------------------------------------------------------------
+
+
+def write_clock(writer: BitWriter, clock: VectorClock) -> None:
+    """Append a vector clock: gamma-coded entry count, then per entry
+    the 48-bit site id and the gamma-coded counter (a varint: recent
+    small counters cost a handful of bits, and the clock's wire cost
+    grows with the number of sites, not with history length)."""
+    entries = sorted((site, count) for site, count in clock.items() if count)
+    writer.write_elias_gamma(len(entries) + 1)
+    for site, count in entries:
+        writer.write_bits(site, SITE_ID_BITS)
+        writer.write_elias_gamma(count)
+
+
+def read_clock(reader: BitReader) -> VectorClock:
+    """Read a clock written by :func:`write_clock`."""
+    entries = reader.read_elias_gamma() - 1
+    counts = {}
+    for _ in range(entries):
+        site = reader.read_bits(SITE_ID_BITS)
+        counts[site] = reader.read_elias_gamma()
+    return VectorClock(counts)
+
+
+def _write_payload(writer: BitWriter, payload: bytes, bits: int) -> None:
+    """Append an embedded core payload: gamma-coded bit length plus the
+    payload's bytes (its own padding included, so the inner bytes stay
+    identical to what the core encoder produced). The byte count must
+    match the bit length exactly — the reader recovers it as
+    ``ceil(bits / 8)``, so any other length could not round-trip."""
+    if len(payload) != (bits + 7) // 8:
+        raise EncodingError(
+            f"payload of {len(payload)} bytes does not match its "
+            f"declared {bits} bits"
+        )
+    writer.write_elias_gamma(bits + 1)
+    writer.write_bytes(payload)
+
+
+def _read_payload(reader: BitReader) -> Tuple[bytes, int]:
+    bits = reader.read_elias_gamma() - 1
+    return reader.read_bytes((bits + 7) // 8), bits
+
+
+def _write_state(writer: BitWriter, state: DocumentState) -> None:
+    writer.write_bits(state.site, SITE_ID_BITS)
+    writer.write_bit(MODE_TAGS[state.mode])
+    write_text(writer, state.digest)
+    writer.write_elias_gamma(state.atom_count + 1)
+    writer.write_elias_gamma(state.run_segments + 1)
+    writer.write_elias_gamma(state.op_segments + 1)
+    _write_payload(writer, state.frame, state.frame_bits)
+
+
+def _read_state(reader: BitReader) -> DocumentState:
+    site = reader.read_bits(SITE_ID_BITS)
+    mode = TAG_MODES[reader.read_bit()]
+    digest = read_text(reader)
+    atom_count = reader.read_elias_gamma() - 1
+    run_segments = reader.read_elias_gamma() - 1
+    op_segments = reader.read_elias_gamma() - 1
+    frame, frame_bits = _read_payload(reader)
+    return DocumentState(site, mode, frame, frame_bits, digest,
+                         atom_count, run_segments, op_segments)
+
+
+def _write_delete_log(writer: BitWriter,
+                      log: Tuple[DeleteLogEntry, ...]) -> None:
+    writer.write_elias_gamma(len(log) + 1)
+    for posid, origin, sequence in log:
+        write_posid(writer, posid)
+        writer.write_bits(origin, SITE_ID_BITS)
+        writer.write_elias_gamma(sequence + 1)
+
+
+def _read_delete_log(reader: BitReader) -> Tuple[DeleteLogEntry, ...]:
+    entries = reader.read_elias_gamma() - 1
+    log = []
+    for _ in range(entries):
+        posid = read_posid(reader)
+        origin = reader.read_bits(SITE_ID_BITS)
+        sequence = reader.read_elias_gamma() - 1
+        log.append((posid, origin, sequence))
+    return tuple(log)
+
+
+# ---------------------------------------------------------------------------
+# Frame encoding.
+# ---------------------------------------------------------------------------
+
+
+def encode_wire(frame: WireFrame) -> bytes:
+    """Encode any peer-protocol frame as self-describing bytes.
+
+    Layout: escape tag | FRAME_WIRE kind | 3-bit wire kind | body,
+    byte-padded, then a 32-bit CRC over everything before it.
+    """
+    writer = BitWriter()
+    writer.write_bits(FRAME_TAG, 2)
+    writer.write_bits(FRAME_WIRE, FRAME_KIND_BITS)
+    if isinstance(frame, EnvelopeFrame):
+        writer.write_bits(_KIND_ENVELOPE, _WIRE_KIND_BITS)
+        writer.write_bits(frame.origin, SITE_ID_BITS)
+        write_clock(writer, frame.clock)
+        _write_payload(writer, frame.payload, frame.payload_bits)
+    elif isinstance(frame, AckFrame):
+        writer.write_bits(_KIND_ACK, _WIRE_KIND_BITS)
+        writer.write_bits(frame.site, SITE_ID_BITS)
+        write_clock(writer, frame.applied)
+    elif isinstance(frame, SyncRequest):
+        writer.write_bits(_KIND_SYNC_REQUEST, _WIRE_KIND_BITS)
+        writer.write_bits(frame.requester, SITE_ID_BITS)
+        write_clock(writer, frame.clock)
+    elif isinstance(frame, SyncResponse):
+        writer.write_bits(_KIND_SYNC_RESPONSE, _WIRE_KIND_BITS)
+        writer.write_bits(frame.site, SITE_ID_BITS)
+        write_clock(writer, frame.clock)
+        _write_state(writer, frame.state)
+        _write_delete_log(writer, tuple(frame.delete_log))
+    elif isinstance(frame, PrepareMsg):
+        writer.write_bits(_KIND_PREPARE, _WIRE_KIND_BITS)
+        write_text(writer, frame.txn)
+        write_posid(writer, frame.path)
+        write_clock(writer, frame.snapshot)
+        writer.write_bits(frame.initiator, SITE_ID_BITS)
+    elif isinstance(frame, VoteMsg):
+        writer.write_bits(_KIND_VOTE, _WIRE_KIND_BITS)
+        write_text(writer, frame.txn)
+        writer.write_bits(frame.voter, SITE_ID_BITS)
+        writer.write_bit(int(frame.yes))
+    elif isinstance(frame, AbortMsg):
+        writer.write_bits(_KIND_ABORT, _WIRE_KIND_BITS)
+        write_text(writer, frame.txn)
+    else:
+        raise EncodingError(f"unknown wire frame {frame!r}")
+    body = writer.getvalue()
+    return body + zlib.crc32(body).to_bytes(CRC_BYTES, "big")
+
+
+def _read_wire(reader: BitReader) -> WireFrame:
+    if reader.read_bits(2) != FRAME_TAG:
+        raise EncodingError("not a wire frame (missing escape tag)")
+    if reader.read_bits(FRAME_KIND_BITS) != FRAME_WIRE:
+        raise EncodingError(
+            "core v2 frame where a peer-protocol frame was expected"
+        )
+    kind = reader.read_bits(_WIRE_KIND_BITS)
+    if kind == _KIND_ENVELOPE:
+        origin = reader.read_bits(SITE_ID_BITS)
+        clock = read_clock(reader)
+        payload, bits = _read_payload(reader)
+        return EnvelopeFrame(origin, clock, payload, bits)
+    if kind == _KIND_ACK:
+        site = reader.read_bits(SITE_ID_BITS)
+        return AckFrame(site, read_clock(reader))
+    if kind == _KIND_SYNC_REQUEST:
+        requester = reader.read_bits(SITE_ID_BITS)
+        return SyncRequest(requester, read_clock(reader))
+    if kind == _KIND_SYNC_RESPONSE:
+        site = reader.read_bits(SITE_ID_BITS)
+        clock = read_clock(reader)
+        state = _read_state(reader)
+        return SyncResponse(site, clock, state, _read_delete_log(reader))
+    if kind == _KIND_PREPARE:
+        txn = read_text(reader)
+        path = read_posid(reader)
+        snapshot = read_clock(reader)
+        return PrepareMsg(txn, path, snapshot,
+                          reader.read_bits(SITE_ID_BITS))
+    if kind == _KIND_VOTE:
+        txn = read_text(reader)
+        voter = reader.read_bits(SITE_ID_BITS)
+        return VoteMsg(txn, voter, bool(reader.read_bit()))
+    if kind == _KIND_ABORT:
+        return AbortMsg(read_text(reader))
+    raise EncodingError(f"unknown wire frame kind {kind}")
+
+
+def decode_wire(data: bytes) -> WireFrame:
+    """Decode one peer-protocol frame.
+
+    The CRC is verified before any parsing: damaged bytes raise
+    :class:`repro.errors.CorruptFrameError` (a :class:`DecodeError`),
+    which the simulated network treats as a lost transmission. Valid
+    CRC but malformed contents — the hallmark of a sender bug, not of
+    transit damage — still raise the plain :class:`DecodeError`.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise DecodeError(
+            f"wire frames are bytes, got {type(data).__name__}"
+        )
+    if len(data) <= CRC_BYTES:
+        raise CorruptFrameError(
+            f"wire frame too short ({len(data)} bytes)"
+        )
+    body, crc = bytes(data[:-CRC_BYTES]), data[-CRC_BYTES:]
+    if zlib.crc32(body) != int.from_bytes(crc, "big"):
+        raise CorruptFrameError("wire frame CRC mismatch")
+    reader = start_decode(body, None)
+    frame = decode_guarded(_read_wire, reader, "wire frame")
+    finish_decode(reader, "wire frame")
+    if isinstance(frame, SyncResponse):
+        # Seed the encoding cache with the bytes as received, so
+        # ``wire_bytes`` on the receiver is the measured frame length
+        # without paying a full re-encode.
+        frame._encoded.append(bytes(data))
+    return frame

@@ -88,9 +88,69 @@ class TestConvergence:
         cluster.settle()
         cluster.assert_converged()
 
+    def test_assert_converged_refuses_held_messages(self):
+        # Regression: a partitioned cluster with messages held behind
+        # the partition used to "pass" convergence — the held traffic
+        # means some site has not seen everything, so agreement among
+        # the others is vacuous.
+        cluster = Cluster(3, seed=6)
+        cluster.bootstrap(list("abc"))
+        cluster.partition({1, 2}, {3})
+        cluster[1].insert(0, "x")
+        cluster.settle()
+        assert cluster.network.held > 0
+        with pytest.raises(ReplicationError, match="held"):
+            cluster.assert_converged()
+        cluster.heal()
+        cluster.settle()
+        cluster.assert_converged()
+
     def test_minimum_cluster_size(self):
         with pytest.raises(ReplicationError):
             Cluster(0)
+
+
+class TestWireDiscipline:
+    def test_cluster_traffic_is_bytes_only(self):
+        # The acceptance bar of the bytes-first redesign: every payload
+        # a cluster scenario puts on the network — envelopes, votes,
+        # aborts, acks, sync traffic — is a bytes wire frame.
+        from repro.core.path import ROOT
+        from repro.replication.sync import AntiEntropyPolicy
+
+        cluster = Cluster(
+            3, mode="sdis", seed=11, tombstone_gc=True,
+            policy=AntiEntropyPolicy(max_buffered=1, max_gap_age=0.0,
+                                     min_request_interval=0.0),
+        )
+        observed = []
+        original_send = cluster.network.send
+
+        def spying_send(src, dst, payload):
+            observed.append(payload)
+            original_send(src, dst, payload)
+
+        cluster.network.send = spying_send
+        cluster.bootstrap(list("abcdefgh"))
+        cluster[1].delete_range(0, 2)
+        cluster[2].insert_text(0, list("xy"))
+        cluster.settle()
+        cluster[1].initiate_flatten(ROOT)
+        cluster.settle()
+        cluster.gossip_acks()
+        late = cluster.add_site()
+        cluster[1].insert_text(0, list("z "))
+        cluster.anti_entropy()
+        cluster.assert_converged()
+        assert late.sync_responses_applied >= 1  # sync traffic included
+        assert observed and all(
+            isinstance(payload, bytes) for payload in observed
+        )
+
+    def test_network_rejects_object_payloads(self):
+        cluster = Cluster(2, seed=1)
+        with pytest.raises(ReplicationError):
+            cluster.network.send(1, 2, {"not": "bytes"})
 
 
 class TestOptimisticLocalEdits:

@@ -96,7 +96,10 @@ def test_soak_udis_three_sites_heavy_churn():
                 if len(site) > 2 and rng.random() < 0.5:
                     site.delete(rng.randrange(len(site)))
                 else:
-                    site.insert(rng.randint(0, len(site)), round_number)
+                    # Atoms are text on the wire (the codec ships UTF-8
+                    # payloads), so sites insert strings.
+                    site.insert(rng.randint(0, len(site)),
+                                f"r{round_number}")
         if round_number % 5 == 0:
             cluster.settle()
             cluster.assert_converged()
