@@ -5,11 +5,12 @@
 Runs the pytest-benchmark table/figure modules (timing disabled unless
 pytest-benchmark is installed and ``--benchmark-only`` is passed down —
 the single-pass mode still regenerates and prints the paper tables),
-then the standalone read-path, mixed-storage, sync and network
-benchmarks, which write ``BENCH_read.json``, ``BENCH_storage.json``,
-``BENCH_sync.json`` and ``BENCH_network.json``, and closes with one
-summary whose every number carries its unit (reads/s, seconds, bytes)
-— no raw result dicts.
+then the standalone read-path, mixed-storage, sync, network and
+durability benchmarks, which write ``BENCH_read.json``,
+``BENCH_storage.json``, ``BENCH_sync.json``, ``BENCH_network.json``
+and ``BENCH_durability.json``, and closes with one summary whose every
+number carries its unit (reads/s, seconds, bytes) — no raw result
+dicts.
 """
 
 from __future__ import annotations
@@ -104,6 +105,40 @@ def _summary(root: Path) -> str:
                 f"  storage/explode all            "
                 f"{mechanics['explode_seconds'] * 1e9:>12,.0f} ns"
             )
+    durability_report = root / "BENCH_durability.json"
+    if durability_report.exists():
+        data = json.loads(durability_report.read_text())
+        longest = data["recovery_scaling"][-1]
+        lines.append(
+            f"  durability/full-log recovery   "
+            f"{longest['recovery_seconds']:>12,.2f} seconds "
+            f"({longest['edits']:,d} edits, "
+            f"{longest['wal_bytes']:,d} WAL bytes)"
+        )
+        bounded = [row for row in data["cadence_sweep"]
+                   if row["checkpoint_every"] is not None]
+        if bounded:
+            best = min(bounded, key=lambda row: row["replayed_batches"])
+            lines.append(
+                f"  durability/checkpoint cadence  "
+                f"{best['replayed_batches']:>12,d} batches replayed "
+                f"(cadence {best['checkpoint_every']}, "
+                f"{best['checkpoints_written']} checkpoints)"
+            )
+        overhead = data["wal_overhead"]
+        lines.append(
+            f"  durability/WAL overhead        "
+            f"{overhead['facade']['bytes_per_edit']:>12,.1f} bytes/edit "
+            f"({overhead['site']['bytes_per_record']:,.1f} bytes/envelope "
+            f"at a site)"
+        )
+        rejoin = data["site_recovery"]
+        lines.append(
+            f"  durability/crash+rejoin        "
+            f"{rejoin['restart_seconds'] * 1e3:>12,.1f} ms restart "
+            f"({rejoin['recovered_events']} events replayed, "
+            f"torn -{rejoin['torn_bytes_discarded']} bytes)"
+        )
     return "\n".join(lines)
 
 
@@ -131,7 +166,13 @@ def main(argv=None) -> int:
         ])
         if status:
             return int(status)
-    from benchmarks import bench_network, bench_read, bench_storage, bench_sync
+    from benchmarks import (
+        bench_durability,
+        bench_network,
+        bench_read,
+        bench_storage,
+        bench_sync,
+    )
 
     shared_args = ["--quick"] if args.quick else []
     if args.baseline_src:
@@ -149,6 +190,9 @@ def main(argv=None) -> int:
     if status:
         return status
     status = bench_network.main(["--quick"] if args.quick else [])
+    if status:
+        return status
+    status = bench_durability.main(["--quick"] if args.quick else [])
     if status:
         return status
     print(_summary(here.parent))

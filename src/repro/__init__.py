@@ -20,6 +20,9 @@ Subpackages:
 - :mod:`repro.replication` — causal broadcast over a simulated network
   (one envelope per batch), replica sites, and the commitment protocol
   for distributed flatten;
+- :mod:`repro.storage` — durable sites: a write-ahead log of the
+  existing wire frames, checkpoints through the state-transfer frame,
+  and crash recovery (checkpoint + WAL tail replay);
 - :mod:`repro.baselines` — Logoot, WOOT and RGA comparison CRDTs, all
   speaking the same batch contract;
 - :mod:`repro.editor` — editor buffers and multi-user sessions;
@@ -45,13 +48,15 @@ from repro.core import (
     batch_digest,
 )
 from repro.replica import Replica, Snapshot, SyncReport
+from repro.storage import DurableStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Replica",
     "Snapshot",
     "SyncReport",
+    "DurableStore",
     "Treedoc",
     "OpBatch",
     "batch_digest",

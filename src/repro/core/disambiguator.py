@@ -183,3 +183,13 @@ class DisambiguatorFactory:
     def counter(self) -> int:
         """Current UDIS counter value (number of UDIS minted so far)."""
         return self._counter
+
+    def restore_counter(self, value: int) -> None:
+        """Advance the UDIS counter to at least ``value`` (durable
+        recovery only). The counter is what makes a UDIS globally
+        unique; a restarted site must never re-mint a (counter, site)
+        pair from before its crash, so the counter is monotonic — this
+        can only move it forward. A no-op for SDIS (site-only tags
+        carry no counter: re-minting is what the tombstones absorb)."""
+        if value > self._counter:
+            self._counter = value

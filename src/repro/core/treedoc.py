@@ -119,6 +119,33 @@ class Treedoc:
         on it)."""
         return self.tree.generation
 
+    @property
+    def op_seq(self) -> int:
+        """Next unclaimed local operation sequence number. Durable
+        recovery persists and restores it (:meth:`restore_op_seq`), so
+        the batches a restarted replica mints can never reuse a seq
+        range from before the crash."""
+        return self._op_seq
+
+    def restore_op_seq(self, value: int) -> None:
+        """Advance the local sequence counter to at least ``value``
+        (recovery only — the counter is monotonic, never rewound)."""
+        if value > self._op_seq:
+            self._op_seq = value
+
+    @property
+    def dis_counter(self) -> int:
+        """The UDIS mint counter (0 for SDIS documents). Persisted by
+        the durable store alongside :attr:`op_seq`: identifier identity
+        across a crash depends on never re-minting a (counter, site)
+        pair."""
+        return self._dis_factory.counter
+
+    def restore_dis_counter(self, value: int) -> None:
+        """Advance the UDIS mint counter to at least ``value``
+        (recovery only; no-op for SDIS)."""
+        self._dis_factory.restore_counter(value)
+
     def atoms(self) -> List[object]:
         """The visible document as a list of atoms (amortized O(n) copy
         off the tree's live-snapshot cache)."""

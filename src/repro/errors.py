@@ -56,6 +56,29 @@ class SyncError(ReproError):
     mismatch, diverged replicas, or a corrupt snapshot."""
 
 
+class PendingEditsError(SyncError):
+    """A state sync was refused because local edits are still pending
+    in an outbox (they would be silently lost by adopting a snapshot).
+    Recovery and anti-entropy code distinguish this from a stale
+    snapshot: the cure is to ship the pending batches, not to pick a
+    fresher peer."""
+
+
+class StaleStateError(SyncError):
+    """A state sync was refused because the offered snapshot's causal
+    frontier does not dominate the receiver's — the receiver has
+    applied events the snapshot lacks. The cure is replay, or a peer
+    that is strictly ahead; shipping an outbox would not help."""
+
+
+class StorageError(ReproError):
+    """The durable store was misused (wrong site or mode for a
+    recovered image, unknown record kind, appends to a closed log).
+    Torn or corrupted log *content* is never a StorageError — it
+    surfaces internally as :class:`DecodeError` and recovery truncates
+    to the last intact record."""
+
+
 class ReplicationError(ReproError):
     """Causal delivery or site bookkeeping was violated."""
 

@@ -35,7 +35,7 @@ from repro.core.ops import (
     content_digest,
 )
 from repro.core.treedoc import Treedoc
-from repro.errors import ReproError, SyncError
+from repro.errors import PendingEditsError, ReproError, StorageError
 from repro.util.text import join_atoms
 
 #: What merge accepts: one batch, one bare operation, or an iterable of
@@ -101,7 +101,8 @@ class Replica:
     """
 
     def __init__(self, site: SiteId, mode: str = "udis",
-                 balanced: bool = True) -> None:
+                 balanced: bool = True,
+                 store: Optional["DurableStore"] = None) -> None:
         self.doc = Treedoc(site, mode=mode, balanced=balanced)
         self._outbox: List[OpBatch] = []
         #: Batches merged from remote replicas (monitoring aid).
@@ -111,6 +112,13 @@ class Replica:
         #: (generation, Snapshot) — repeated snapshots of an unchanged
         #: replica (convergence polling) skip the digest recomputation.
         self._snapshot_cache: Optional[Tuple[int, Snapshot]] = None
+        #: Durability (:mod:`repro.storage`): every minted or merged
+        #: batch is journaled (as its core v2 frame) before the call
+        #: returns, and a store with history replays it here first.
+        self.store = store
+        self.recovered_batches = 0
+        if store is not None:
+            self._recover_from_store()
 
     @property
     def site(self) -> SiteId:
@@ -133,6 +141,15 @@ class Replica:
             # Stamp the digest before the batch can leave this replica,
             # so a receiver's verify() checks transport integrity.
             self._outbox.append(batch.seal())
+            if self.store is not None:
+                # Journal at mint time: once the caller holds the
+                # batch, a crash must be able to replay it (and restore
+                # it to the outbox — it has not shipped yet).
+                from repro.core.encoding import encode_batch
+                from repro.storage.wal import RECORD_LOCAL
+
+                self.store.append(RECORD_LOCAL, encode_batch(batch)[0])
+                self._maybe_checkpoint()
         return batch
 
     def insert(self, index: int, atoms: Sequence[object]) -> OpBatch:
@@ -154,6 +171,12 @@ class Replica:
         batches = list(self._outbox)
         if clear:
             self._outbox.clear()
+            if batches and self.store is not None:
+                # The drain marker: recovery must not put these back in
+                # the outbox (the caller took responsibility for them).
+                from repro.storage.wal import RECORD_DRAIN
+
+                self.store.append(RECORD_DRAIN)
         return batches
 
     def merge(self, patch: Union[Patch, Iterable[Patch]],
@@ -173,11 +196,25 @@ class Replica:
                     f"batch digest mismatch from site {patch.origin}: "
                     "corrupted in transport?"
                 )
+            if self.store is not None:
+                from repro.core.encoding import encode_batch
+                from repro.storage.wal import RECORD_REMOTE
+
+                # Log before apply: the merge is acknowledged (returns)
+                # only once a crash could replay it.
+                self.store.append(RECORD_REMOTE, encode_batch(patch)[0])
             self.doc.apply_batch(patch)
             self.merged_batches += 1
+            self._maybe_checkpoint()
             return len(patch.ops)
         if isinstance(patch, (InsertOp, DeleteOp, FlattenOp)):
+            if self.store is not None:
+                from repro.core.encoding import encode_operation
+                from repro.storage.wal import RECORD_REMOTE
+
+                self.store.append(RECORD_REMOTE, encode_operation(patch)[0])
             self.doc.apply(patch)
+            self._maybe_checkpoint()
             return 1
         if isinstance(patch, (str, bytes)):
             raise TypeError(
@@ -214,9 +251,11 @@ class Replica:
         that with vector clocks).
         """
         if self._outbox:
-            raise SyncError(
-                f"replica {self.site}: {len(self._outbox)} pending local "
-                "batches would be lost by a state sync; ship them first"
+            raise PendingEditsError(
+                f"replica {self.site}: refusing state sync — "
+                f"{len(self._outbox)} locally minted batches are still "
+                "pending in this replica's outbox and adopting a snapshot "
+                "would silently lose them; ship them (pending()) first"
             )
         if source._outbox:
             # The snapshot would embed edits the source has not shipped
@@ -224,9 +263,12 @@ class Replica:
             # replaying those batches against a state that already
             # contains them can fault (e.g. an insert whose identifier
             # the snapshot carries as a tombstone).
-            raise SyncError(
-                f"replica {source.site}: source has {len(source._outbox)} "
-                "unshipped batches; drain source.pending() first"
+            raise PendingEditsError(
+                f"replica {source.site}: refusing state sync — the source "
+                f"has {len(source._outbox)} unshipped batches; its snapshot "
+                "would embed them and their later normal shipment would "
+                "replay against a state that already contains them; drain "
+                "source.pending() first"
             )
         # The facade has no vector clocks (its outbox checks above are
         # the safety argument), so the frame carries an empty frontier;
@@ -241,12 +283,126 @@ class Replica:
         atoms = self.doc.load_state(response.state)
         self._snapshot_cache = None
         self.synced_states += 1
+        if self.store is not None:
+            # No WAL record describes a wholesale state adoption;
+            # persist it as an immediate checkpoint instead.
+            self.checkpoint()
         return SyncReport(
             atoms=atoms,
             wire_bytes=len(wire),
             run_segments=response.state.run_segments,
             op_segments=response.state.op_segments,
         )
+
+    # -- durability (repro.storage) ------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Write a durable checkpoint now (the store's cadence normally
+        drives this). The checkpoint frame is the same v2 state frame
+        :meth:`sync` puts on the wire; batches still waiting in the
+        outbox are re-logged after the rotation, so recovery can
+        restore them as *pending* without re-applying them (the
+        checkpointed state already contains their edits)."""
+        if self.store is None:
+            raise StorageError(f"replica {self.site} has no durable store")
+        from repro.core.encoding import encode_batch
+        from repro.replication.clock import VectorClock
+        from repro.replication.wire import SyncResponse
+        from repro.storage.wal import RECORD_OUTBOX
+
+        frame = SyncResponse(
+            self.site, VectorClock(), self.doc.capture_state()
+        ).to_wire()
+        self.store.write_checkpoint(frame, meta={
+            "site": self.site,
+            "mode": self.doc.mode,
+            "op_seq": self.doc.op_seq,
+            "dis_counter": self.doc.dis_counter,
+        })
+        for batch in self._outbox:
+            self.store.append(RECORD_OUTBOX, encode_batch(batch)[0])
+
+    def _maybe_checkpoint(self) -> None:
+        if self.store is not None and self.store.checkpoint_due():
+            self.checkpoint()
+
+    def _recover_from_store(self) -> None:
+        """Startup recovery: newest valid checkpoint + WAL tail replay.
+
+        ``LOCAL`` tail records re-apply *and* re-enter the outbox (they
+        were minted but — absent a later ``DRAIN`` marker — never
+        drained); ``REMOTE`` records re-apply; ``OUTBOX`` records
+        re-enter the outbox without re-applying (the checkpoint state
+        already contains them). Mint counters restore from the META
+        bookkeeping plus the replayed tail, so post-restart batches
+        carry fresh seq ranges and UDIS identifiers.
+        """
+        from repro.core.disambiguator import Udis
+        from repro.core.encoding import decode_frame
+        from repro.errors import DecodeError
+        from repro.replication.wire import SyncResponse, decode_wire
+        from repro.storage.wal import (
+            RECORD_DRAIN,
+            RECORD_LOCAL,
+            RECORD_OUTBOX,
+            RECORD_REMOTE,
+        )
+
+        store = self.store
+        recovered = store.recover()
+        store.attach(self.site, self.doc.mode)
+        if recovered.checkpoint is not None:
+            frame = decode_wire(recovered.checkpoint)
+            if not isinstance(frame, SyncResponse):
+                raise StorageError(
+                    f"replica {self.site}: checkpoint does not hold a "
+                    "state frame"
+                )
+            self.doc.load_state(frame.state)
+        op_seq = int(recovered.meta.get("op_seq", 0) or 0)
+        self.doc.restore_dis_counter(
+            int(recovered.meta.get("dis_counter", 0) or 0)
+        )
+        for index, record in enumerate(recovered.records):
+            try:
+                if record.kind == RECORD_DRAIN:
+                    self._outbox.clear()
+                    continue
+                if record.kind not in (RECORD_LOCAL, RECORD_REMOTE,
+                                       RECORD_OUTBOX):
+                    continue
+                event = decode_frame(record.payload)
+            except DecodeError:
+                # Intact record CRC but undecodable content: treat like
+                # any torn tail — truncate to the last good record.
+                recovered.truncate_from(index)
+                break
+            if record.kind == RECORD_REMOTE:
+                if isinstance(event, OpBatch):
+                    self.doc.apply_batch(event)
+                    self.merged_batches += 1
+                else:
+                    self.doc.apply(event)
+            else:
+                # LOCAL or OUTBOX: back into the outbox; only LOCAL
+                # (minted after the checkpoint) also re-applies.
+                if record.kind == RECORD_LOCAL:
+                    self.doc.apply_batch(event)
+                    op_seq = max(op_seq, event.seq_end)
+                    for op in event.ops:
+                        posid = (op.posid if hasattr(op, "posid")
+                                 else op.path)
+                        for element in posid.elements:
+                            dis = element.dis
+                            if (isinstance(dis, Udis)
+                                    and dis.site == self.site):
+                                self.doc.restore_dis_counter(
+                                    dis.counter + 1
+                                )
+                self._outbox.append(event)
+            self.recovered_batches += 1
+        self.doc.restore_op_seq(op_seq)
+        self._snapshot_cache = None
 
     # -- queries ------------------------------------------------------------------
 

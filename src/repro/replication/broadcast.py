@@ -42,6 +42,12 @@ class CausalBroadcast:
         self.network = network
         self._deliver = deliver
         self.clock = VectorClock()
+        #: Durability hook: called with an envelope's wire bytes right
+        #: before the envelope takes effect — before a local event is
+        #: shipped, and before a remote one is delivered (log-before-
+        #: apply). Owners with a :class:`repro.storage.DurableStore`
+        #: install it; None means no journaling.
+        self.journal: Optional[Callable[[bytes], None]] = None
         self._buffer: List[EnvelopeFrame] = []
         #: Simulated time at which the buffer last became non-empty
         #: (None while empty): the age of the oldest unmet causal gap,
@@ -65,7 +71,12 @@ class CausalBroadcast:
             payload, bits = encode_operation(event)
         self.clock = self.clock.tick(self.site)
         frame = EnvelopeFrame(self.site, self.clock.copy(), payload, bits)
-        self.network.broadcast(self.site, encode_wire(frame))
+        data = encode_wire(frame)
+        if self.journal is not None:
+            # Log before ship: once the caller observes the edit as
+            # sent, a crash must be able to replay (and re-ship) it.
+            self.journal(data)
+        self.network.broadcast(self.site, data)
         return frame
 
     # -- state-transfer catch-up ---------------------------------------------------
@@ -142,6 +153,12 @@ class CausalBroadcast:
                     # anti-entropy policy recovers by state transfer.
                     self._buffer.remove(frame)
                     payload = frame.decode_payload()
+                    if self.journal is not None:
+                        # Log before apply: a frame journals only after
+                        # it decodes (same reason the clock merges after
+                        # the decode) and before it mutates anything, so
+                        # an ack never precedes durability.
+                        self.journal(encode_wire(frame))
                     self.clock = self.clock.merge(frame.clock)
                     self._deliver(frame.origin, payload)
                     progressed = True

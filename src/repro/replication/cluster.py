@@ -45,21 +45,38 @@ class Cluster:
         for offset in range(n_sites):
             self.add_site(first_site + offset)
 
-    def add_site(self, site_id: Optional[SiteId] = None) -> ReplicaSite:
+    def add_site(self, site_id: Optional[SiteId] = None,
+                 store: Optional["DurableStore"] = None) -> ReplicaSite:
         """Register one more site (default id: max + 1) — a late
         joiner. It starts empty and catches up like any lagging
         replica: by replay for what still reaches it, and by the
         anti-entropy exchange (see :meth:`anti_entropy`) for the
-        history sent before it existed."""
+        history sent before it existed.
+
+        With ``store`` the site is durable — and if the store already
+        holds history (e.g. from a site removed by :meth:`crash_site`),
+        the new site *resurrects* from it: checkpoint + WAL tail
+        replay, then the ordinary catch-up paths close whatever gap
+        accumulated while it was down."""
         if site_id is None:
             site_id = max(self.sites) + 1 if self.sites else 1
         if site_id in self.sites:
             raise ReplicationError(f"site {site_id} already in the cluster")
         self.sites[site_id] = ReplicaSite(
             site_id, self.network, mode=self.mode, balanced=self.balanced,
-            tombstone_gc=self.tombstone_gc, policy=self.policy,
+            tombstone_gc=self.tombstone_gc, policy=self.policy, store=store,
         )
         return self.sites[site_id]
+
+    def crash_site(self, site_id: SiteId) -> Optional["DurableStore"]:
+        """Kill a site: it vanishes from the cluster mid-flight (no
+        flush, no goodbye), exactly like a process death. Returns its
+        durable store (None for a volatile site) for a later
+        :meth:`add_site` resurrection."""
+        site = self.sites.pop(site_id, None)
+        if site is None:
+            raise ReplicationError(f"site {site_id} not in the cluster")
+        return site.crash()
 
     def __getitem__(self, site: SiteId) -> ReplicaSite:
         return self.sites[site]

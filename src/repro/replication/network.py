@@ -111,6 +111,14 @@ class SimulatedNetwork:
             raise ReplicationError(f"site {site} already registered")
         self._handlers[site] = handler
 
+    def disconnect(self, site: SiteId) -> None:
+        """Detach a site (a crash, in the simulations). Messages
+        already in flight to it are treated as losses and retried —
+        the retransmissions bridge a short downtime; a longer one is
+        what the anti-entropy exchange recovers on rejoin. The site id
+        can be :meth:`register`-ed again (a restarted process)."""
+        self._handlers.pop(site, None)
+
     @property
     def sites(self) -> Tuple[SiteId, ...]:
         return tuple(sorted(self._handlers))
@@ -215,6 +223,15 @@ class SimulatedNetwork:
                 self._held.append(event)
                 continue
             final_attempt = event.attempt >= self.config.max_transmit_attempts
+            if event.dst not in self._handlers:
+                # Destination offline (crashed between send and
+                # delivery): a loss. Retries bridge a short downtime;
+                # after the attempt budget the message is abandoned and
+                # rejoin recovery falls to anti-entropy.
+                self.dropped_transmissions += 1
+                if not final_attempt:
+                    self._retransmit(event)
+                return True
             if (not final_attempt
                     and self._rng.random() < self.config.drop_rate):
                 # Lost transmission: the transport retries later.

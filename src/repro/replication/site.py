@@ -27,7 +27,14 @@ from repro.core.disambiguator import SiteId
 from repro.core.ops import DeleteOp, FlattenOp, InsertOp, OpBatch, Operation
 from repro.core.path import PosID
 from repro.core.treedoc import Treedoc
-from repro.errors import CommitError, ReplicationError, SyncError
+from repro.errors import (
+    CommitError,
+    DecodeError,
+    ReplicationError,
+    StaleStateError,
+    StorageError,
+    SyncError,
+)
 from repro.replication.broadcast import CausalBroadcast
 from repro.replication.clock import VectorClock
 from repro.replication.commit import (
@@ -65,6 +72,7 @@ class ReplicaSite:
         balanced: bool = True,
         tombstone_gc: bool = False,
         policy: Optional["AntiEntropyPolicy"] = None,
+        store: Optional["DurableStore"] = None,
     ) -> None:
         from repro.replication.sync import AntiEntropyPolicy
 
@@ -99,6 +107,17 @@ class ReplicaSite:
         self.sync_responses_sent = 0
         self.sync_responses_applied = 0
         self.sync_responses_ignored = 0
+        #: Durability (:mod:`repro.storage`): every applied envelope is
+        #: journaled before it takes effect, the document checkpoints on
+        #: the store's cadence, and a store with history replays it here
+        #: before the site rejoins the network.
+        self.store = store
+        self._recovering = False
+        self.recovered_events = 0
+        self.reshipped_envelopes = 0
+        if store is not None:
+            self._recover_from_store()
+            self.broadcast.journal = self._journal
 
     # -- local editing ------------------------------------------------------------
 
@@ -196,6 +215,7 @@ class ReplicaSite:
         frame = self.broadcast.broadcast(op)
         self._log_op(op, op.origin, frame.sequence)
         self.applied_ops.append(op)
+        self._maybe_checkpoint()
 
     def _ship_batch(self, batch: OpBatch) -> None:
         """Broadcast one causal envelope carrying the whole batch; the
@@ -211,6 +231,7 @@ class ReplicaSite:
                     (op.posid, self.site, frame.sequence)
                 )
         self.applied_ops.extend(batch.ops)
+        self._maybe_checkpoint()
 
     # -- storage maintenance --------------------------------------------------------
 
@@ -236,6 +257,158 @@ class ReplicaSite:
     def array_leaf_count(self) -> int:
         """Collapsed quiescent regions currently held as arrays."""
         return self.doc.array_leaf_count
+
+    # -- durability (repro.storage) --------------------------------------------------
+
+    def _journal(self, data: bytes) -> None:
+        """The broadcast layer's durability hook: one envelope's wire
+        bytes, written (and fsynced) before the envelope ships or
+        applies. The checkpoint cadence is *not* checked here — a
+        checkpoint must never run while an apply is mid-flight, so the
+        poll sits at the quiescent points (:meth:`_maybe_checkpoint`).
+        """
+        from repro.storage.wal import RECORD_ENVELOPE
+
+        self.store.append(RECORD_ENVELOPE, data)
+
+    def _store_meta(self) -> Dict[str, object]:
+        """Counters a state frame cannot carry, persisted in the WAL's
+        META records and the manifest: the mint counters that make
+        post-restart identifiers and batch seq ranges fresh."""
+        return {
+            "site": self.site,
+            "mode": self.doc.mode,
+            "op_seq": self.doc.op_seq,
+            "dis_counter": self.doc.dis_counter,
+            "revision": self.doc.revision,
+        }
+
+    def checkpoint(self) -> None:
+        """Write a durable checkpoint now (the store's cadence normally
+        drives this via :meth:`_maybe_checkpoint`). The checkpoint *is*
+        a state-transfer frame — the same snapshot an anti-entropy peer
+        would receive — so recovery and sync share one format."""
+        if self.store is None:
+            raise StorageError(f"site {self.site} has no durable store")
+        frame = self.make_state_transfer()
+        self.store.write_checkpoint(frame.to_wire(), meta=self._store_meta())
+
+    def _maybe_checkpoint(self) -> None:
+        """Poll the checkpoint cadence at a quiescent point: after a
+        local edit shipped, or after one network delivery fully
+        processed — never mid-apply, so the WAL rotation can only prune
+        records whose effects the new checkpoint contains."""
+        if self.store is None or self._recovering:
+            return
+        if self.store.checkpoint_due():
+            self.checkpoint()
+
+    def _recover_from_store(self) -> None:
+        """Startup recovery: newest valid checkpoint + WAL tail replay.
+
+        The checkpoint frame restores document, frontier and delete
+        log; the tail's envelopes re-enter through the ordinary causal
+        delivery path (the clock filters the ones the checkpoint
+        already covers); own-origin tail envelopes are re-broadcast,
+        because the journal writes before the network sends — a crash
+        between the two must not lose the edit (receivers that did get
+        the original drop the duplicate by clock). Counter restoration
+        (op_seq, UDIS mint counter) is what keeps post-restart
+        identifiers globally fresh.
+        """
+        from repro.core.disambiguator import Udis
+        from repro.storage.wal import RECORD_ENVELOPE
+
+        store = self.store
+        recovered = store.recover()
+        store.attach(self.site, self.doc.mode)
+        self._recovering = True
+        own_payloads: List[bytes] = []
+        own_events: List[object] = []
+        try:
+            if recovered.checkpoint is not None:
+                frame = decode_wire(recovered.checkpoint)
+                if not isinstance(frame, SyncResponse):
+                    raise StorageError(
+                        f"site {self.site}: checkpoint does not hold a "
+                        "state-transfer frame"
+                    )
+                self.doc.load_state(frame.state)
+                self.broadcast.clock = frame.clock.copy()
+                if self.tombstone_gc:
+                    self._delete_log = [
+                        (posid, origin, sequence)
+                        for posid, origin, sequence in frame.delete_log
+                    ]
+            for index, record in enumerate(recovered.records):
+                if record.kind != RECORD_ENVELOPE:
+                    continue
+                try:
+                    frame = decode_wire(record.payload)
+                    if not isinstance(frame, EnvelopeFrame):
+                        raise DecodeError(
+                            "WAL envelope record holds a non-envelope frame"
+                        )
+                    fresh = not self.broadcast.has_delivered(
+                        frame.origin, frame.sequence
+                    )
+                    if fresh and frame.origin == self.site:
+                        own_payloads.append(record.payload)
+                        own_events.append(frame.decode_payload())
+                    self.broadcast.on_frame(frame)
+                except DecodeError:
+                    # Intact CRC but undecodable content (damage inside
+                    # a record written torn): truncate to the last
+                    # record that decoded, like any other torn tail.
+                    recovered.truncate_from(index)
+                    break
+                if fresh:
+                    self.recovered_events += 1
+            self._restore_counters(recovered.meta, own_events, Udis)
+            # The op-level region log did not witness the checkpoint's
+            # edits; a whole-document touch per site at the recovered
+            # frontier makes this site vote No on any flatten whose
+            # initiator snapshot predates what it just restored (the
+            # same conservatism as adopting a state transfer).
+            for site, sequence in self.broadcast.clock.items():
+                self._region_log.append(((), site, sequence))
+        finally:
+            self._recovering = False
+        for payload in own_payloads:
+            self.network.broadcast(self.site, payload)
+            self.reshipped_envelopes += 1
+
+    def _restore_counters(self, meta: Dict[str, object],
+                          own_events: List[object], udis_type: type) -> None:
+        """Monotonic mint counters survive the crash: the META values
+        cover everything up to the checkpoint; the replayed own-origin
+        tail advances past them (batches carry their absolute seq
+        range; bare operations each claimed one number)."""
+        op_seq = int(meta.get("op_seq", 0) or 0)
+        self.doc.restore_dis_counter(int(meta.get("dis_counter", 0) or 0))
+        for event in own_events:
+            if isinstance(event, OpBatch):
+                op_seq = max(op_seq, event.seq_end)
+                ops = event.ops
+            else:
+                op_seq += 1
+                ops = (event,)
+            for op in ops:
+                posid = op.posid if hasattr(op, "posid") else op.path
+                for element in posid.elements:
+                    dis = element.dis
+                    if isinstance(dis, udis_type) and dis.site == self.site:
+                        self.doc.restore_dis_counter(dis.counter + 1)
+        self.doc.restore_op_seq(op_seq)
+
+    def crash(self) -> Optional["DurableStore"]:
+        """Simulate process death: detach from the network with no
+        graceful shutdown whatsoever — nothing flushes, nothing
+        checkpoints (appends were already fsynced individually). The
+        abandoned object must not be used again; resurrect the site by
+        constructing a fresh one over the returned store."""
+        self.network.disconnect(self.site)
+        return self.store
 
     # -- state-transfer anti-entropy ------------------------------------------------
 
@@ -280,9 +453,16 @@ class ReplicaSite:
         if transfer.site == self.site:
             raise SyncError(f"site {self.site}: cannot sync from itself")
         if not transfer.clock.dominates(self.broadcast.clock):
-            raise SyncError(
+            lagging = ", ".join(
+                f"origin {origin}: offered {transfer.clock.get(origin)}"
+                f" < local {count}"
+                for origin, count in sorted(self.broadcast.clock.items())
+                if transfer.clock.get(origin) < count
+            )
+            raise StaleStateError(
                 f"site {self.site}: snapshot from {transfer.site} does not "
-                "dominate this replica — catch up by replay instead"
+                f"dominate this replica ({lagging}) — catch up by replay, "
+                "or sync from a peer that is strictly ahead"
             )
         atoms = self.doc.load_state(transfer.state)
         self.broadcast.catch_up(transfer.clock)
@@ -311,6 +491,12 @@ class ReplicaSite:
         # predates the state it just inherited.
         for site, sequence in transfer.clock.items():
             self._region_log.append(((), site, sequence))
+        if self.store is not None and not self._recovering:
+            # Adopting a snapshot rewrites the document wholesale; no
+            # WAL record describes that, so persist it as an immediate
+            # checkpoint (a crash before this completes simply loses
+            # the adoption — the policy will re-sync).
+            self.checkpoint()
         return SyncStats(
             atoms=atoms,
             wire_bytes=transfer.wire_bytes,
@@ -460,6 +646,9 @@ class ReplicaSite:
                 "network carries wire frames only"
             )
         self._on_frame(src, decode_wire(data))
+        # Quiescent point: the delivery (and everything it cascaded
+        # into) is fully applied and journaled — safe to checkpoint.
+        self._maybe_checkpoint()
 
     def _on_frame(self, src: SiteId, frame: WireFrame) -> None:
         if isinstance(frame, EnvelopeFrame):

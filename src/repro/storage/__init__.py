@@ -1,0 +1,50 @@
+"""Durable sites: write-ahead log, checkpoints, and crash recovery.
+
+The storage layer makes a replica survive process death: every applied
+envelope or batch is appended to a write-ahead log *before* it is
+acknowledged, the document is periodically checkpointed through the
+same state-transfer frame anti-entropy uses, and startup recovery is
+"newest valid checkpoint + WAL tail replay", after which the replica
+rejoins the cluster through the ordinary sync protocol.
+"""
+
+from repro.storage.crash import (
+    CrashError,
+    CrashInjector,
+    tear_file,
+    tear_store,
+)
+from repro.storage.store import DurableStore, RecoveredState
+from repro.storage.wal import (
+    RECORD_DRAIN,
+    RECORD_ENVELOPE,
+    RECORD_HEADER_BYTES,
+    RECORD_LOCAL,
+    RECORD_META,
+    RECORD_OUTBOX,
+    RECORD_REMOTE,
+    WalRecord,
+    pack_record,
+    read_segment,
+    scan_records,
+)
+
+__all__ = [
+    "CrashError",
+    "CrashInjector",
+    "DurableStore",
+    "RecoveredState",
+    "RECORD_DRAIN",
+    "RECORD_ENVELOPE",
+    "RECORD_HEADER_BYTES",
+    "RECORD_LOCAL",
+    "RECORD_META",
+    "RECORD_OUTBOX",
+    "RECORD_REMOTE",
+    "WalRecord",
+    "pack_record",
+    "read_segment",
+    "scan_records",
+    "tear_file",
+    "tear_store",
+]

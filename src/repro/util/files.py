@@ -1,0 +1,68 @@
+"""Crash-safe file primitives shared by the storage layer and disk images.
+
+The durability rules are the classic ones: a file that must never be
+observed half-written is produced as a temporary sibling, flushed and
+fsynced, then atomically renamed over the target (`os.replace` is atomic
+on POSIX within one filesystem); the directory entry itself is fsynced
+so the rename survives a power cut. Readers therefore see either the
+old complete file or the new complete file, never a torn one.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Optional
+
+
+def fsync_dir(path: Path) -> None:
+    """fsync a directory so a rename/create inside it is durable.
+
+    Best effort: some platforms (and some CI filesystems) refuse to
+    open directories; losing the directory fsync weakens the crash
+    story without affecting correctness of what readers can observe.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: Path,
+    data: bytes,
+    fsync: bool = True,
+    before_replace: Optional[Callable[[], None]] = None,
+) -> None:
+    """Write ``data`` to ``path`` atomically (temp + fsync + rename).
+
+    ``before_replace`` is a crash-injection hook: it runs after the
+    temporary file is durable but before the rename, which is exactly
+    the window where a crash must leave the *old* file intact. The
+    temporary file is removed on any failure.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        if before_replace is not None:
+            before_replace()
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_dir(path.parent)

@@ -1,0 +1,124 @@
+"""Disk images as real files: atomic writes, torn-write injection,
+typed errors on damage (ISSUE satellite: atomic image writes)."""
+
+import os
+
+import pytest
+
+from repro.core.disk import (
+    image_from_bytes,
+    image_to_bytes,
+    load_file,
+    read_image,
+    save,
+    save_file,
+    write_image,
+)
+from repro.core.treedoc import Treedoc
+from repro.errors import DecodeError
+from repro.storage import CrashError, CrashInjector
+
+
+def _doc(text="the quick brown fox"):
+    doc = Treedoc(1)
+    doc.insert_text(0, text)
+    return doc
+
+
+class TestContainer:
+    def test_round_trip(self, tmp_path):
+        doc = _doc()
+        path = tmp_path / "doc.tdoc"
+        size = save_file(doc.tree, path, fsync=False)
+        assert path.stat().st_size == size
+        tree = load_file(path)
+        assert tree.atoms() == doc.tree.atoms()
+
+    def test_round_trip_with_array_leaves(self, tmp_path):
+        from repro.core.path import ROOT
+
+        doc = _doc()
+        doc.note_revision()
+        doc.flatten_local(ROOT)  # canonical shape: collapsible
+        doc.note_revision()
+        doc.note_revision()
+        doc.collapse_cold(min_age=1, min_atoms=2)
+        assert doc.array_leaf_count
+        path = tmp_path / "cold.tdoc"
+        save_file(doc.tree, path, fsync=False)
+        tree = load_file(path)
+        assert tree.atoms() == doc.tree.atoms()
+        # Leaves load back collapsed, not exploded.
+        assert len(tree.array_leaves()) == doc.array_leaf_count
+
+    def test_bytes_round_trip(self):
+        image = save(_doc().tree)
+        again = image_from_bytes(image_to_bytes(image))
+        assert again.tree_bytes == image.tree_bytes
+        assert again.tree_bits == image.tree_bits
+        assert again.atom_payloads == image.atom_payloads
+        assert again.version == image.version
+
+    def test_every_truncation_raises_typed_error(self):
+        data = image_to_bytes(save(_doc("abcdef").tree))
+        for cut in range(len(data)):
+            with pytest.raises(DecodeError):
+                image_from_bytes(data[:cut])
+
+    def test_bit_flip_raises_typed_error(self):
+        data = image_to_bytes(save(_doc().tree))
+        for byte in range(0, len(data), 7):
+            damaged = bytearray(data)
+            damaged[byte] ^= 0x10
+            with pytest.raises(DecodeError):
+                image_from_bytes(bytes(damaged))
+
+
+class TestAtomicity:
+    def test_partial_write_leaves_previous_image_intact(self, tmp_path):
+        """The injected-partial-write regression: a crash after the
+        temp file is written but before the rename must leave the old
+        image exactly as it was (and no half-written garbage behind)."""
+        path = tmp_path / "doc.tdoc"
+        save_file(_doc("version one").tree, path, fsync=False)
+        before = path.read_bytes()
+
+        injector = CrashInjector()
+        injector.arm("disk.replace")
+
+        def crash():
+            injector.check("disk.replace")
+
+        with pytest.raises(CrashError):
+            write_image(save(_doc("version two").tree), path,
+                        fsync=False, before_replace=crash)
+        assert path.read_bytes() == before
+        assert load_file(path).atoms() == list("version one")
+        # The temp sibling was cleaned up.
+        assert os.listdir(tmp_path) == ["doc.tdoc"]
+
+    def test_no_previous_image_partial_write_leaves_nothing(self, tmp_path):
+        path = tmp_path / "doc.tdoc"
+
+        def crash():
+            raise CrashError("die before rename")
+
+        with pytest.raises(CrashError):
+            write_image(save(_doc().tree), path, fsync=False,
+                        before_replace=crash)
+        assert not path.exists()
+        assert os.listdir(tmp_path) == []
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "doc.tdoc"
+        save_file(_doc("aaa").tree, path, fsync=False)
+        save_file(_doc("bbb").tree, path, fsync=False)
+        assert load_file(path).atoms() == list("bbb")
+
+    def test_read_image_typed_error_on_torn_file(self, tmp_path):
+        path = tmp_path / "doc.tdoc"
+        save_file(_doc().tree, path, fsync=False)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(DecodeError):
+            read_image(path)
