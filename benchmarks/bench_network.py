@@ -20,10 +20,24 @@ duplication + **corruption** (bit flips): every damaged frame must be
 rejected by the CRC and retransmitted, and the cluster must still
 converge — the fault-tolerance story measured end to end.
 
+Two scenarios added with the frontier-diff protocol:
+
+4. **delta vs full** — a requester exactly one origin-event burst
+   behind on a settled ~1500-line document asks for sync; the
+   responder's ``SyncDelta`` (only the touched regions plus the recent
+   delete log) is weighed against the full ``SyncResponse`` snapshot it
+   replaces. The delta must win by :data:`MIN_DELTA_RATIO`.
+5. **churn scaling** — 10 -> 50 -> 100 sites run a scripted
+   churn schedule (partition, join, leave) under 15% drop + 5%
+   corruption to convergence with PosID identity; per-site wire bytes
+   are read from the network counters and checked against the
+   checked-in ``WIRE_BUDGET.json`` ceilings.
+
 Writes ``BENCH_network.json`` (checked into the repo root; CI refreshes
 it as an artifact) and fails loudly if the anti-entropy path does not
-beat replay on wire bytes by the acceptance floor, or if any scenario
-fails to converge identifier-identically. Run::
+beat replay on wire bytes by the acceptance floor, if the delta loses
+to the full snapshot, if any churn row busts its wire-byte budget, or
+if any scenario fails to converge identifier-identically. Run::
 
     PYTHONPATH=src python benchmarks/bench_network.py [--quick]
 """
@@ -42,6 +56,11 @@ from pathlib import Path
 #: wire bytes to the laggard by at least this factor on the edit-heavy
 #: history.
 MIN_BYTES_RATIO = 1.5
+
+#: Acceptance floor: for a requester one origin-event burst behind on
+#: the settled long document, the frontier-diff ``SyncDelta`` must be
+#: at least this many times smaller than the full snapshot.
+MIN_DELTA_RATIO = 5.0
 
 #: Fire on any persistent gap immediately: benchmark scenarios settle
 #: between phases, so little simulated time elapses.
@@ -162,6 +181,128 @@ def measure_anti_entropy(cfg, config=None, label_faults=False) -> dict:
     return result
 
 
+def measure_delta_vs_full(cfg) -> dict:
+    """One-origin-behind requester: frontier-diff delta vs full snapshot.
+
+    The responder builds both frames for the same request clock, so the
+    comparison is exact — same document, same moment. The delta is then
+    also exchanged for real over the network to confirm it converges
+    identifier-identically."""
+    from repro.replication.cluster import Cluster
+
+    cluster = Cluster(2, mode="sdis", seed=cfg["seed"],
+                      policy=_eager_policy())
+    cluster.bootstrap(list("delta-vs-full benchmark document\n"))
+    responder, requester = cluster[1], cluster[2]
+    for line in range(cfg["lines"]):
+        responder.insert_text(len(responder), list(f"ln {line:04d}\n"))
+        if line % 50 == 49:
+            cluster.settle()
+    cluster.settle()
+    _settle_storage(cluster)
+    base = requester.broadcast.clock.copy()
+    # The requester now falls exactly one origin-event burst behind.
+    responder.insert_text(0, list("hotfix: one small edit\n"))
+    delta = responder.make_sync_delta(base)
+    full = responder.make_state_transfer()
+    if delta is None:
+        raise SystemExit("FAIL: responder refused the frontier diff")
+    # Ship it for real: the pending envelope and the sync exchange both
+    # travel the simulated wire, and the requester must end identical.
+    bytes_before = cluster.network.link_bytes_to(requester.site)
+    cluster.settle()
+    cluster.assert_converged()
+    if requester.doc.posids() != responder.doc.posids():
+        raise SystemExit("FAIL: delta receiver is not identifier-identical")
+    return {
+        "lines": cfg["lines"],
+        "atoms": len(responder),
+        "delta_wire_bytes": delta.wire_bytes,
+        "delta_atoms": delta.atom_count,
+        "full_wire_bytes": full.wire_bytes,
+        "exchange_wire_bytes": cluster.network.link_bytes_to(requester.site)
+        - bytes_before,
+    }
+
+
+def measure_churn_scaling(cfg) -> list:
+    """Scripted churn at 10 -> 50 -> 100 sites under drop + corruption:
+    per-site wire bytes, read from the network's own counters."""
+    from repro.replication.cluster import ChurnEvent, Cluster
+    from repro.replication.network import NetworkConfig
+    from repro.replication.sync import AntiEntropyPolicy
+
+    faults = NetworkConfig(drop_rate=0.15, corruption_rate=0.05,
+                           min_latency=1, max_latency=40)
+    policy = AntiEntropyPolicy(max_buffered=4, max_gap_age=150.0,
+                               min_request_interval=100.0,
+                               jitter=0.5, jitter_seed=7)
+    rows = []
+    for sites in cfg["cluster_sizes"]:
+        cluster = Cluster(sites, mode="sdis", config=faults,
+                          seed=cfg["seed"] + sites, policy=policy)
+        cluster.bootstrap(list("churn scaling row under faults"))
+        ids = cluster.site_ids
+        third = max(2, sites // 3)
+        schedule = [
+            ChurnEvent(1, "partition", groups=(tuple(ids[:third]),)),
+            ChurnEvent(2, "join"),
+            ChurnEvent(3, "heal"),
+            ChurnEvent(4, "leave", site=ids[-1]),
+        ]
+        started = time.perf_counter()
+        report = cluster.run_churn(schedule, steps=cfg["churn_steps"],
+                                   edits_per_step=2, pump=200,
+                                   seed=cfg["seed"])
+        cluster.converge(max_cycles=40)
+        wall = time.perf_counter() - started
+        atoms = cluster.assert_converged(identities=True)
+        per_site = cluster.wire_bytes_per_site()
+        total = cluster.network.bytes_delivered
+        rows.append({
+            "sites": sites,
+            "wire_bytes_total": total,
+            "wire_bytes_per_site": round(total / len(per_site), 1),
+            "sync_deltas_applied": sum(
+                s.sync_deltas_applied for s in cluster),
+            "sync_responses_applied": sum(
+                s.sync_responses_applied for s in cluster),
+            "sync_declines_received": sum(
+                s.sync_declines_received for s in cluster),
+            "edits": report["edits"],
+            "atoms": len(atoms),
+            "wall_seconds": wall,
+        })
+    return rows
+
+
+def _check_wire_budget(results: dict, budget_path: Path, mode: str) -> int:
+    """Compare the churn-scaling rows against the checked-in ceilings.
+
+    Returns the number of violations (0 = within budget). A missing
+    budget file or mode section is a hard failure — the budget is part
+    of the acceptance surface, not an optional extra."""
+    if not budget_path.exists():
+        print(f"FAIL: wire budget file {budget_path} is missing",
+              file=sys.stderr)
+        return 1
+    budget = json.loads(budget_path.read_text())
+    ceilings = budget.get("churn_bytes_per_site", {}).get(mode, {})
+    violations = 0
+    for row in results["churn_scaling"]:
+        ceiling = ceilings.get(str(row["sites"]))
+        if ceiling is None:
+            print(f"FAIL: no {mode} wire budget for "
+                  f"{row['sites']}-site churn", file=sys.stderr)
+            violations += 1
+        elif row["wire_bytes_per_site"] > ceiling:
+            print(f"FAIL: {row['sites']}-site churn used "
+                  f"{row['wire_bytes_per_site']:,.0f} bytes/site, over the "
+                  f"{ceiling:,.0f} budget", file=sys.stderr)
+            violations += 1
+    return violations
+
+
 def _fmt_bytes(value: float) -> str:
     for unit in ("B", "KiB", "MiB"):
         if abs(value) < 1024 or unit == "MiB":
@@ -200,6 +341,31 @@ def _render(results: dict) -> str:
         "  joiner identifier-identical to source: yes (checked)",
         "  every corrupted frame rejected by CRC and retried: yes (checked)",
     ]
+    delta = results["delta_vs_full"]
+    lines += [
+        "",
+        f"  delta vs full ({delta['lines']:,d}-line doc, one burst behind)",
+        f"    full snapshot        "
+        f"{_fmt_bytes(delta['full_wire_bytes']):>12s}   "
+        f"{delta['atoms']:,d} atoms",
+        f"    frontier-diff delta  "
+        f"{_fmt_bytes(delta['delta_wire_bytes']):>12s}   "
+        f"{delta['delta_atoms']:,d} atoms shipped",
+        f"    bytes: full/delta    {results['delta_ratio']:8.1f}x  "
+        f"(acceptance floor {MIN_DELTA_RATIO:.1f}x)",
+        "",
+        "  churn scaling (drop 15%, corruption 5%; PosID-identical "
+        "convergence checked)",
+    ]
+    for row in results["churn_scaling"]:
+        lines.append(
+            f"    {row['sites']:>3d} sites  "
+            f"{_fmt_bytes(row['wire_bytes_per_site']):>12s}/site   "
+            f"{row['sync_deltas_applied']:,d} deltas, "
+            f"{row['sync_responses_applied']:,d} snapshots, "
+            f"{row['sync_declines_received']:,d} declines, "
+            f"{row['edits']:,d} edits"
+        )
     return "\n".join(lines)
 
 
@@ -215,9 +381,11 @@ def main(argv=None) -> int:
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
     if args.quick:
-        cfg = dict(edits=160, seed=2009)
+        cfg = dict(edits=160, seed=2009, lines=1500,
+                   cluster_sizes=(10, 50, 100), churn_steps=6)
     else:
-        cfg = dict(edits=900, seed=2009)
+        cfg = dict(edits=900, seed=2009, lines=1500,
+                   cluster_sizes=(10, 50, 100), churn_steps=12)
     faults = NetworkConfig(drop_rate=0.15, duplicate_rate=0.05,
                            corruption_rate=0.1, min_latency=1,
                            max_latency=80)
@@ -238,21 +406,38 @@ def main(argv=None) -> int:
         "anti_entropy_under_faults": measure_anti_entropy(
             cfg, config=faults, label_faults=True
         ),
+        "delta_vs_full": measure_delta_vs_full(cfg),
+        "churn_scaling": measure_churn_scaling(cfg),
     }
     results["bytes_ratio"] = (
         results["replay"]["wire_bytes_to_laggard"]
         / results["anti_entropy"]["wire_bytes_to_joiner"]
     )
+    results["delta_ratio"] = (
+        results["delta_vs_full"]["full_wire_bytes"]
+        / results["delta_vs_full"]["delta_wire_bytes"]
+    )
     print(_render(results))
     args.out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nwrote {args.out}")
+    status = 0
     if results["bytes_ratio"] < MIN_BYTES_RATIO:
         print(
             f"FAIL: bytes ratio {results['bytes_ratio']:.2f}x below the "
             f"{MIN_BYTES_RATIO:.1f}x acceptance floor", file=sys.stderr,
         )
-        return 1
-    return 0
+        status = 1
+    if results["delta_ratio"] < MIN_DELTA_RATIO:
+        print(
+            f"FAIL: delta ratio {results['delta_ratio']:.2f}x below the "
+            f"{MIN_DELTA_RATIO:.1f}x acceptance floor", file=sys.stderr,
+        )
+        status = 1
+    budget_path = args.out.parent / "WIRE_BUDGET.json"
+    mode = "quick" if args.quick else "full"
+    if _check_wire_budget(results, budget_path, mode):
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

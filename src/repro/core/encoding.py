@@ -392,6 +392,13 @@ def _read_segments(reader: BitReader) -> List[Segment]:
     return segments
 
 
+#: Public names for the segment-stream codec: the layout is shared by
+#: v2 batch frames, state frames, and the peer protocol's ``SyncDelta``
+#: body (:mod:`repro.replication.wire`) — one definition, three frames.
+write_segments = _write_segments
+read_segments = _read_segments
+
+
 def encode_batch(batch: OpBatch,
                  min_run_atoms: Optional[int] = None) -> Tuple[bytes, int]:
     """Encode an :class:`OpBatch` as a v2 batch frame.

@@ -195,6 +195,18 @@ class AtomRun:
         always plain — that is what makes a leaf a leaf)."""
         return cls(leaf.base_elements(), tuple(leaf.atoms), CANONICAL, None)
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality (a run is its four facts): decoded segment
+        streams — batch frames, state frames, SyncDelta bodies — must
+        compare equal to what the encoder was handed."""
+        if not isinstance(other, AtomRun):
+            return NotImplemented
+        return (self.base == other.base and self.atoms == other.atoms
+                and self.shape == other.shape and self.dis == other.dis)
+
+    def __hash__(self) -> int:
+        return hash((self.base, self.atoms, self.shape, self.dis))
+
     def __repr__(self) -> str:
         return (
             f"<run {self.shape} {len(self.atoms)} atoms "
@@ -381,10 +393,57 @@ def read_run_record(reader) -> Tuple[int, int]:
 STATE_RUN_MIN_ATOMS = 4
 
 
+class RegionFilter:
+    """A prefix cover over tree regions, for frontier-diff harvesting.
+
+    A region is a subtree named by its root path *bits* (disambiguators
+    excluded: mini-node siblings share a region, which only widens the
+    cover). The filter answers one question — may this subtree hold
+    state the cover names? — with the mutual-prefix test: region ``X``
+    and subtree ``S`` intersect iff one's bits prefix the other's
+    (``X`` inside ``S``, or ``S`` inside ``X``). Ancestor spines of a
+    covered region therefore pass too; the extra slots they admit are
+    idempotent duplicates for a merging receiver, never a correctness
+    cost. The region list is minimised on construction: a region whose
+    prefix is already covered adds nothing.
+    """
+
+    def __init__(self, regions: Sequence[Tuple[int, ...]]) -> None:
+        kept: List[Tuple[int, ...]] = []
+        for bits in sorted(set(regions), key=len):
+            if not any(bits[: len(prior)] == prior for prior in kept):
+                kept.append(bits)
+        self._regions = tuple(kept)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    @property
+    def regions(self) -> Tuple[Tuple[int, ...], ...]:
+        return self._regions
+
+    @property
+    def whole_document(self) -> bool:
+        """True when the cover names the root (everything admitted)."""
+        return () in self._regions
+
+    def admits(self, bits: Tuple[int, ...]) -> bool:
+        """Whether a subtree rooted at ``bits`` intersects the cover."""
+        for region in self._regions:
+            shorter = min(len(region), len(bits))
+            if region[:shorter] == bits[:shorter]:
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"<RegionFilter {len(self._regions)} regions>"
+
+
 def iter_state_segments(tree, origin: SiteId,
-                        min_run_atoms: int = STATE_RUN_MIN_ATOMS
+                        min_run_atoms: int = STATE_RUN_MIN_ATOMS,
+                        regions: Optional[RegionFilter] = None
                         ) -> List[Segment]:
-    """The whole document state as segments in identifier order.
+    """The document state as segments in identifier order.
 
     Collapsed regions (:class:`ArrayLeaf`) and quiescent subtrees in
     canonical exploded form become :class:`AtomRun` segments *without
@@ -394,6 +453,12 @@ def iter_state_segments(tree, origin: SiteId,
     plain child of a position node (never under a mini-node — a leaf
     cannot attach there), is not the root, passes
     :func:`collect_array_atoms`, and holds ``min_run_atoms`` atoms.
+
+    With a :class:`RegionFilter` the walk prunes every subtree disjoint
+    from the cover and emits only intersecting slots and runs — the
+    frontier-diff harvest behind ``SyncDelta``: the emitted segments
+    are a faithful snapshot of the covered regions (possibly plus
+    ancestor-spine slots), and nothing outside them.
     """
     segments: List[Segment] = []
     # Explicit in-order stack (deep trees exceed the recursion limit).
@@ -407,6 +472,9 @@ def iter_state_segments(tree, origin: SiteId,
         kind = frame[0]
         if kind == "sub":
             _, child, elements, plain_child = frame
+            if regions is not None and not regions.admits(
+                    tuple(e.bit for e in elements)):
+                continue  # subtree disjoint from the cover: prune
             if isinstance(child, ArrayLeaf):
                 segments.append(AtomRun(elements, tuple(child.atoms)))
                 continue
@@ -446,6 +514,9 @@ def iter_state_segments(tree, origin: SiteId,
                               elements + (PathElement(LEFT),), True))
         else:  # "slot"
             _, slot, elements = frame
+            if regions is not None and not regions.admits(
+                    tuple(e.bit for e in elements)):
+                continue
             if slot.state == LIVE:
                 segments.append(InsertOp(PosID(elements), slot.atom, origin))
             elif slot.state == TOMBSTONE:
@@ -495,6 +566,76 @@ def load_state_segments(tree, segments: Sequence[Segment],
     tree.recount_subtree(tree.root)
     if height > tree.height:
         tree.height = height
+
+
+def merge_state_segments(tree, segments: Sequence[Segment],
+                         keep_tombstones: bool,
+                         skip: frozenset = frozenset(),
+                         ) -> Tuple[int, List]:
+    """Join state segments into a possibly **non-empty** tree.
+
+    The delta-anti-entropy receiver half: unlike
+    :func:`load_state_segments` (wholesale replacement of an empty
+    tree), this merges — atoms the tree already holds are idempotent
+    duplicates, tombstone records apply like replayed deletes, and
+    atoms the *sender* never saw are left untouched, so concurrent
+    local progress survives. ``skip`` names identifiers the caller has
+    deleted but the sender may not have seen yet (the receiver's recent
+    deletes): inserting them would resurrect a UDIS-discarded atom, so
+    they are dropped. Two live atoms disagreeing at one identifier is
+    a protocol violation and raises :class:`TreeError`.
+
+    Returns ``(applied, touched)``: atoms newly placed live, and the
+    slots changed (for the owner's cold-region touch stamps). Call
+    inside a bulk section — per-slot count deltas buffer there.
+    """
+    applied = 0
+    touched: List = []
+    for segment in segments:
+        if isinstance(segment, AtomRun):
+            for op in segment.insert_ops(0):
+                applied += _merge_live(tree, op.posid, op.atom,
+                                       skip, touched)
+        elif isinstance(segment, InsertOp):
+            applied += _merge_live(tree, segment.posid, segment.atom,
+                                   skip, touched)
+        elif isinstance(segment, DeleteOp):
+            if not keep_tombstones:
+                raise TreeError(
+                    "tombstone segment in a discard-mode (UDIS) document"
+                )
+            slot = tree.lookup(segment.posid)
+            if slot is None or slot.state == EMPTY:
+                # The shadowed insert was never applied here (both ops
+                # sit inside the delta's window): materialize the used
+                # identifier directly, as the state loader does.
+                slot = tree.materialize(segment.posid)
+                slot.state = TOMBSTONE
+                tree._adjust_counts(slot, 0, 1)
+                touched.append(slot)
+            elif slot.state == LIVE:
+                tree.make_tombstone(slot)
+                touched.append(slot)
+            # an existing tombstone is an idempotent duplicate
+        else:
+            raise TreeError(f"unknown state segment {segment!r}")
+    return applied, touched
+
+
+def _merge_live(tree, posid: PosID, atom: object, skip: frozenset,
+                touched: List) -> int:
+    if posid in skip:
+        return 0  # deleted here, delete not yet seen by the sender
+    slot = tree.materialize(posid)
+    if slot.state == LIVE:
+        if slot.atom != atom:
+            raise TreeError(f"segment merge conflict at {posid!r}")
+        return 0  # idempotent duplicate
+    if slot.state == TOMBSTONE:
+        return 0  # deleted here (SDIS keeps the evidence in-tree)
+    tree.set_live(slot, atom)
+    touched.append(slot)
+    return 1
 
 
 def _attach_run_leaf(tree, run: AtomRun) -> Optional[ArrayLeaf]:

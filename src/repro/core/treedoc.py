@@ -570,6 +570,33 @@ class Treedoc:
         self._text_cache = None
         return len(atoms)
 
+    def merge_segments(self, segments, skip: frozenset = frozenset()) -> int:
+        """Join state segments into this replica's document in place.
+
+        The delta-anti-entropy receiver half: segments cover only the
+        regions the sender believes this replica is missing, and merge
+        as a CRDT join — duplicates are idempotent, tombstone records
+        apply like replayed deletes, and local atoms the sender never
+        saw survive. ``skip`` names identifiers deleted here whose
+        delete the sender may not have seen (re-inserting them would
+        resurrect a discarded atom). The caller owns the causal safety
+        argument (see
+        :meth:`repro.replication.site.ReplicaSite._apply_sync_delta`).
+        Returns the number of atoms newly placed live.
+        """
+        from repro.core.runs import merge_state_segments
+
+        self.tree.begin_bulk()
+        try:
+            applied, touched = merge_state_segments(
+                self.tree, segments, self.keeps_tombstones, skip
+            )
+        finally:
+            self.tree.end_bulk()
+        self._touch_many(touched)
+        self._text_cache = None
+        return applied
+
     # -- internals ---------------------------------------------------------------------
 
     def _claim_seqs(self, count: int) -> int:

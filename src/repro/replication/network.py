@@ -151,6 +151,13 @@ class SimulatedNetwork:
                 return True
         return False
 
+    def reachable(self, src: SiteId, dst: SiteId) -> bool:
+        """Whether a message from ``src`` could currently reach ``dst``:
+        the destination is registered (alive) and no partition separates
+        the two. Anti-entropy peer selection consults this — a request
+        addressed across a partition would only be held until heal."""
+        return dst in self._handlers and not self._blocked(src, dst)
+
     # -- sending --------------------------------------------------------------------
 
     def send(self, src: SiteId, dst: SiteId, payload: bytes) -> None:
@@ -293,6 +300,18 @@ class SimulatedNetwork:
             raise ReplicationError("network did not quiesce within budget")
         return processed
 
+    def advance(self, delta: float) -> float:
+        """Advance simulated time by ``delta`` ms with no traffic.
+
+        A quiesced simulation (empty queue) has no event to pull time
+        forward, so age- and backoff-based policies would never expire;
+        the anti-entropy driver advances the clock explicitly while
+        causal gaps persist. Returns the new ``now``.
+        """
+        if delta > 0:
+            self.now += delta
+        return self.now
+
     @property
     def pending(self) -> int:
         """Events waiting in the queue (excluding partition-held ones)."""
@@ -307,3 +326,8 @@ class SimulatedNetwork:
         """Total delivered payload bytes addressed to ``dst``."""
         return sum(size for (_, to), size in self.link_bytes.items()
                    if to == dst)
+
+    def link_bytes_from(self, src: SiteId) -> int:
+        """Total delivered payload bytes that ``src`` put on the wire."""
+        return sum(size for (frm, _), size in self.link_bytes.items()
+                   if frm == src)

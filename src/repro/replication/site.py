@@ -21,6 +21,7 @@ decides when this site becomes the *client* and asks one itself.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.disambiguator import SiteId
@@ -47,14 +48,20 @@ from repro.replication.commit import (
 )
 from repro.replication.network import SimulatedNetwork
 from repro.replication.wire import (
+    DECLINE_BUSY,
+    DECLINE_NOT_AHEAD,
+    DECLINE_TRY_PEER,
     AckFrame,
     EnvelopeFrame,
+    SyncDecline,
+    SyncDelta,
     SyncRequest,
     SyncResponse,
     WireFrame,
     decode_wire,
     encode_wire,
 )
+from repro.util.rng import derive_rng
 
 
 class RegionLockedError(ReplicationError):
@@ -86,8 +93,33 @@ class ReplicaSite:
         self._locks = RegionLockTable()
         self._coordinators: Dict[str, FlattenCoordinator] = {}
         self._txn_counter = itertools.count()
-        #: Region-edit log for commitment votes: (bits, origin, sequence).
-        self._region_log: List[Tuple[Tuple[int, ...], SiteId, int]] = []
+        #: Transactions whose outcome this site has already seen. A
+        #: lossy, duplicating network can deliver the AbortMsg *before*
+        #: its PrepareMsg (or redeliver the prepare after the outcome);
+        #: voting on a settled transaction would take a lock no later
+        #: message ever releases. Bounded FIFO (txn ids, newest last).
+        self._decided_txns: "OrderedDict[str, None]" = OrderedDict()
+        #: Region-edit log for commitment votes and frontier-diff
+        #: harvesting: (bits, origin, sequence, kind) with kind one of
+        #: "i"nsert, "d"elete, "f"latten, or "*" (an opaque whole-
+        #: document touch: state adoption, delta merge, recovery).
+        self._region_log: List[
+            Tuple[Tuple[int, ...], SiteId, int, str]
+        ] = []
+        #: Events at or below this frontier are known only opaquely
+        #: (adopted snapshots, merged deltas, flattens, recovery): no
+        #: per-operation region knowledge survives for them, so this
+        #: site serves deltas only to requesters already past it.
+        self._opaque_frontier = VectorClock()
+        #: Recently applied deletes, posid -> (origin, sequence), kept
+        #: in every mode (a UDIS delete leaves no trace in region
+        #: state, so delta exchanges need the explicit record — both to
+        #: ship and to guard against resurrection on merge). Pruned
+        #: FIFO past :data:`_DELETE_KEEP`; ``_delete_floor`` rises to
+        #: cover what was dropped, and delta service demands the
+        #: requester be past the floor.
+        self._recent_deletes: Dict[PosID, Tuple[SiteId, int]] = {}
+        self._delete_floor = VectorClock()
         #: Operations applied, in local application order (for metrics).
         self.applied_ops: List[Operation] = []
         #: SDIS tombstone GC (section 4.2): causal-stability tracking.
@@ -97,16 +129,42 @@ class ReplicaSite:
         #: re-mint its identifier.
         self.tombstone_gc = tombstone_gc and self.doc.keeps_tombstones
         self._stability: Optional["StabilityTracker"] = None
+        #: Last (frontier, delete-log length) a purge ran against —
+        #: the piggyback path's guard against re-sweeping the log on
+        #: every delivered frame.
+        self._purge_memo: Optional[Tuple[VectorClock, int]] = None
         self._delete_log: List[Tuple[PosID, SiteId, int]] = []
         self.purged_tombstones = 0
         #: Anti-entropy: when this site stops waiting for replay and
         #: asks a peer for a snapshot instead.
         self.policy = policy or AntiEntropyPolicy()
         self._last_sync_request = float("-inf")
+        #: Earliest simulated time the next request may fire (the
+        #: jittered min-interval gate; stale/declined exchanges reset
+        #: it so the policy re-triggers at once instead of waiting out
+        #: another full window).
+        self._next_request_at = float("-inf")
+        #: Deterministic jitter stream (seeded — no wall clock): every
+        #: site draws from its own child of ``policy.jitter_seed``, so
+        #: a hundred sites staring at the same gap desynchronize.
+        self._sync_rng = derive_rng(self.policy.jitter_seed,
+                                    "sync-jitter", site)
+        #: Peer rotation: consecutive-failure score and earliest-retry
+        #: time per responder, fed by declines and stale responses.
+        self._peer_failures: Dict[SiteId, int] = {}
+        self._peer_retry_at: Dict[SiteId, float] = {}
+        self._peer_hint: Optional[SiteId] = None
         self.sync_requests_sent = 0
+        self.sync_requests_received = 0
         self.sync_responses_sent = 0
         self.sync_responses_applied = 0
         self.sync_responses_ignored = 0
+        self.sync_responses_stale = 0
+        self.sync_deltas_sent = 0
+        self.sync_deltas_applied = 0
+        self.sync_deltas_stale = 0
+        self.sync_declines_sent = 0
+        self.sync_declines_received = 0
         #: Durability (:mod:`repro.storage`): every applied envelope is
         #: journaled before it takes effect, the document checkpoints on
         #: the store's cadence, and a store with history replays it here
@@ -340,6 +398,8 @@ class ReplicaSite:
                         (posid, origin, sequence)
                         for posid, origin, sequence in frame.delete_log
                     ]
+                for posid, origin, sequence in frame.delete_log:
+                    self._note_delete(posid, origin, sequence)
             for index, record in enumerate(recovered.records):
                 if record.kind != RECORD_ENVELOPE:
                     continue
@@ -369,9 +429,14 @@ class ReplicaSite:
             # edits; a whole-document touch per site at the recovered
             # frontier makes this site vote No on any flatten whose
             # initiator snapshot predates what it just restored (the
-            # same conservatism as adopting a state transfer).
+            # same conservatism as adopting a state transfer), and the
+            # opaque frontier keeps it from serving deltas spanning
+            # history it only knows as a snapshot.
             for site, sequence in self.broadcast.clock.items():
-                self._region_log.append(((), site, sequence))
+                self._region_log.append(((), site, sequence, "*"))
+            self._opaque_frontier = self._opaque_frontier.merge(
+                self.broadcast.clock
+            )
         finally:
             self._recovering = False
         for payload in own_payloads:
@@ -488,9 +553,13 @@ class ReplicaSite:
         # The op-level region log did not see the snapshot's edits; log
         # a whole-document touch per site at the adopted frontier so
         # this site votes No on any flatten whose initiator snapshot
-        # predates the state it just inherited.
+        # predates the state it just inherited. The opaque frontier
+        # rises with it: history learned as a snapshot cannot be
+        # frontier-diffed onward.
         for site, sequence in transfer.clock.items():
-            self._region_log.append(((), site, sequence))
+            self._region_log.append(((), site, sequence, "*"))
+        self._opaque_frontier = self._opaque_frontier.merge(transfer.clock)
+        self._peer_failures.pop(transfer.site, None)
         if self.store is not None and not self._recovering:
             # Adopting a snapshot rewrites the document wholesale; no
             # WAL record describes that, so persist it as an immediate
@@ -504,68 +573,302 @@ class ReplicaSite:
             op_segments=transfer.state.op_segments,
             loaded_leaves=self.doc.array_leaf_count,
             inherited_deletes=inherited,
+            stale_responses=self.sync_responses_stale,
         )
 
     def request_sync(self, peer: Optional[SiteId] = None) -> bool:
-        """Send a ``SyncRequest`` to ``peer`` (default: the origin of
-        the oldest buffered envelope — a site provably ahead of this
-        one). Returns False when no candidate peer exists. The response
-        arrives over the network; run the simulation to receive it.
+        """Send a ``SyncRequest``; returns False when no candidate peer
+        exists. The response arrives over the network; run the
+        simulation to receive it.
+
+        Default peer selection rotates rather than fixates: a
+        responder hint (from a ``SyncDecline``) first, then a
+        *reachable* origin of a buffered envelope — each is provably
+        ahead of this site — skipping peers still in backoff, chosen by
+        the seeded jitter stream so a hundred laggards spread their
+        requests instead of pelting one responder. When every buffered
+        origin is unreachable (crashed, or across a partition), any
+        reachable peer serves as fallback: it may well have applied the
+        missing events. An explicit ``peer`` bypasses all filters.
         """
+        now = self.network.now
         if peer is None:
-            candidates = self.broadcast.buffered_origins()
-            if not candidates:
+            peer = self._pick_sync_peer(now)
+            if peer is None:
                 return False
-            peer = candidates[0]
         request = SyncRequest(self.site, self.broadcast.clock.copy())
         self.network.send(self.site, peer, encode_wire(request))
-        self._last_sync_request = self.network.now
+        self._last_sync_request = now
+        self._next_request_at = now + self._jittered(
+            self.policy.min_request_interval
+        )
         self.sync_requests_sent += 1
         return True
+
+    def _pick_sync_peer(self, now: float) -> Optional[SiteId]:
+        """Rotation: hint > reachable buffered origin > any reachable
+        peer; backoff filters each tier; None with no gap at all."""
+        candidates: List[SiteId] = []
+        for origin in self.broadcast.buffered_origins():
+            if origin not in candidates and origin != self.site:
+                candidates.append(origin)
+        if not candidates:
+            return None  # no causal gap: nothing to ask anyone for
+        hint = self._peer_hint
+        if (hint is not None and hint != self.site
+                and self.network.reachable(self.site, hint)
+                and self._retry_ok(hint, now)):
+            self._peer_hint = None
+            return hint
+        pool = [p for p in candidates
+                if self.network.reachable(self.site, p)
+                and self._retry_ok(p, now)]
+        if not pool:
+            # Every provably-ahead origin is dark: fall back to any
+            # reachable peer not in backoff (it may have the history).
+            pool = [p for p in self.network.sites
+                    if p != self.site and p not in candidates
+                    and self.network.reachable(self.site, p)
+                    and self._retry_ok(p, now)]
+        if not pool:
+            # Last resort — ignore backoff rather than stay wedged: a
+            # gap-blocked site's only way forward is through a peer.
+            pool = [p for p in self.network.sites
+                    if p != self.site
+                    and self.network.reachable(self.site, p)]
+        if not pool:
+            return None
+        if len(pool) == 1:
+            return pool[0]
+        return pool[self._sync_rng.randrange(len(pool))]
+
+    def _retry_ok(self, peer: SiteId, now: float) -> bool:
+        return now >= self._peer_retry_at.get(peer, float("-inf"))
+
+    def _jittered(self, interval: float) -> float:
+        """Stretch an interval by the policy's seeded jitter draw."""
+        if self.policy.jitter <= 0.0 or interval <= 0.0:
+            return interval
+        return interval * (1.0 + self.policy.jitter
+                           * self._sync_rng.random())
 
     def maybe_request_sync(self) -> bool:
         """Apply the anti-entropy policy: request a snapshot when the
         oldest causal gap has persisted too long (or parked too many
-        envelopes), with back-off between requests. Returns whether a
-        request went out. Driven by
+        envelopes), with jittered back-off between requests. Returns
+        whether a request went out. Driven by
         :meth:`repro.replication.cluster.Cluster.anti_entropy`.
         """
         blocked_since = self.broadcast.blocked_since
         if blocked_since is None:
             return False
         now = self.network.now
+        stretch = (self.policy.jitter * self._sync_rng.random()
+                   if self.policy.jitter > 0.0 else 0.0)
         if not self.policy.should_request(
-            self.broadcast.buffered, now - blocked_since
+            self.broadcast.buffered, now - blocked_since, stretch
         ):
             return False
-        if now - self._last_sync_request < self.policy.min_request_interval:
+        if now < self._next_request_at:
             return False
         return self.request_sync()
 
-    def _answer_sync_request(self, request: SyncRequest) -> None:
-        """The anti-entropy responder: ship a snapshot iff this site is
-        strictly ahead of the requester (otherwise the response could
-        not be adopted — stay silent and let another peer, or replay,
-        serve it)."""
-        clock = self.broadcast.clock
-        if not clock.dominates(request.clock) or clock == request.clock:
-            return
-        self.network.send(
-            self.site, request.requester, self.make_state_transfer().to_wire()
+    def make_sync_delta(self, base: VectorClock) -> Optional[SyncDelta]:
+        """Build the frontier-diff answer for a requester at ``base``,
+        or None when this site cannot diff soundly.
+
+        Soundness demands per-operation knowledge of every event past
+        ``base``: the requester must already be past this site's opaque
+        frontier (snapshots, deltas, flattens, recovery leave no region
+        trail) *and* past its delete floor (a pruned delete record
+        could otherwise resurrect through a shipped region). Within
+        that, the harvest is exact — regions touched after ``base``
+        (from the region log) plus retained delete records after
+        ``base``.
+        """
+        floors = self._opaque_frontier.merge(self._delete_floor)
+        if not base.dominates(floors):
+            return None
+        regions: List[Tuple[int, ...]] = []
+        for bits, origin, sequence, kind in self._region_log:
+            if sequence <= base.get(origin):
+                continue
+            if kind in ("f", "*"):
+                return None  # opaque event in the window (floor race)
+            regions.append(bits)
+        from repro.core.runs import RegionFilter, iter_state_segments
+
+        segments = iter_state_segments(
+            self.doc.tree, self.site, regions=RegionFilter(regions)
         )
-        self.sync_responses_sent += 1
+        delete_log = tuple(
+            (posid, origin, sequence)
+            for posid, (origin, sequence) in self._recent_deletes.items()
+            if sequence > base.get(origin)
+        )
+        return SyncDelta(self.site, self.broadcast.clock.copy(),
+                         base.copy(), tuple(segments), delete_log)
+
+    def _answer_sync_request(self, request: SyncRequest) -> None:
+        """The anti-entropy responder: frontier-diff when sound, full
+        snapshot when strictly ahead, graceful decline otherwise.
+
+        The requester's clock is itself an acknowledgement (it has
+        applied everything in it), so it feeds the stability tracker —
+        the piggyback that keeps tombstone GC advancing without
+        dedicated ack traffic.
+        """
+        self.sync_requests_received += 1
+        self._record_ack(request.requester, request.clock)
+        if not self.network.reachable(self.site, request.requester):
+            # The requester crashed, left, or fell behind a partition
+            # while its request was in flight: nobody to answer. (It
+            # will rotate to another peer if it comes back wanting.)
+            return
+        clock = self.broadcast.clock
+        if request.clock.dominates(clock):
+            # Includes equality: nothing to offer. Point at the origin
+            # of our own oldest buffered envelope if we have one — a
+            # site ahead of both of us.
+            self._send_decline(request.requester, DECLINE_NOT_AHEAD)
+            return
+        strictly = clock.dominates(request.clock)
+        if not strictly and self.broadcast.blocked_since is not None:
+            # Concurrent with the requester and fighting our own gap:
+            # serving a sound diff is unlikely; route the requester on.
+            self._send_decline(request.requester, DECLINE_BUSY)
+            return
+        if strictly and not any(True for _ in request.clock.items()):
+            # A fresh joiner has no frontier to diff from: bootstrap it
+            # with the full snapshot (collapsed runs load straight into
+            # array leaves — the cheap path) rather than a whole-
+            # document "diff" merged slot by slot.
+            self.network.send(
+                self.site, request.requester,
+                self.make_state_transfer().to_wire()
+            )
+            self.sync_responses_sent += 1
+            return
+        delta = self.make_sync_delta(request.clock)
+        if delta is not None:
+            if strictly:
+                full = self.make_state_transfer()
+                if delta.wire_bytes >= full.wire_bytes:
+                    # The diff lost to the whole document (huge window,
+                    # tiny doc): ship the cheaper full snapshot.
+                    self.network.send(self.site, request.requester,
+                                      full.to_wire())
+                    self.sync_responses_sent += 1
+                    return
+            self.network.send(self.site, request.requester, delta.to_wire())
+            self.sync_deltas_sent += 1
+            return
+        if strictly:
+            self.network.send(
+                self.site, request.requester,
+                self.make_state_transfer().to_wire()
+            )
+            self.sync_responses_sent += 1
+            return
+        # Concurrent frontiers and no sound diff: decline with a hint.
+        self._send_decline(request.requester, DECLINE_NOT_AHEAD)
+
+    def _send_decline(self, requester: SiteId, reason: int) -> None:
+        hint: Optional[SiteId] = None
+        for origin in self.broadcast.buffered_origins():
+            if origin != requester and origin != self.site:
+                hint = origin
+                break
+        if hint is not None and reason == DECLINE_NOT_AHEAD:
+            reason = DECLINE_TRY_PEER
+        self.network.send(
+            self.site, requester,
+            encode_wire(SyncDecline(self.site, reason, hint))
+        )
+        self.sync_declines_sent += 1
 
     def _apply_sync_response(self, response: SyncResponse) -> None:
         """Adopt a snapshot that arrived over the network, unless this
         site advanced past it while the response was in flight."""
+        self._record_ack(response.site, response.clock)
         try:
             self.apply_state_transfer(response)
+        except StaleStateError:
+            # Replay caught us up, or we edited since the request. Not
+            # silent anymore: count it, score the peer, and reopen the
+            # request window so the policy re-triggers at once instead
+            # of waiting out a full gap-age window again.
+            self.sync_responses_stale += 1
+            self.sync_responses_ignored += 1
+            self._note_sync_failure(response.site)
         except SyncError:
-            # Stale response (replay caught us up, or we edited since
-            # the request): ignore it; the policy may re-request later.
             self.sync_responses_ignored += 1
         else:
             self.sync_responses_applied += 1
+
+    def _apply_sync_delta(self, delta: SyncDelta) -> None:
+        """Merge a frontier-diff that arrived over the network.
+
+        Safety is per-origin coverage, not whole-frontier domination:
+        the sender's clock must be past *our* opaque frontier and
+        delete floor (else an event we know only opaquely, or a delete
+        we no longer remember, could collide with the merge) — but
+        concurrent local progress the sender never saw survives,
+        because merging is a join, not a replacement.
+        """
+        self._record_ack(delta.site, delta.clock)
+        floors = self._opaque_frontier.merge(self._delete_floor)
+        if not delta.clock.dominates(floors):
+            self.sync_deltas_stale += 1
+            self._note_sync_failure(delta.site)
+            return
+        pre = self.broadcast.clock.copy()
+        if delta.clock.dominates(pre) and pre.dominates(delta.clock):
+            return  # equal frontiers: raced duplicate, nothing to do
+        # Identifiers we deleted but the sender may not have seen: the
+        # merge must not resurrect them.
+        skip = frozenset(self._recent_deletes)
+        self.doc.merge_segments(delta.segments, skip=skip)
+        inherited = 0
+        for posid, origin, sequence in delta.delete_log:
+            if self.broadcast.has_delivered(origin, sequence):
+                continue  # already applied this delete
+            op = DeleteOp(posid, origin)
+            self.doc.apply(op)
+            self._log_op(op, origin, sequence)
+            if self.tombstone_gc:
+                self._delete_log.append((posid, origin, sequence))
+            inherited += 1
+        self.broadcast.catch_up(delta.clock)
+        # Events learned through the diff have no per-op trail here:
+        # whole-document touches for flatten votes, opaque frontier for
+        # onward delta service (the standard adoption conservatism).
+        for site, sequence in delta.clock.items():
+            if sequence > pre.get(site):
+                self._region_log.append(((), site, sequence, "*"))
+        self._opaque_frontier = self._opaque_frontier.merge(delta.clock)
+        self._peer_failures.pop(delta.site, None)
+        self.sync_deltas_applied += 1
+        if self.store is not None and not self._recovering:
+            # Same rule as adopting a snapshot: no WAL record describes
+            # the merge, so persist it as an immediate checkpoint.
+            self.checkpoint()
+
+    def _apply_sync_decline(self, frame: SyncDecline) -> None:
+        """A responder refused: back it off, remember its hint, and
+        reopen the request window so rotation happens now."""
+        self.sync_declines_received += 1
+        self._note_sync_failure(frame.site)
+        if frame.hint is not None and frame.hint != self.site:
+            self._peer_hint = frame.hint
+
+    def _note_sync_failure(self, peer: SiteId) -> None:
+        failures = self._peer_failures.get(peer, 0) + 1
+        self._peer_failures[peer] = failures
+        self._peer_retry_at[peer] = self.network.now + self._jittered(
+            self.policy.backoff(failures)
+        )
+        self._next_request_at = self.network.now
 
     # -- flatten / commitment -------------------------------------------------------
 
@@ -615,6 +918,17 @@ class ReplicaSite:
             if participant != self.site:
                 self.network.send(self.site, participant, abort)
 
+    _DECIDED_TXN_KEEP = 256
+
+    def _note_txn_decided(self, txn: str) -> None:
+        """Remember a settled transaction so a reordered or duplicated
+        ``PrepareMsg`` arriving after its outcome cannot take a lock
+        that nothing will ever release."""
+        self._decided_txns[txn] = None
+        self._decided_txns.move_to_end(txn)
+        while len(self._decided_txns) > self._DECIDED_TXN_KEEP:
+            self._decided_txns.popitem(last=False)
+
     def _vote(self, prepare: PrepareMsg) -> bool:
         """Section 4.2.1: vote No when this site has executed an insert,
         delete or flatten within the subtree that the initiator's
@@ -625,7 +939,7 @@ class ReplicaSite:
         region = prepare.path.bits()
         if self._locks.overlapping(region) is not None:
             return False
-        for bits, origin, sequence in self._region_log:
+        for bits, origin, sequence, _kind in self._region_log:
             shorter = min(len(bits), len(region))
             if bits[:shorter] != region[:shorter]:
                 continue
@@ -653,16 +967,32 @@ class ReplicaSite:
     def _on_frame(self, src: SiteId, frame: WireFrame) -> None:
         if isinstance(frame, EnvelopeFrame):
             self.broadcast.on_frame(frame)
+            # Piggybacked ack: the envelope's clock *is* the origin's
+            # acknowledgement (it has applied everything in it), so the
+            # stable frontier advances under steady traffic with no
+            # dedicated ack frames at all.
+            self._record_ack(frame.origin, frame.clock)
         elif isinstance(frame, AckFrame):
             self._record_ack(frame.site, frame.applied)
         elif isinstance(frame, SyncRequest):
             self._answer_sync_request(frame)
         elif isinstance(frame, SyncResponse):
             self._apply_sync_response(frame)
+        elif isinstance(frame, SyncDelta):
+            self._apply_sync_delta(frame)
+        elif isinstance(frame, SyncDecline):
+            self._apply_sync_decline(frame)
         elif isinstance(frame, PrepareMsg):
-            yes = self._vote(frame)
-            if yes:
-                self._locks.lock(frame.txn, frame.path)
+            if frame.txn in self._decided_txns:
+                # The outcome overtook this prepare (reordered abort) or
+                # the prepare is a duplicate of a settled transaction:
+                # vote No without locking — a lock taken now would never
+                # be released, the outcome has already come and gone.
+                yes = False
+            else:
+                yes = self._vote(frame)
+                if yes:
+                    self._locks.lock(frame.txn, frame.path)
             self.network.send(
                 self.site, frame.initiator,
                 encode_wire(VoteMsg(frame.txn, self.site, yes)),
@@ -674,6 +1004,7 @@ class ReplicaSite:
             coordinator.on_vote(frame)
         elif isinstance(frame, AbortMsg):
             self._locks.unlock(frame.txn)
+            self._note_txn_decided(frame.txn)
         else:  # pragma: no cover - decode_wire yields only the above
             raise ReplicationError(f"unhandled wire frame {frame!r}")
 
@@ -691,6 +1022,7 @@ class ReplicaSite:
                     # lock (no current producer batches flattens, but
                     # apply_batch supports them).
                     self._locks.unlock(op.txn)
+                    self._note_txn_decided(op.txn)
             self.applied_ops.extend(payload.ops)
             return
         if not isinstance(payload, (InsertOp, DeleteOp, FlattenOp)):
@@ -705,6 +1037,7 @@ class ReplicaSite:
             # The committed flatten is the outcome message: release the
             # vote lock.
             self._locks.unlock(payload.txn)
+            self._note_txn_decided(payload.txn)
 
     # -- SDIS tombstone garbage collection (section 4.2) --------------------------
 
@@ -725,6 +1058,16 @@ class ReplicaSite:
         )
 
     def _record_ack(self, site: SiteId, applied: VectorClock) -> None:
+        """Fold an acknowledgement — explicit or piggybacked — into the
+        stability tracker, and purge whatever just became stable.
+
+        Membership follows the network roster (churn admits members
+        conservatively: an unheard-from joiner pins the frontier until
+        it speaks); the site's own applied clock counts as an ack too,
+        so its progress never holds its own frontier back. Purging is
+        skipped when neither the frontier nor the delete log moved —
+        the piggyback path runs on every delivery, and must cost a
+        clock merge, not a log sweep."""
         from repro.replication.stability import (
             StabilityTracker,
             purge_stable_tombstones,
@@ -734,18 +1077,62 @@ class ReplicaSite:
             return
         if self._stability is None:
             self._stability = StabilityTracker(tuple(self.network.sites))
-        self._stability.record_ack(site, applied)
-        frontier = self._stability.stable_frontier()
+        tracker = self._stability
+        tracker.ensure_member(self.site)
+        for member in self.network.sites:
+            tracker.ensure_member(member)
+        tracker.record_ack(site, applied)
+        tracker.record_ack(self.site, self.broadcast.clock)
+        frontier = tracker.stable_frontier()
+        memo = (frontier, len(self._delete_log))
+        if memo == self._purge_memo:
+            return
         self.purged_tombstones += purge_stable_tombstones(
             self.doc, self._delete_log, frontier
         )
+        self._purge_memo = (frontier, len(self._delete_log))
+
+    def forget_peer(self, site: SiteId) -> None:
+        """A peer departed permanently (graceful leave): stop letting
+        its last ack pin the stable frontier. The caller owns the
+        protocol burden that the departure is known cluster-wide."""
+        if self._stability is not None:
+            self._stability.forget_member(site)
+            self._purge_memo = None
+        self._peer_failures.pop(site, None)
+        self._peer_retry_at.pop(site, None)
+        if self._peer_hint == site:
+            self._peer_hint = None
+
+    #: Retained recent-delete records; above this the oldest entries
+    #: drop and the delete floor rises (delta service then demands the
+    #: requester have seen them already).
+    _DELETE_KEEP = 4096
 
     def _log_op(self, op: Operation, origin: SiteId, sequence: int) -> None:
-        if isinstance(op, (InsertOp, DeleteOp)):
-            bits = op.posid.bits()
+        if isinstance(op, InsertOp):
+            self._region_log.append((op.posid.bits(), origin, sequence, "i"))
+        elif isinstance(op, DeleteOp):
+            self._region_log.append((op.posid.bits(), origin, sequence, "d"))
+            self._note_delete(op.posid, origin, sequence)
         else:
-            bits = op.path.bits()
-        self._region_log.append((bits, origin, sequence))
+            # A flatten rewrites the subtree's identifier structure:
+            # region state before and after do not merge, so the event
+            # is opaque to frontier-diffing.
+            self._region_log.append((op.path.bits(), origin, sequence, "f"))
+            self._opaque_frontier = self._opaque_frontier.merge(
+                VectorClock({origin: sequence})
+            )
+
+    def _note_delete(self, posid: PosID, origin: SiteId,
+                     sequence: int) -> None:
+        self._recent_deletes[posid] = (origin, sequence)
+        while len(self._recent_deletes) > self._DELETE_KEEP:
+            oldest = next(iter(self._recent_deletes))
+            old_origin, old_sequence = self._recent_deletes.pop(oldest)
+            self._delete_floor = self._delete_floor.merge(
+                VectorClock({old_origin: old_sequence})
+            )
 
     # -- queries ---------------------------------------------------------------------
 

@@ -41,34 +41,67 @@ from repro.replication.clock import VectorClock
 
 
 class StabilityTracker:
-    """Computes the stable frontier from per-site acknowledgements."""
+    """Computes the stable frontier from per-site acknowledgements.
 
-    def __init__(self, members: Tuple[SiteId, ...]) -> None:
-        self.members = tuple(members)
+    Membership is dynamic (clusters churn): :meth:`ensure_member` adds
+    a newly observed site — conservatively, since a member that has
+    never acked pins the frontier at zero until it speaks. The frontier
+    is cached and recomputed only after an ack actually changed
+    something, so piggybacked acks (every envelope's clock is one) cost
+    one clock merge on the hot path, not an O(members × origins)
+    minimum per message.
+    """
+
+    def __init__(self, members: Tuple[SiteId, ...] = ()) -> None:
         self._acks: Dict[SiteId, VectorClock] = {
-            site: VectorClock() for site in self.members
+            site: VectorClock() for site in members
         }
+        self._frontier: VectorClock = VectorClock()
+        self._dirty = True
+
+    @property
+    def members(self) -> Tuple[SiteId, ...]:
+        return tuple(sorted(self._acks))
+
+    def ensure_member(self, site: SiteId) -> None:
+        """Admit ``site`` to the membership (no-op when present)."""
+        if site not in self._acks:
+            self._acks[site] = VectorClock()
+            self._dirty = True
+
+    def forget_member(self, site: SiteId) -> None:
+        """Drop a permanently departed member so its last ack stops
+        pinning the frontier. Only safe once the departure is known to
+        every surviving site (the caller's protocol burden)."""
+        if self._acks.pop(site, None) is not None:
+            self._dirty = True
 
     def record_ack(self, site: SiteId, applied: VectorClock) -> None:
         """Merge a (possibly stale, reordered) acknowledgement."""
-        if site not in self._acks:
-            self._acks[site] = VectorClock()
-        self._acks[site] = self._acks[site].merge(applied)
+        merged = self._acks.get(site, VectorClock()).merge(applied)
+        if site not in self._acks or merged != self._acks[site]:
+            self._acks[site] = merged
+            self._dirty = True
 
     def stable_frontier(self) -> VectorClock:
-        """Pointwise minimum of every member's applied clock."""
-        if not self.members:
-            return VectorClock()
+        """Pointwise minimum of every member's applied clock (cached)."""
+        if not self._dirty:
+            return self._frontier
+        self._dirty = False
+        if not self._acks:
+            self._frontier = VectorClock()
+            return self._frontier
+        members = list(self._acks)
         counts: Dict[SiteId, int] = {}
-        first = self._acks[self.members[0]]
-        candidates = {site for site, _ in first.items()}
-        for member in self.members[1:]:
+        candidates = {site for site, _ in self._acks[members[0]].items()}
+        for member in members[1:]:
             candidates &= {site for site, _ in self._acks[member].items()}
         for origin in candidates:
             counts[origin] = min(
-                self._acks[member].get(origin) for member in self.members
+                self._acks[member].get(origin) for member in members
             )
-        return VectorClock(counts)
+        self._frontier = VectorClock(counts)
+        return self._frontier
 
     def is_stable(self, origin: SiteId, sequence: int) -> bool:
         """Has the ``sequence``-th op of ``origin`` been applied by all?"""

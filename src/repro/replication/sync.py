@@ -74,13 +74,41 @@ class AntiEntropyPolicy:
     #: Minimum simulated milliseconds between two requests from the
     #: same site.
     min_request_interval: float = 200.0
+    #: Per-peer exponential backoff after a decline (or a useless
+    #: response): first retry after ``backoff_base`` simulated ms,
+    #: doubling (``backoff_factor``) per consecutive failure up to
+    #: ``backoff_max``. Successful catch-up resets the peer's score.
+    backoff_base: float = 200.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 3200.0
+    #: Jitter fraction: trigger thresholds, request intervals and
+    #: backoffs stretch by up to this share of themselves, drawn from a
+    #: *seeded* stream (:data:`jitter_seed` — no wall clock anywhere),
+    #: so a hundred sites detecting the same gap at the same simulated
+    #: instant do not synchronize into a request storm. Zero disables.
+    jitter: float = 0.5
+    #: Seed of the deterministic jitter stream; each site derives an
+    #: independent child stream from it (site id as the label).
+    jitter_seed: int = 0
 
-    def should_request(self, buffered: int, gap_age: float) -> bool:
+    def should_request(self, buffered: int, gap_age: float,
+                       stretch: float = 0.0) -> bool:
         """The trigger test, given the current buffer depth and the
-        age of the oldest unmet gap."""
+        age of the oldest unmet gap. ``stretch`` inflates the age
+        threshold by that fraction (the caller's jitter draw), leaving
+        the buffer-depth trigger exact."""
         if buffered <= 0:
             return False
-        return buffered >= self.max_buffered or gap_age >= self.max_gap_age
+        return (buffered >= self.max_buffered
+                or gap_age >= self.max_gap_age * (1.0 + stretch))
+
+    def backoff(self, failures: int) -> float:
+        """Backoff (simulated ms) after ``failures`` consecutive
+        failed exchanges with one peer."""
+        if failures <= 0:
+            return 0.0
+        return min(self.backoff_max,
+                   self.backoff_base * self.backoff_factor ** (failures - 1))
 
 
 @dataclass(frozen=True)
@@ -96,3 +124,8 @@ class SyncStats(SyncReport):
     #: Delete-log entries inherited from the sender (tombstones the
     #: receiver can now purge once they become causally stable).
     inherited_deletes: int = 0
+    #: Responses/deltas this site has dropped as stale so far (arrived
+    #: after replay or local progress overtook them) — surfaced here so
+    #: a catch-up report shows how many exchanges were wasted before
+    #: this one landed.
+    stale_responses: int = 0

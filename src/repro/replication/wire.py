@@ -15,6 +15,12 @@ payloads :class:`repro.replication.network.SimulatedNetwork` accepts:
   frame, the sender's frontier, and the sender's outstanding delete
   log (so a synced SDIS replica can purge inherited tombstones once
   they become causally stable);
+- :class:`SyncDelta` — the *incremental* anti-entropy answer: state
+  segments covering only the regions the requester's frontier has not
+  seen, plus the responder's recent delete records (DESIGN.md §10);
+- :class:`SyncDecline` — a graceful refusal with a reason and an
+  optional try-this-peer hint, so a requester rotates instead of
+  re-pelting a responder that cannot serve;
 - the flatten commitment messages (:class:`~repro.replication.commit.
   PrepareMsg`, :class:`~repro.replication.commit.VoteMsg`,
   :class:`~repro.replication.commit.AbortMsg`) — serialized here, the
@@ -22,7 +28,7 @@ payloads :class:`repro.replication.network.SimulatedNetwork` accepts:
 
 Frame grammar (DESIGN.md §8): a wire frame opens with the shared v2
 escape (2-bit tag ``3``), the reserved frame kind
-:data:`repro.core.encoding.FRAME_WIRE`, and a 3-bit wire kind; the body
+:data:`repro.core.encoding.FRAME_WIRE`, and a 4-bit wire kind; the body
 follows, then the stream is byte-padded and a 32-bit CRC over all body
 bytes closes the frame. Vector clocks travel as a gamma-coded entry
 count followed by ``(site, gamma(counter))`` pairs — a compact varint
@@ -44,7 +50,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.core.disambiguator import SITE_ID_BITS, SiteId
 from repro.core.encoding import (
@@ -63,14 +69,16 @@ from repro.core.encoding import (
     write_posid,
     write_text,
 )
-from repro.core.ops import OpBatch, Operation
+from repro.core.encoding import read_segments, write_segments
+from repro.core.ops import InsertOp, OpBatch, Operation
 from repro.core.path import PosID
+from repro.core.runs import AtomRun, Segment
 from repro.errors import CorruptFrameError, DecodeError, EncodingError
 from repro.replication.clock import VectorClock
 from repro.replication.commit import AbortMsg, PrepareMsg, VoteMsg
 from repro.util.bits import BitReader, BitWriter
 
-# Wire frame kinds (3 bits after the FRAME_WIRE escape).
+# Wire frame kinds (4 bits after the FRAME_WIRE escape).
 _KIND_ENVELOPE = 0
 _KIND_ACK = 1
 _KIND_SYNC_REQUEST = 2
@@ -78,8 +86,18 @@ _KIND_SYNC_RESPONSE = 3
 _KIND_PREPARE = 4
 _KIND_VOTE = 5
 _KIND_ABORT = 6
+_KIND_SYNC_DELTA = 7
+_KIND_SYNC_DECLINE = 8
 
-_WIRE_KIND_BITS = 3
+_WIRE_KIND_BITS = 4
+
+#: ``SyncDecline`` reasons: the responder cannot serve this request.
+DECLINE_NOT_AHEAD = 0   #: requester's frontier is not behind ours
+DECLINE_BUSY = 1        #: responder is itself fighting a causal gap
+DECLINE_TRY_PEER = 2    #: we cannot help, but ``hint`` probably can
+
+_DECLINE_REASON_BITS = 2
+_DECLINE_REASONS = (DECLINE_NOT_AHEAD, DECLINE_BUSY, DECLINE_TRY_PEER)
 
 #: Bytes of the trailing integrity check (CRC-32 over the body bytes).
 CRC_BYTES = 4
@@ -177,9 +195,86 @@ class SyncResponse:
 #: state-shipping message, whether it travels or is handed over.
 StateTransfer = SyncResponse
 
+
+@dataclass(frozen=True)
+class SyncDelta:
+    """An incremental anti-entropy answer: only what the requester is
+    missing.
+
+    ``base`` echoes the requester's clock; ``clock`` is the responder's
+    frontier at harvest time. ``segments`` is a faithful snapshot of
+    every region the responder touched by an event *after* ``base``
+    (same segment stream as a state frame — runs plus singleton
+    records), and ``delete_log`` carries the responder's retained
+    delete records newer than ``base`` (a UDIS delete leaves no trace
+    in region state, so it must travel explicitly or the receiver would
+    keep the atom alive). The receiver **merges** instead of replacing:
+    duplicates are idempotent, concurrent local progress survives, and
+    afterwards its clock may adopt ``clock`` pointwise — per-origin
+    coverage, not whole-frontier domination.
+    """
+
+    site: SiteId
+    clock: VectorClock
+    base: VectorClock
+    segments: Tuple[Segment, ...] = ()
+    delete_log: Tuple[DeleteLogEntry, ...] = ()
+    #: Lazily-cached encoded form (same discipline as SyncResponse).
+    _encoded: List[bytes] = field(default_factory=list, repr=False,
+                                  compare=False)
+
+    def to_wire(self) -> bytes:
+        """This delta as one wire frame (cached)."""
+        if not self._encoded:
+            self._encoded.append(encode_wire(self))
+        return self._encoded[0]
+
+    @property
+    def wire_bytes(self) -> int:
+        """Measured bytes this delta costs on the wire."""
+        return len(self.to_wire())
+
+    @property
+    def atom_count(self) -> int:
+        """Live atoms the segment stream carries."""
+        return sum(
+            len(seg) if isinstance(seg, AtomRun) else 1
+            for seg in self.segments
+            if isinstance(seg, (AtomRun, InsertOp))
+        )
+
+    @property
+    def run_segments(self) -> int:
+        return sum(1 for seg in self.segments if isinstance(seg, AtomRun))
+
+    @property
+    def op_segments(self) -> int:
+        return len(self.segments) - self.run_segments
+
+
+@dataclass(frozen=True)
+class SyncDecline:
+    """A graceful anti-entropy refusal, instead of silence.
+
+    The PR-5 responder stayed mute when it could not dominate the
+    requester, leaving the requester to wait out another full gap-age
+    window before trying anyone else. A decline is cheap, immediate
+    routing information: ``reason`` says why this responder cannot
+    serve (:data:`DECLINE_NOT_AHEAD`, :data:`DECLINE_BUSY`,
+    :data:`DECLINE_TRY_PEER`), and ``hint`` optionally names a peer the
+    responder believes is ahead (the origin of its own oldest buffered
+    envelope). The requester's policy reacts by backing off this
+    responder and rotating to another candidate at once.
+    """
+
+    site: SiteId
+    reason: int = DECLINE_NOT_AHEAD
+    hint: Optional[SiteId] = None
+
+
 #: Everything :func:`decode_wire` can return.
 WireFrame = Union[EnvelopeFrame, AckFrame, SyncRequest, SyncResponse,
-                  PrepareMsg, VoteMsg, AbortMsg]
+                  SyncDelta, SyncDecline, PrepareMsg, VoteMsg, AbortMsg]
 
 
 # ---------------------------------------------------------------------------
@@ -279,7 +374,7 @@ def _read_delete_log(reader: BitReader) -> Tuple[DeleteLogEntry, ...]:
 def encode_wire(frame: WireFrame) -> bytes:
     """Encode any peer-protocol frame as self-describing bytes.
 
-    Layout: escape tag | FRAME_WIRE kind | 3-bit wire kind | body,
+    Layout: escape tag | FRAME_WIRE kind | 4-bit wire kind | body,
     byte-padded, then a 32-bit CRC over everything before it.
     """
     writer = BitWriter()
@@ -304,6 +399,24 @@ def encode_wire(frame: WireFrame) -> bytes:
         write_clock(writer, frame.clock)
         _write_state(writer, frame.state)
         _write_delete_log(writer, tuple(frame.delete_log))
+    elif isinstance(frame, SyncDelta):
+        writer.write_bits(_KIND_SYNC_DELTA, _WIRE_KIND_BITS)
+        writer.write_bits(frame.site, SITE_ID_BITS)
+        write_clock(writer, frame.clock)
+        write_clock(writer, frame.base)
+        write_segments(writer, list(frame.segments))
+        _write_delete_log(writer, tuple(frame.delete_log))
+    elif isinstance(frame, SyncDecline):
+        writer.write_bits(_KIND_SYNC_DECLINE, _WIRE_KIND_BITS)
+        writer.write_bits(frame.site, SITE_ID_BITS)
+        if frame.reason not in _DECLINE_REASONS:
+            raise EncodingError(f"unknown decline reason {frame.reason}")
+        writer.write_bits(frame.reason, _DECLINE_REASON_BITS)
+        if frame.hint is None:
+            writer.write_bit(0)
+        else:
+            writer.write_bit(1)
+            writer.write_bits(frame.hint, SITE_ID_BITS)
     elif isinstance(frame, PrepareMsg):
         writer.write_bits(_KIND_PREPARE, _WIRE_KIND_BITS)
         write_text(writer, frame.txn)
@@ -348,6 +461,20 @@ def _read_wire(reader: BitReader) -> WireFrame:
         clock = read_clock(reader)
         state = _read_state(reader)
         return SyncResponse(site, clock, state, _read_delete_log(reader))
+    if kind == _KIND_SYNC_DELTA:
+        site = reader.read_bits(SITE_ID_BITS)
+        clock = read_clock(reader)
+        base = read_clock(reader)
+        segments = tuple(read_segments(reader))
+        return SyncDelta(site, clock, base, segments,
+                         _read_delete_log(reader))
+    if kind == _KIND_SYNC_DECLINE:
+        site = reader.read_bits(SITE_ID_BITS)
+        reason = reader.read_bits(_DECLINE_REASON_BITS)
+        if reason not in _DECLINE_REASONS:
+            raise DecodeError(f"unknown decline reason {reason}")
+        hint = reader.read_bits(SITE_ID_BITS) if reader.read_bit() else None
+        return SyncDecline(site, reason, hint)
     if kind == _KIND_PREPARE:
         txn = read_text(reader)
         path = read_posid(reader)
@@ -386,7 +513,7 @@ def decode_wire(data: bytes) -> WireFrame:
     reader = start_decode(body, None)
     frame = decode_guarded(_read_wire, reader, "wire frame")
     finish_decode(reader, "wire frame")
-    if isinstance(frame, SyncResponse):
+    if isinstance(frame, (SyncResponse, SyncDelta)):
         # Seed the encoding cache with the bytes as received, so
         # ``wire_bytes`` on the receiver is the measured frame length
         # without paying a full re-encode.

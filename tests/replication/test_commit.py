@@ -163,3 +163,41 @@ class TestEndToEnd:
             CommitDecision.COMMITTED, CommitDecision.ABORTED
         )
         cluster.assert_converged()
+
+
+class TestReorderedOutcomes:
+    """A lossy, duplicating network can deliver a transaction's outcome
+    before (or again after) its PrepareMsg; a vote lock taken for a
+    settled transaction would never be released."""
+
+    def test_abort_overtaking_prepare_does_not_wedge_the_lock(self):
+        from repro.replication.commit import AbortMsg, PrepareMsg
+
+        cluster = Cluster(2, mode="sdis", seed=41)
+        cluster.bootstrap(list("abc"))
+        victim = cluster[2]
+        snapshot = victim.broadcast.clock.copy()
+        # The abort arrives first (reordering)...
+        victim._on_frame(1, AbortMsg("1.99"))
+        # ...then the prepare it already settled.
+        victim._on_frame(1, PrepareMsg("1.99", ROOT, snapshot, 1))
+        assert len(victim._locks) == 0
+        victim.insert(0, "!")  # must not raise RegionLockedError
+
+    def test_duplicate_prepare_after_commit_does_not_relock(self):
+        from repro.replication.commit import PrepareMsg
+
+        cluster = Cluster(2, mode="sdis", seed=42)
+        cluster.bootstrap(list("abcdef"))
+        snapshot = cluster[1].broadcast.clock.copy()
+        coordinator = cluster[1].initiate_flatten(ROOT)
+        cluster.settle()
+        assert coordinator.decision is CommitDecision.COMMITTED
+        victim = cluster[2]
+        # The network redelivers the old prepare after the outcome.
+        victim._on_frame(1, PrepareMsg(coordinator.txn, ROOT, snapshot, 1))
+        cluster.settle()  # the No re-vote lands on a decided coordinator
+        assert len(victim._locks) == 0
+        victim.insert(0, "!")
+        cluster.settle()
+        cluster.assert_converged()

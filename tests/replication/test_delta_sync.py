@@ -1,0 +1,521 @@
+"""Frontier-diff anti-entropy: SyncDelta/SyncDecline exchanges, the
+region-filtered harvest, merge safety (no resurrection, no opaque
+windows), decline/backoff/rotation, piggybacked acknowledgements, and
+the decode-fuzz discipline for the two new frames."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.encoding import encode_operation
+from repro.core.ops import InsertOp
+from repro.core.path import ROOT
+from repro.core.runs import RegionFilter, iter_state_segments
+from repro.core.treedoc import Treedoc
+from repro.errors import CorruptFrameError, DecodeError, TreeError
+from repro.replication.clock import VectorClock
+from repro.replication.cluster import Cluster
+from repro.replication.network import SimulatedNetwork
+from repro.replication.site import ReplicaSite
+from repro.replication.sync import AntiEntropyPolicy
+from repro.replication.wire import (
+    DECLINE_BUSY,
+    DECLINE_NOT_AHEAD,
+    DECLINE_TRY_PEER,
+    EnvelopeFrame,
+    SyncDecline,
+    SyncDelta,
+    SyncRequest,
+    decode_wire,
+    encode_wire,
+)
+
+#: Fire on any persistent gap, with no jitter: the direct-exchange
+#: tests below assert exact request counts.
+EAGER0 = AntiEntropyPolicy(max_buffered=1, max_gap_age=0.0,
+                           min_request_interval=0.0, jitter=0.0)
+
+
+def _future_envelope(origin, sequence=99, text="x"):
+    """A fabricated envelope from the future: buffering it opens a
+    causal gap at the receiver without any real history behind it."""
+    doc = Treedoc(site=origin)
+    payload, bits = encode_operation(doc.insert(0, text))
+    return EnvelopeFrame(origin, VectorClock({origin: sequence}),
+                         payload, bits)
+
+
+class TestRegionFilter:
+    def test_mutual_prefix_admission(self):
+        cover = RegionFilter([(0, 1)])
+        assert cover.admits((0, 1))        # the region itself
+        assert cover.admits((0, 1, 1, 0))  # subtree inside the region
+        assert cover.admits((0,))          # ancestor spine
+        assert cover.admits(())            # the root spans everything
+        assert not cover.admits((1,))      # disjoint sibling
+        assert not cover.admits((0, 0))
+
+    def test_cover_minimised(self):
+        cover = RegionFilter([(0, 1, 1), (0, 1), (0, 1, 0), (1, 0)])
+        assert cover.regions == ((0, 1), (1, 0))
+        assert len(cover) == 2
+
+    def test_root_region_is_whole_document(self):
+        assert RegionFilter([(), (0, 1)]).whole_document
+        assert not RegionFilter([(0,)]).whole_document
+        assert not RegionFilter([]).whole_document
+        # An empty cover admits nothing.
+        assert not RegionFilter([]).admits(())
+
+    def test_filtered_harvest_subset_of_full(self):
+        doc = Treedoc(site=1, mode="sdis")
+        doc.insert_text(0, list("abcdefghijklmnop"))
+        full = iter_state_segments(doc.tree, 1)
+        bits = doc.posid_at(3).bits()
+        part = iter_state_segments(doc.tree, 1,
+                                   regions=RegionFilter([bits]))
+        assert part  # the named region is served...
+        assert len(part) <= len(full)  # ...but never more than all
+
+
+class TestMergeSegments:
+    def test_merge_is_a_join_not_a_replacement(self):
+        a = Treedoc(site=1, mode="sdis")
+        a.insert_text(0, list("shared"))
+        b = Treedoc(site=2, mode="sdis")
+        b.load_state(a.capture_state())
+        concurrent = b.insert(0, "!")  # local progress the delta lacks
+        a.insert_text(6, list(" tail"))
+        applied = b.merge_segments(iter_state_segments(a.tree, 1))
+        assert applied == len(" tail")
+        assert b.text() == "!shared tail"
+        assert b.tree.lookup(concurrent.posid) is not None
+
+    def test_skip_set_blocks_resurrection(self):
+        a = Treedoc(site=1, mode="sdis")
+        a.insert_text(0, list("abc"))
+        b = Treedoc(site=2, mode="sdis")
+        b.load_state(a.capture_state())
+        victim = b.posid_at(1)
+        b.delete(1)  # a has not seen this delete
+        b.merge_segments(iter_state_segments(a.tree, 1),
+                         skip=frozenset([victim]))
+        assert b.text() == "ac"  # 'b' stayed dead
+
+    def test_conflicting_atom_is_typed_error(self):
+        a = Treedoc(site=1, mode="sdis")
+        a.insert_text(0, list("abc"))
+        b = Treedoc(site=2, mode="sdis")
+        b.load_state(a.capture_state())
+        segments = [InsertOp(a.posid_at(0), "Z", 1)]
+        with pytest.raises(TreeError):
+            b.merge_segments(segments)
+
+    def test_idempotent_over_shipping(self):
+        a = Treedoc(site=1, mode="sdis")
+        a.insert_text(0, list("idempotent"))
+        b = Treedoc(site=2, mode="sdis")
+        b.load_state(a.capture_state())
+        assert b.merge_segments(iter_state_segments(a.tree, 1)) == 0
+        assert b.text() == "idempotent"
+
+
+class TestDeltaExchange:
+    def _pair(self, seed=2, text="the quick brown fox jumps"):
+        net = SimulatedNetwork(seed=seed)
+        a = ReplicaSite(1, net, mode="sdis", policy=EAGER0)
+        b = ReplicaSite(2, net, mode="sdis", policy=EAGER0)
+        a.insert_text(0, list(text))
+        net.run()
+        return net, a, b
+
+    def test_one_origin_behind_gets_a_small_delta(self):
+        net, a, b = self._pair()
+        base = b.broadcast.clock.copy()
+        a.insert_text(4, list("very "))
+        a.delete(0)
+        delta = a.make_sync_delta(base)
+        assert delta is not None
+        assert delta.base == base
+        # The diff names only the touched regions; on a document this
+        # size it must be well under the full snapshot.
+        full = a.make_state_transfer()
+        assert delta.wire_bytes < full.wire_bytes
+        received = decode_wire(delta.to_wire())
+        assert received == delta
+        b._apply_sync_delta(received)
+        assert b.sync_deltas_applied == 1
+        assert b.text() == a.text()
+        assert b.doc.posids() == a.doc.posids()
+        net.run()  # the original envelopes arrive late: all duplicates
+        assert b.text() == a.text()
+
+    def test_delta_ships_deletes_explicitly(self):
+        # A UDIS delete leaves no trace in region state — the delta's
+        # delete log is the only way it travels.
+        net = SimulatedNetwork(seed=3)
+        a = ReplicaSite(1, net, mode="udis", policy=EAGER0)
+        b = ReplicaSite(2, net, mode="udis", policy=EAGER0)
+        a.insert_text(0, list("abcdef"))
+        net.run()
+        base = b.broadcast.clock.copy()
+        a.delete(2)
+        a.insert(0, "!")
+        delta = decode_wire(a.make_sync_delta(base).to_wire())
+        assert delta.delete_log
+        b._apply_sync_delta(delta)
+        assert b.text() == a.text() == "!abdef"
+
+    def test_merge_does_not_resurrect_local_delete(self):
+        net, a, b = self._pair(text="ab")
+        victim = b.doc.posid_at(1)
+        base = b.broadcast.clock.copy()
+        b.delete(1)  # local-only: a has not seen it
+        a.insert(2, "Z")  # a's edit admits the region around 'b'
+        delta = decode_wire(a.make_sync_delta(base).to_wire())
+        b._apply_sync_delta(delta)
+        from repro.core.node import LIVE
+
+        slot = b.doc.tree.lookup(victim)
+        assert slot is None or slot.state != LIVE  # stayed dead
+        assert "b" not in b.text()
+        net.run()  # b's delete reaches a; a's envelope is a dup at b
+        assert a.text() == b.text()
+
+    def test_snapshot_adoption_poisons_delta_service(self):
+        # History learned as a snapshot cannot be frontier-diffed
+        # onward: the joiner's opaque frontier refuses old bases.
+        net, a, b = self._pair()
+        a.insert(0, "+")  # a second causal event past the bootstrap
+        net.run()
+        joiner = ReplicaSite(3, net, mode="sdis", policy=EAGER0)
+        joiner.sync_from(a)
+        joiner.insert_text(0, list(">> "))
+        stale_base = VectorClock({1: 1})  # below the adopted frontier
+        assert joiner.make_sync_delta(stale_base) is None
+        # ...but a requester past the adopted frontier diffs fine.
+        fresh_base = joiner.broadcast.clock.copy()
+        joiner.insert(0, "!")
+        assert joiner.make_sync_delta(fresh_base) is not None
+
+    def test_flatten_in_window_is_opaque(self):
+        net = SimulatedNetwork(seed=4)
+        a = ReplicaSite(1, net, mode="sdis", policy=EAGER0)
+        a.insert_text(0, list("flatten me please"))
+        pre = a.broadcast.clock.copy()
+        a.initiate_flatten(ROOT)  # alone: decides and applies at once
+        assert a.make_sync_delta(pre) is None
+        post = a.broadcast.clock.copy()
+        a.insert(0, "!")
+        delta = a.make_sync_delta(post)
+        # The diff carries the insert plus its ancestor spine (benign
+        # over-shipping), never the whole document.
+        assert delta is not None
+        assert 1 <= delta.atom_count < len(a.doc)
+
+    def test_responder_prefers_full_when_delta_loses(self):
+        # Deletes dominate the window: the diff must carry one delete
+        # record per vanished atom, while the full snapshot just ships
+        # the small survivor document — the cheaper frame wins.
+        net = SimulatedNetwork(seed=21)
+        a = ReplicaSite(1, net, mode="udis", policy=EAGER0)
+        b = ReplicaSite(2, net, mode="udis", policy=EAGER0)
+        a.insert_text(0, list("a long document that mostly dies " * 6))
+        net.run()
+        base = b.broadcast.clock.copy()
+        a.delete_range(0, len(a.doc) - 4)
+        delta = a.make_sync_delta(base)
+        full = a.make_state_transfer()
+        assert delta is not None
+        assert delta.wire_bytes >= full.wire_bytes
+        a._answer_sync_request(SyncRequest(2, base))
+        assert a.sync_responses_sent == 1
+        assert a.sync_deltas_sent == 0
+
+    def test_responder_serves_delta_when_it_wins(self):
+        net, a, b = self._pair(
+            text="a long settled document that stays put " * 6)
+        base = b.broadcast.clock.copy()
+        a.insert(0, "!")
+        a._answer_sync_request(SyncRequest(2, base))
+        assert a.sync_deltas_sent == 1
+        assert a.sync_responses_sent == 0
+        net.run()
+        # The pending "!" envelope may race the delta; either way the
+        # delta is harmless and the sites agree.
+        assert b.text() == a.text()
+        assert b.doc.posids() == a.doc.posids()
+
+    def test_fresh_joiner_bootstraps_with_full_snapshot(self):
+        net, a, b = self._pair()
+        joiner = ReplicaSite(4, net, mode="sdis", policy=EAGER0)
+        a._answer_sync_request(SyncRequest(4, VectorClock()))
+        assert a.sync_responses_sent == 1 and a.sync_deltas_sent == 0
+        net.run()
+        assert joiner.sync_responses_applied == 1
+        assert joiner.text() == a.text()
+
+    def test_stale_delta_is_counted_and_retriggers(self):
+        net, a, b = self._pair()
+        base = b.broadcast.clock.copy()
+        a.insert(0, "!")
+        delta = decode_wire(a.make_sync_delta(base).to_wire())
+        # b adopts a snapshot first: its opaque frontier passes the
+        # delta's clock, so the delta can no longer merge soundly.
+        c = ReplicaSite(5, net, mode="sdis", policy=EAGER0)
+        net.run()
+        c.sync_from(a)
+        c.insert(0, "?")
+        hi = VectorClock({1: 99, 5: 99})
+        c._opaque_frontier = c._opaque_frontier.merge(hi)
+        c._apply_sync_delta(delta)
+        assert c.sync_deltas_stale == 1
+        assert c.sync_deltas_applied == 0
+        assert c._peer_retry_at.get(1, 0) > net.now  # peer backed off
+
+
+class TestDeclineAndRotation:
+    def test_level_peer_declines(self):
+        cluster = Cluster(2, mode="sdis", seed=5, policy=EAGER0)
+        cluster.bootstrap(list("abc"))
+        cluster[2].request_sync(1)
+        cluster.settle()
+        assert cluster[1].sync_declines_sent == 1
+        assert cluster[2].sync_declines_received == 1
+        assert cluster[2].sync_responses_applied == 0
+        # The failed exchange scored the peer into backoff.
+        assert cluster[2]._peer_retry_at[1] > 0
+
+    def test_decline_carries_hint_and_requester_rotates(self):
+        cluster = Cluster(3, mode="sdis", seed=6, policy=EAGER0)
+        cluster.bootstrap(list("abc"))
+        b, c = cluster[2], cluster[3]
+        # Both b and c buffer an envelope from future origin 1: equal
+        # clocks, so b declines c — but b's gap names site 1, the hint.
+        b.broadcast.on_frame(_future_envelope(1))
+        c.broadcast.on_frame(_future_envelope(1))
+        c.request_sync(2)
+        cluster.settle()
+        assert b.sync_declines_sent == 1
+        assert c._peer_hint == 1
+        # The decline reopened the request window; rotation goes to
+        # the hinted peer immediately.
+        assert c.maybe_request_sync() is True
+        cluster.settle()
+        assert cluster[1].sync_requests_received == 1
+
+    def test_busy_decline_when_responder_is_gap_blocked(self):
+        cluster = Cluster(3, mode="sdis", seed=7, policy=EAGER0)
+        cluster.bootstrap(list("abc"))
+        b, c = cluster[2], cluster[3]
+        b.broadcast.on_frame(_future_envelope(9, sequence=5))
+        # c's clock is concurrent with b's (c invents local edits).
+        c.insert(0, "!")
+        c.request_sync(2)
+        cluster.settle()
+        assert b.sync_declines_sent == 1
+        assert c.sync_declines_received == 1
+
+    def test_dead_requester_gets_no_answer(self):
+        net = SimulatedNetwork(seed=8)
+        a = ReplicaSite(1, net, mode="sdis", policy=EAGER0)
+        a.insert_text(0, list("abc"))
+        net.run()
+        a._answer_sync_request(SyncRequest(77, VectorClock()))
+        assert a.sync_requests_received == 1
+        assert a.sync_responses_sent == 0
+        assert a.sync_declines_sent == 0
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = AntiEntropyPolicy()
+        assert policy.backoff(0) == 0.0
+        assert policy.backoff(1) == policy.backoff_base
+        assert policy.backoff(2) == policy.backoff_base * 2
+        assert policy.backoff(10) == policy.backoff_max
+
+    def test_jitter_stream_is_seeded_and_per_site(self):
+        from repro.util.rng import derive_rng
+
+        one = derive_rng(7, "sync-jitter", 1)
+        same = derive_rng(7, "sync-jitter", 1)
+        other = derive_rng(7, "sync-jitter", 2)
+        draws = [one.random() for _ in range(8)]
+        assert draws == [same.random() for _ in range(8)]
+        assert draws != [other.random() for _ in range(8)]
+
+    def test_partitioned_origin_falls_back_to_connected_peer(self):
+        # Satellite regression: peer selection used to fixate on the
+        # oldest-gap origin even when it was unreachable; now any
+        # connected candidate serves.
+        cluster = Cluster(3, mode="sdis", seed=9, policy=EAGER0)
+        cluster.bootstrap(list("abcdef"))
+        c = cluster[3]
+        cluster.partition({1}, {2, 3})
+        c.broadcast.on_frame(_future_envelope(1))  # gap names origin 1
+        assert c.request_sync() is True
+        cluster.settle()
+        # The request reached site 2 (reachable), not site 1 (held).
+        assert cluster[2].sync_requests_received == 1
+        assert cluster.network.held == 0
+
+    def test_crashed_origin_falls_back_too(self):
+        net = SimulatedNetwork(seed=10)
+        a = ReplicaSite(1, net, mode="sdis", policy=EAGER0)
+        b = ReplicaSite(2, net, mode="sdis", policy=EAGER0)
+        c = ReplicaSite(3, net, mode="sdis", policy=EAGER0)
+        a.insert_text(0, list("abc"))
+        net.run()
+        a.crash()
+        c.broadcast.on_frame(_future_envelope(1))
+        assert c.request_sync() is True
+        net.run()
+        assert b.sync_requests_received == 1
+
+    def test_stale_response_counted_and_retriggers_immediately(self):
+        # Satellite regression: a stale response used to be swallowed,
+        # leaving the requester to wait out another full gap-age
+        # window. Now it counts, scores the peer, and reopens the
+        # request gate at once.
+        slow = AntiEntropyPolicy(max_buffered=1, max_gap_age=0.0,
+                                 min_request_interval=1e9, jitter=0.0)
+        net = SimulatedNetwork(seed=11)
+        a = ReplicaSite(1, net, mode="sdis", policy=EAGER0)
+        b = ReplicaSite(2, net, mode="sdis", policy=slow)
+        a.insert_text(0, list("history"))
+        net.run()
+        b.broadcast.on_frame(_future_envelope(9))
+        assert b.maybe_request_sync() is True
+        assert b.maybe_request_sync() is False  # inside the interval
+        stale = a.make_state_transfer()
+        b.insert(0, "!")  # now the snapshot cannot dominate b
+        b._apply_sync_response(stale)
+        assert b.sync_responses_stale == 1
+        assert b.maybe_request_sync() is True  # gate reopened
+        # The counter surfaces in the next successful SyncStats.
+        c = ReplicaSite(3, net, mode="sdis", policy=EAGER0)
+        net.run()
+        stats = c.sync_from(a)
+        assert stats.stale_responses == 0  # c never saw a stale one
+        assert b.sync_responses_ignored == 1
+
+
+class TestPiggybackedAcks:
+    def test_frontier_advances_with_zero_ack_frames(self):
+        # Steady envelope traffic alone must purge stable tombstones:
+        # every envelope's clock is an acknowledgement.
+        cluster = Cluster(2, mode="sdis", seed=12, tombstone_gc=True,
+                          policy=EAGER0)
+        cluster.bootstrap(list("abcdefgh"))
+        cluster[1].delete_range(2, 5)
+        cluster.settle()
+        # Site 2 heard the deletes (and its own application of them):
+        # it purges on delivery. Site 1 needs to hear site 2 speak.
+        cluster[2].insert(0, "!")
+        cluster.settle()
+        assert cluster[1].purged_tombstones == 3
+        assert cluster[2].purged_tombstones == 3
+        for site in cluster:
+            assert site.doc.tree.id_length == len(site.doc)
+        cluster.assert_converged(identities=True)
+
+    def test_frontier_advances_under_drop(self):
+        from repro.replication.network import NetworkConfig
+
+        cluster = Cluster(
+            3, mode="sdis", seed=13, tombstone_gc=True, policy=EAGER0,
+            config=NetworkConfig(drop_rate=0.15, min_latency=1,
+                                 max_latency=30),
+        )
+        cluster.bootstrap(list("droppy droppy text"))
+        cluster[1].delete_range(0, 4)
+        cluster.settle()
+        for site in cluster:
+            site.insert(0, f"s{site.site}")
+        cluster.settle()
+        cluster.anti_entropy()
+        for site in cluster:
+            assert site.purged_tombstones == 4, site.site
+        cluster.assert_converged(identities=True)
+
+    def test_sync_traffic_is_an_ack_too(self):
+        cluster = Cluster(2, mode="sdis", seed=14, tombstone_gc=True,
+                          policy=EAGER0)
+        cluster.bootstrap(list("abcd"))
+        cluster[1].delete(1)
+        cluster.settle()
+        # A bare SyncRequest from site 2 carries its applied clock;
+        # that alone completes site 1's frontier.
+        cluster[2].request_sync(1)
+        cluster.settle()
+        assert cluster[1].purged_tombstones == 1
+
+
+class TestNewFrameIntegrity:
+    """Satellite: the same exhaustive corruption discipline the v2
+    frames get — every single-bit flip and every truncation of the two
+    new frames surfaces as a typed DecodeError, nothing else."""
+
+    def _delta_frame(self):
+        doc = Treedoc(site=1, mode="sdis")
+        doc.insert_text(0, list("delta fuzz subject"))
+        doc.delete_range(2, 4)
+        segments = tuple(iter_state_segments(doc.tree, 1))
+        log = ((doc.posid_at(0), 1, 3),)
+        return SyncDelta(1, VectorClock({1: 20, 2: 4}),
+                         VectorClock({1: 18, 2: 4}), segments, log)
+
+    def test_sync_delta_round_trip(self):
+        frame = self._delta_frame()
+        back = decode_wire(frame.to_wire())
+        assert back == frame
+        assert back.wire_bytes == len(frame.to_wire())
+        assert back.atom_count == frame.atom_count
+
+    def test_sync_decline_round_trip(self):
+        for frame in (
+            SyncDecline(3),
+            SyncDecline(3, DECLINE_BUSY),
+            SyncDecline(3, DECLINE_TRY_PEER, hint=12),
+            SyncDecline(2**30, DECLINE_NOT_AHEAD, hint=None),
+        ):
+            assert decode_wire(encode_wire(frame)) == frame
+
+    def test_every_delta_bit_flip_detected(self):
+        wire = self._delta_frame().to_wire()
+        for position in range(len(wire) * 8):
+            damaged = bytearray(wire)
+            damaged[position // 8] ^= 0x80 >> (position % 8)
+            with pytest.raises(CorruptFrameError):
+                decode_wire(bytes(damaged))
+
+    def test_every_decline_bit_flip_detected(self):
+        wire = encode_wire(SyncDecline(5, DECLINE_TRY_PEER, hint=9))
+        for position in range(len(wire) * 8):
+            damaged = bytearray(wire)
+            damaged[position // 8] ^= 0x80 >> (position % 8)
+            with pytest.raises(CorruptFrameError):
+                decode_wire(bytes(damaged))
+
+    def test_every_truncation_detected(self):
+        for wire in (self._delta_frame().to_wire(),
+                     encode_wire(SyncDecline(5, DECLINE_BUSY, hint=2))):
+            for cut in range(len(wire)):
+                with pytest.raises(DecodeError):
+                    decode_wire(wire[:cut])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_random_multi_flips_never_escape(self, data):
+        wire = self._delta_frame().to_wire()
+        flips = data.draw(st.lists(
+            st.integers(0, len(wire) * 8 - 1), min_size=1, max_size=8,
+            unique=True,
+        ))
+        damaged = bytearray(wire)
+        for position in flips:
+            damaged[position // 8] ^= 0x80 >> (position % 8)
+        try:
+            decode_wire(bytes(damaged))
+        except DecodeError:
+            pass  # the only acceptable escape
