@@ -105,6 +105,23 @@ def _summary(root: Path) -> str:
                 f"  storage/explode all            "
                 f"{mechanics['explode_seconds'] * 1e9:>12,.0f} ns"
             )
+    server_report = root / "BENCH_server.json"
+    if server_report.exists():
+        data = json.loads(server_report.read_text())
+        ingest = data["throughput"]
+        overload = data["overload"]
+        lines.append(
+            f"  server/socket ingest           "
+            f"{ingest['frames_per_second']:>12,.1f} frames/s "
+            f"(p50 {ingest['apply_p50_ms']} ms, "
+            f"p99 {ingest['apply_p99_ms']} ms apply)"
+        )
+        lines.append(
+            f"  server/overload shedding       "
+            f"{overload['shed_rate'] * 100:>11,.1f}% refused "
+            f"({overload['declined_busy']} declined busy, "
+            f"{overload['served']} served)"
+        )
     durability_report = root / "BENCH_durability.json"
     if durability_report.exists():
         data = json.loads(durability_report.read_text())
@@ -170,6 +187,7 @@ def main(argv=None) -> int:
         bench_durability,
         bench_network,
         bench_read,
+        bench_server,
         bench_storage,
         bench_sync,
     )
@@ -193,6 +211,11 @@ def main(argv=None) -> int:
     if status:
         return status
     status = bench_durability.main(["--quick"] if args.quick else [])
+    if status:
+        return status
+    # bench_server times a live asyncio daemon over a loopback socket;
+    # no baseline-src — it benchmarks the current stack only.
+    status = bench_server.main(["--quick"] if args.quick else [])
     if status:
         return status
     print(_summary(here.parent))

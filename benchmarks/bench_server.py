@@ -1,0 +1,256 @@
+"""Daemon benchmark: socket throughput, apply latency, overload shedding.
+
+Three questions about :mod:`repro.server`, answered end to end over a
+real loopback socket (a raw client speaks the peer protocol — hello,
+then stream-framed wire frames — to a live :class:`SiteDaemon`):
+
+1. **Frames per second** — how fast a daemon ingests, decodes and
+   applies a causally-ordered envelope stream arriving on one socket,
+   measured from first byte written to last frame applied.
+2. **Apply latency** — the daemon's own p50/p99 per-frame apply cost
+   (decode + causal delivery + tree mutation), read from its status
+   counters after the run.
+3. **Shed rate under overload** — a client floods ``SyncRequest``\\ s
+   past the admission gate's in-flight cap into a deliberately tiny
+   inbound queue; the daemon must refuse typed (``SyncDecline(busy)``)
+   or shed, never stall or grow without bound. Reports the observed
+   shed/decline split and the fraction that was still served.
+
+Writes ``BENCH_server.json`` (checked into the repo root; CI refreshes
+it as an artifact) and fails loudly if any throughput frame is lost,
+if the stream needed resyncs on a clean socket, or if the overload
+run sheds nothing. Run::
+
+    PYTHONPATH=src python benchmarks/bench_server.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+
+class _CaptureNetwork:
+    """The minimal network contract, recording broadcast envelopes —
+    a scratch ReplicaSite writes the benchmark's input stream."""
+
+    def __init__(self):
+        self.frames = []
+        self.now = 0.0
+        self.sites = (1,)
+
+    def register(self, site, handler):
+        pass
+
+    def send(self, src, dst, data):
+        pass
+
+    def broadcast(self, src, data):
+        self.frames.append(bytes(data))
+
+    def reachable(self, src, dst):
+        return True
+
+    def disconnect(self, site):
+        pass
+
+
+def _build_envelopes(edits, seed):
+    """A causally-ordered envelope stream from seeded random edits."""
+    from repro.replication.site import ReplicaSite
+
+    capture = _CaptureNetwork()
+    site = ReplicaSite(1, capture)
+    rng = random.Random(seed)
+    for edit in range(edits):
+        length = len(site)
+        if length > 40 and rng.random() < 0.25:
+            start = rng.randrange(length - 8)
+            site.delete_range(start, start + rng.randint(1, 6))
+        else:
+            at = rng.randint(0, length)
+            site.insert_text(at, list(f"e{edit}" + "x" * rng.randint(1, 9)))
+    return capture.frames, len(site)
+
+
+async def _drain_socket(reader):
+    """Discard daemon->client traffic (heartbeats, declines, sync
+    answers) so its writer never stalls against us."""
+    try:
+        while await reader.read(65536):
+            pass
+    except (ConnectionError, OSError, asyncio.CancelledError):
+        pass
+
+
+async def _hello(host, port):
+    from repro.replication.clock import VectorClock
+    from repro.replication.wire import AckFrame, encode_wire
+    from repro.server.framing import encode_segment
+
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(encode_segment(encode_wire(AckFrame(1, VectorClock()))))
+    await writer.drain()
+    drainer = asyncio.get_event_loop().create_task(_drain_socket(reader))
+    return reader, writer, drainer
+
+
+async def _wait(predicate, timeout):
+    loop = asyncio.get_event_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(0.01)
+    return predicate()
+
+
+async def _throughput_run(frames, expected_atoms):
+    """Stream every envelope down one socket; time to full apply."""
+    from repro.server.daemon import DaemonConfig, SiteDaemon
+    from repro.server.framing import encode_segment
+
+    config = DaemonConfig(
+        site=2, peers={1: ("127.0.0.1", 1)},  # roster entry, never dialed
+        # The whole stream arrives as one burst; admission must hold
+        # it (shedding envelopes is the *overload* scenario, not this
+        # one — here we measure apply throughput without loss).
+        inbound_depth=len(frames) + 8,
+        tick_interval=5.0, heartbeat_interval=30.0, idle_timeout=3600.0,
+    )
+    daemon = SiteDaemon(config)
+    await daemon.start()
+    try:
+        reader, writer, drainer = await _hello("127.0.0.1", daemon.port)
+        started = time.perf_counter()
+        for frame in frames:
+            writer.write(encode_segment(frame))
+        await writer.drain()
+        total = len(frames) + 1  # the hello applies too
+        applied = await _wait(
+            lambda: daemon.frames_applied >= total, timeout=120.0
+        )
+        elapsed = time.perf_counter() - started
+        status = daemon.status()
+        drainer.cancel()
+        writer.close()
+        if not applied:
+            raise SystemExit(
+                f"throughput: only {daemon.frames_applied}/{total} "
+                f"frames applied"
+            )
+        if len(daemon.site) != expected_atoms:
+            raise SystemExit(
+                f"throughput: {len(daemon.site)} atoms, "
+                f"expected {expected_atoms}"
+            )
+        if daemon.stream_resyncs or daemon.decode_errors:
+            raise SystemExit("throughput: damage on a clean socket")
+        return {
+            "frames": len(frames),
+            "atoms": expected_atoms,
+            "seconds": round(elapsed, 4),
+            "frames_per_second": round(len(frames) / elapsed, 1),
+            "apply_p50_ms": status["apply_p50_ms"],
+            "apply_p99_ms": status["apply_p99_ms"],
+        }
+    finally:
+        await daemon.shutdown()
+
+
+async def _overload_run(requests):
+    """Flood SyncRequests past the admission gate; measure shedding."""
+    from repro.replication.clock import VectorClock
+    from repro.replication.wire import SyncRequest, encode_wire
+    from repro.server.daemon import DaemonConfig, SiteDaemon
+    from repro.server.framing import encode_segment
+
+    config = DaemonConfig(
+        site=2, peers={1: ("127.0.0.1", 1)},
+        inbound_depth=16, max_inflight_syncs=4,
+        tick_interval=5.0, heartbeat_interval=30.0, idle_timeout=3600.0,
+    )
+    daemon = SiteDaemon(config)
+    await daemon.start()
+    try:
+        daemon.site.insert_text(0, list("overload payload " * 8))
+        reader, writer, drainer = await _hello("127.0.0.1", daemon.port)
+        burst = encode_segment(encode_wire(SyncRequest(1, VectorClock())))
+        started = time.perf_counter()
+        for _ in range(requests):
+            writer.write(burst)
+        await writer.drain()
+        await _wait(
+            lambda: (daemon.declined_syncs + daemon.shed_inbound
+                     + daemon.frames_applied) > requests
+            and daemon._inbound.empty(),
+            timeout=60.0,
+        )
+        elapsed = time.perf_counter() - started
+        drainer.cancel()
+        writer.close()
+        refused = daemon.declined_syncs + daemon.shed_inbound
+        served = daemon.site.sync_responses_served \
+            if hasattr(daemon.site, "sync_responses_served") \
+            else daemon.frames_applied - 1
+        if refused == 0:
+            raise SystemExit("overload: nothing was shed or declined")
+        if daemon._inbound.qsize() > config.inbound_depth:
+            raise SystemExit("overload: inbound queue exceeded its bound")
+        return {
+            "requests_sent": requests,
+            "declined_busy": daemon.declined_syncs,
+            "shed_inbound": daemon.shed_inbound,
+            "served": served,
+            "shed_rate": round(refused / requests, 4),
+            "seconds": round(elapsed, 4),
+        }
+    finally:
+        await daemon.shutdown()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="daemon socket throughput / latency / shedding"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizes")
+    args = parser.parse_args(argv)
+    edits = 400 if args.quick else 2000
+    requests = 200 if args.quick else 1000
+
+    frames, expected_atoms = _build_envelopes(edits, seed=1234)
+    throughput = asyncio.run(_throughput_run(frames, expected_atoms))
+    overload = asyncio.run(_overload_run(requests))
+
+    report = {
+        "benchmark": "server",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "throughput": throughput,
+        "overload": overload,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  server/socket ingest           "
+          f"{throughput['frames_per_second']:>12,.1f} frames/s "
+          f"(p50 {throughput['apply_p50_ms']} ms, "
+          f"p99 {throughput['apply_p99_ms']} ms apply)")
+    print(f"  server/overload shedding       "
+          f"{overload['shed_rate'] * 100:>11,.1f}% refused "
+          f"({overload['declined_busy']} declined busy, "
+          f"{overload['shed_inbound']} shed, "
+          f"{overload['served']} served)")
+    print(f"  wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,13 +42,51 @@ class DecodeError(EncodingError):
     entry points of :mod:`repro.core.encoding` and
     :mod:`repro.replication.wire`; low-level stream primitives keep
     raising :class:`EncodingError`. The simulated network treats a
-    handler raising this as a lost transmission and retransmits."""
+    handler raising this as a lost transmission and retransmits.
+
+    Carries attribution context so daemon logs and retransmit counters
+    can say *what* failed, not just that something did:
+
+    - ``frame_kind`` — the wire frame kind name (``"envelope"``,
+      ``"sync_request"``, ...) when the header survived enough to read
+      it, else None;
+    - ``offset`` — byte offset into the payload where decoding stopped
+      (None when unknown, e.g. a whole-frame CRC mismatch);
+    - ``length`` — the damaged payload's byte length, when known.
+    """
+
+    def __init__(self, message: str = "", *, frame_kind: str | None = None,
+                 offset: int | None = None,
+                 length: int | None = None) -> None:
+        super().__init__(message)
+        self.frame_kind = frame_kind
+        self.offset = offset
+        self.length = length
+
+    def context(self) -> str:
+        """The attribution fields as a log-ready suffix."""
+        parts = []
+        if self.frame_kind is not None:
+            parts.append(f"kind={self.frame_kind}")
+        if self.offset is not None:
+            parts.append(f"offset={self.offset}")
+        if self.length is not None:
+            parts.append(f"length={self.length}")
+        return " ".join(parts)
 
 
 class CorruptFrameError(DecodeError):
     """A wire frame failed its integrity check (CRC mismatch): the
     bytes were damaged in transit. A strict subset of
     :class:`DecodeError` so transports need only one except clause."""
+
+
+class FrameSyncError(DecodeError):
+    """A byte *stream* lost frame alignment: the transport framing
+    header (:mod:`repro.server.framing`) did not start where expected.
+    The reader has already discarded bytes up to the next plausible
+    frame boundary — ``offset`` says how many — so the caller may
+    simply continue reading, or drop the connection if it prefers."""
 
 
 class SyncError(ReproError):
@@ -81,6 +119,20 @@ class StorageError(ReproError):
 
 class ReplicationError(ReproError):
     """Causal delivery or site bookkeeping was violated."""
+
+
+class DaemonError(ReproError):
+    """The asyncio site daemon (:mod:`repro.server`) was misused or hit
+    an unrecoverable serving condition (bad configuration, duplicate
+    local site, admin-protocol violation)."""
+
+
+class OverloadedError(DaemonError):
+    """The daemon's admission gate refused work because a queue or
+    in-flight cap was reached — the typed, *expected* refusal under
+    overload. Callers back off and retry; remote peers receive the
+    wire-level equivalent (``SyncDecline(busy)``) or have their
+    re-requestable frames shed."""
 
 
 class CausalityError(ReplicationError):

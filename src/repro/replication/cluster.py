@@ -20,6 +20,7 @@ surviving site agrees.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -227,6 +228,27 @@ class Cluster:
     def heal(self) -> None:
         """Heal the partition and release held messages."""
         self.network.heal()
+
+    @contextmanager
+    def partitioned(self, *groups):
+        """Partition for the duration of a ``with`` block, healing on
+        exit **including on exception** — a test that fails inside the
+        block must not leak a split network into its own teardown
+        assertions (or, under soak loops, into the next round). Yields
+        the cluster so the block can keep a short name:
+
+            with cluster.partitioned({1, 2}, {3}):
+                cluster[1].insert(0, "x")
+                cluster.settle()
+
+        Healing releases the held messages but does not settle; the
+        caller decides when (and whether) to pump them.
+        """
+        self.partition(*groups)
+        try:
+            yield self
+        finally:
+            self.heal()
 
     # -- scripted churn ---------------------------------------------------------------
 

@@ -61,6 +61,7 @@ from repro.replication.wire import (
     decode_wire,
     encode_wire,
 )
+from repro.util.backoff import jittered
 from repro.util.rng import derive_rng
 
 
@@ -646,11 +647,9 @@ class ReplicaSite:
         return now >= self._peer_retry_at.get(peer, float("-inf"))
 
     def _jittered(self, interval: float) -> float:
-        """Stretch an interval by the policy's seeded jitter draw."""
-        if self.policy.jitter <= 0.0 or interval <= 0.0:
-            return interval
-        return interval * (1.0 + self.policy.jitter
-                           * self._sync_rng.random())
+        """Stretch an interval by the policy's seeded jitter draw
+        (the shared :func:`repro.util.backoff.jittered` rule)."""
+        return jittered(interval, self.policy.jitter, self._sync_rng)
 
     def maybe_request_sync(self) -> bool:
         """Apply the anti-entropy policy: request a snapshot when the

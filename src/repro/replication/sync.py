@@ -47,6 +47,7 @@ from dataclasses import dataclass
 
 from repro.replica import SyncReport
 from repro.replication.wire import StateTransfer as _WireStateTransfer
+from repro.util.backoff import BackoffPolicy
 
 #: Re-exported: the anti-entropy message is the wire's SyncResponse
 #: frame under its historical name (see module docstring).
@@ -78,6 +79,8 @@ class AntiEntropyPolicy:
     #: response): first retry after ``backoff_base`` simulated ms,
     #: doubling (``backoff_factor``) per consecutive failure up to
     #: ``backoff_max``. Successful catch-up resets the peer's score.
+    #: The schedule is :class:`repro.util.backoff.BackoffPolicy` — the
+    #: same implementation the site daemon's reconnect loop uses.
     backoff_base: float = 200.0
     backoff_factor: float = 2.0
     backoff_max: float = 3200.0
@@ -102,13 +105,18 @@ class AntiEntropyPolicy:
         return (buffered >= self.max_buffered
                 or gap_age >= self.max_gap_age * (1.0 + stretch))
 
+    @property
+    def backoff_policy(self) -> BackoffPolicy:
+        """This policy's retry schedule as the shared
+        :class:`repro.util.backoff.BackoffPolicy`."""
+        return BackoffPolicy(self.backoff_base, self.backoff_factor,
+                             self.backoff_max)
+
     def backoff(self, failures: int) -> float:
         """Backoff (simulated ms) after ``failures`` consecutive
-        failed exchanges with one peer."""
-        if failures <= 0:
-            return 0.0
-        return min(self.backoff_max,
-                   self.backoff_base * self.backoff_factor ** (failures - 1))
+        failed exchanges with one peer (delegates to
+        :meth:`backoff_policy`)."""
+        return self.backoff_policy.delay(failures)
 
 
 @dataclass(frozen=True)

@@ -91,6 +91,20 @@ _KIND_SYNC_DECLINE = 8
 
 _WIRE_KIND_BITS = 4
 
+#: Human names of the wire kinds, for error attribution and the
+#: daemon's per-frame-kind counters.
+WIRE_KIND_NAMES = {
+    _KIND_ENVELOPE: "envelope",
+    _KIND_ACK: "ack",
+    _KIND_SYNC_REQUEST: "sync_request",
+    _KIND_SYNC_RESPONSE: "sync_response",
+    _KIND_PREPARE: "prepare",
+    _KIND_VOTE: "vote",
+    _KIND_ABORT: "abort",
+    _KIND_SYNC_DELTA: "sync_delta",
+    _KIND_SYNC_DECLINE: "sync_decline",
+}
+
 #: ``SyncDecline`` reasons: the responder cannot serve this request.
 DECLINE_NOT_AHEAD = 0   #: requester's frontier is not behind ours
 DECLINE_BUSY = 1        #: responder is itself fighting a causal gap
@@ -490,6 +504,27 @@ def _read_wire(reader: BitReader) -> WireFrame:
     raise EncodingError(f"unknown wire frame kind {kind}")
 
 
+def peek_wire_kind(data: bytes) -> Optional[str]:
+    """Best-effort frame-kind attribution from the first header byte.
+
+    The whole wire header — escape tag, ``FRAME_WIRE``, and the 4-bit
+    wire kind — packs into exactly one byte, so a single intact byte
+    names the frame kind even when the rest is damaged. Returns None
+    for anything that does not look like a wire-frame header (empty
+    input, a core frame, a flipped header byte). Purely advisory: the
+    daemon's admission gate and error attribution read it; decoding
+    never trusts it.
+    """
+    if not isinstance(data, (bytes, bytearray)) or not data:
+        return None
+    first = data[0]
+    if first >> 6 != FRAME_TAG:
+        return None
+    if (first >> 4) & ((1 << FRAME_KIND_BITS) - 1) != FRAME_WIRE:
+        return None
+    return WIRE_KIND_NAMES.get(first & 0x0F)
+
+
 def decode_wire(data: bytes) -> WireFrame:
     """Decode one peer-protocol frame.
 
@@ -498,21 +533,39 @@ def decode_wire(data: bytes) -> WireFrame:
     which the simulated network treats as a lost transmission. Valid
     CRC but malformed contents — the hallmark of a sender bug, not of
     transit damage — still raise the plain :class:`DecodeError`.
+
+    Every raised error carries attribution context: the frame kind
+    when the header byte survived (:func:`peek_wire_kind`), the
+    payload length, and — for parse failures past an intact CRC — the
+    byte offset where decoding stopped. A CRC mismatch leaves the
+    offset None: the damage location is unknowable from the checksum.
     """
     if not isinstance(data, (bytes, bytearray)):
         raise DecodeError(
             f"wire frames are bytes, got {type(data).__name__}"
         )
+    kind_name = peek_wire_kind(data)
     if len(data) <= CRC_BYTES:
         raise CorruptFrameError(
-            f"wire frame too short ({len(data)} bytes)"
+            f"wire frame too short ({len(data)} bytes)",
+            frame_kind=kind_name, length=len(data),
         )
     body, crc = bytes(data[:-CRC_BYTES]), data[-CRC_BYTES:]
     if zlib.crc32(body) != int.from_bytes(crc, "big"):
-        raise CorruptFrameError("wire frame CRC mismatch")
+        raise CorruptFrameError("wire frame CRC mismatch",
+                                frame_kind=kind_name, length=len(data))
     reader = start_decode(body, None)
-    frame = decode_guarded(_read_wire, reader, "wire frame")
-    finish_decode(reader, "wire frame")
+    try:
+        frame = decode_guarded(_read_wire, reader, "wire frame")
+        finish_decode(reader, "wire frame")
+    except DecodeError as exc:
+        if exc.frame_kind is None:
+            exc.frame_kind = kind_name
+        if exc.offset is None:
+            exc.offset = reader.bit_position // 8
+        if exc.length is None:
+            exc.length = len(data)
+        raise
     if isinstance(frame, (SyncResponse, SyncDelta)):
         # Seed the encoding cache with the bytes as received, so
         # ``wire_bytes`` on the receiver is the measured frame length

@@ -1,0 +1,26 @@
+"""The asyncio site daemon: a ReplicaSite served over real TCP.
+
+The package keeps a strict separation: everything *replication* lives
+in :mod:`repro.replication` and runs unchanged; everything here is
+serving plumbing — stream framing, bounded queues, connection
+supervision, admission control, signals. See DESIGN.md §11.
+"""
+
+from repro.server.admin import AdminClient, identity_digest
+from repro.server.daemon import DaemonConfig, SiteDaemon
+from repro.server.faults import FaultPlan, FaultyTransport
+from repro.server.framing import FrameReader, encode_segment
+from repro.server.transport import SendQueue, SocketTransport
+
+__all__ = [
+    "AdminClient",
+    "DaemonConfig",
+    "FaultPlan",
+    "FaultyTransport",
+    "FrameReader",
+    "SendQueue",
+    "SiteDaemon",
+    "SocketTransport",
+    "encode_segment",
+    "identity_digest",
+]

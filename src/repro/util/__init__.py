@@ -2,12 +2,15 @@
 atom-sequence rendering."""
 
 from repro.util.rng import derive_rng, spawn_seed
+from repro.util.backoff import BackoffPolicy, jittered
 from repro.util.bits import BitWriter, BitReader, bits_for_int
 from repro.util.text import join_atoms
 
 __all__ = [
     "derive_rng",
     "spawn_seed",
+    "BackoffPolicy",
+    "jittered",
     "BitWriter",
     "BitReader",
     "bits_for_int",

@@ -1,0 +1,68 @@
+"""Exponential backoff with deterministic jitter — one implementation.
+
+Two layers of the stack retry against possibly-unhealthy peers: the
+anti-entropy policy (:class:`repro.replication.sync.AntiEntropyPolicy`)
+backs off a responder that declined or served a stale snapshot, and the
+site daemon's connection supervisor (:mod:`repro.server`) re-dials a
+peer whose socket died. Both need the same two ingredients:
+
+- an **exponential delay schedule** — first retry after ``base``,
+  growing by ``factor`` per consecutive failure, capped at ``maximum``
+  (so one flaky exchange is retried quickly but a dead peer costs a
+  bounded, slowly-polled amount of attention); and
+- **deterministic jitter** — each delay stretches by up to a fraction
+  of itself, drawn from a *seeded* stream (:func:`repro.util.rng.
+  derive_rng`, no wall clock anywhere), so a hundred clients that
+  observed the same failure at the same instant do not synchronize
+  into a retry storm, yet every run replays identically from its seed.
+
+Times are unit-agnostic floats: the simulation feeds simulated
+milliseconds, the daemon feeds real milliseconds — the schedule is the
+same either way, which is what makes the simulator's backoff behaviour
+predictive of the real transport's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """An exponential retry schedule: ``base * factor**(n-1)``, capped.
+
+    ``delay(0)`` is 0.0 (no failures: retry immediately); ``delay(n)``
+    for ``n >= 1`` grows geometrically and saturates at ``maximum``.
+    """
+
+    #: Delay before the first retry.
+    base: float = 200.0
+    #: Growth per consecutive failure.
+    factor: float = 2.0
+    #: Saturation cap on the delay.
+    maximum: float = 3200.0
+
+    def delay(self, failures: int) -> float:
+        """Delay after ``failures`` consecutive failures."""
+        if failures <= 0:
+            return 0.0
+        return min(self.maximum, self.base * self.factor ** (failures - 1))
+
+    def delays(self, count: int) -> list:
+        """The first ``count`` delays of the schedule (for logs/tests)."""
+        return [self.delay(n) for n in range(1, count + 1)]
+
+
+def jittered(interval: float, fraction: float,
+             rng: random.Random) -> float:
+    """Stretch ``interval`` by up to ``fraction`` of itself, drawn from
+    ``rng`` — the shared jitter rule (stretch-only, never shrink, so a
+    jittered backoff still respects its schedule as a floor). A
+    non-positive ``fraction`` or ``interval`` passes through unchanged
+    without consuming a draw, keeping seeded streams aligned between
+    configurations that disable jitter and ones that cannot use it.
+    """
+    if fraction <= 0.0 or interval <= 0.0:
+        return interval
+    return interval * (1.0 + fraction * rng.random())

@@ -98,6 +98,12 @@ class BitReader:
         """Number of unread bits."""
         return self._bit_count - self._position
 
+    @property
+    def bit_position(self) -> int:
+        """Bits consumed so far (error attribution reads this to say
+        *where* in a payload decoding stopped)."""
+        return self._position
+
     def read_bit(self) -> int:
         """Read and return the next bit."""
         if self._position >= self._bit_count:

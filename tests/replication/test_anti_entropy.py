@@ -92,12 +92,11 @@ class TestNetworkedCatchUp:
     def test_partitioned_late_joiner_heals_and_catches_up(self):
         cluster = self._history_cluster()
         late = cluster.add_site()
-        cluster.partition({1, 2}, {late.site})
-        cluster[1].insert_text(0, list("while-you-were-away "))
-        cluster[2].insert_text(0, list("more "))
-        cluster.settle()
-        assert len(late) == 0  # isolated and history-less
-        cluster.heal()
+        with cluster.partitioned({1, 2}, {late.site}):
+            cluster[1].insert_text(0, list("while-you-were-away "))
+            cluster[2].insert_text(0, list("more "))
+            cluster.settle()
+            assert len(late) == 0  # isolated and history-less
         # Healing delivers the held envelopes, but they buffer: the
         # pre-join history is still missing. The anti-entropy tick
         # resolves it with one state transfer.
@@ -202,7 +201,8 @@ class TestConvergenceUnderEverything:
         )
         cluster.bootstrap(list("seed"))
         rng = random.Random(seed)
-        for round_number in range(6):
+
+        def edit_burst(round_number):
             for site in cluster:
                 for _ in range(rng.randint(0, 2)):
                     if len(site) > 2 and rng.random() < 0.4:
@@ -210,11 +210,13 @@ class TestConvergenceUnderEverything:
                     else:
                         site.insert(rng.randint(0, len(site)),
                                     f"s{site.site}r{round_number}")
-            if round_number == 2:
-                cluster.partition({1}, {2, 3})
-            if round_number == 4:
-                cluster.heal()
-        cluster.heal()
+
+        for round_number in range(3):
+            edit_burst(round_number)
+        with cluster.partitioned({1}, {2, 3}):
+            for round_number in range(3, 5):
+                edit_burst(round_number)
+        edit_burst(5)
         cluster.anti_entropy()
         cluster.assert_converged()
         network = cluster.network

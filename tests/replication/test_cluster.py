@@ -52,30 +52,28 @@ class TestConvergence:
     def test_partition_diverges_then_heals(self):
         cluster = Cluster(4, mode="udis", seed=8)
         cluster.bootstrap(list("common"))
-        cluster.partition({1, 2}, {3, 4})
-        cluster[1].insert(0, "L")
-        cluster[3].insert(0, "R")
-        cluster.settle()
-        left = cluster[1].atoms()
-        right = cluster[3].atoms()
-        assert left != right  # partitions diverge
-        assert cluster[2].atoms() == left  # intra-group replication works
-        assert cluster[4].atoms() == right
-        cluster.heal()
+        with cluster.partitioned({1, 2}, {3, 4}):
+            cluster[1].insert(0, "L")
+            cluster[3].insert(0, "R")
+            cluster.settle()
+            left = cluster[1].atoms()
+            right = cluster[3].atoms()
+            assert left != right  # partitions diverge
+            assert cluster[2].atoms() == left  # intra-group replication
+            assert cluster[4].atoms() == right
         cluster.settle()
         cluster.assert_converged()
 
     def test_offline_site_catches_up(self):
         cluster = Cluster(3, mode="sdis", seed=4)
         cluster.bootstrap(list("abc"))
-        cluster.partition({3})
         rng = random.Random(4)
-        for _ in range(10):
-            cluster[1].insert(rng.randint(0, len(cluster[1])), "x")
-            cluster[2].insert(rng.randint(0, len(cluster[2])), "y")
-        cluster.settle()
-        assert len(cluster[3]) == 3  # unchanged while isolated
-        cluster.heal()
+        with cluster.partitioned({3}):
+            for _ in range(10):
+                cluster[1].insert(rng.randint(0, len(cluster[1])), "x")
+                cluster[2].insert(rng.randint(0, len(cluster[2])), "y")
+            cluster.settle()
+            assert len(cluster[3]) == 3  # unchanged while isolated
         cluster.settle()
         cluster.assert_converged()
         assert len(cluster[3]) == 23
@@ -95,19 +93,62 @@ class TestConvergence:
         # the others is vacuous.
         cluster = Cluster(3, seed=6)
         cluster.bootstrap(list("abc"))
-        cluster.partition({1, 2}, {3})
-        cluster[1].insert(0, "x")
-        cluster.settle()
-        assert cluster.network.held > 0
-        with pytest.raises(ReplicationError, match="held"):
-            cluster.assert_converged()
-        cluster.heal()
+        with cluster.partitioned({1, 2}, {3}):
+            cluster[1].insert(0, "x")
+            cluster.settle()
+            assert cluster.network.held > 0
+            with pytest.raises(ReplicationError, match="held"):
+                cluster.assert_converged()
         cluster.settle()
         cluster.assert_converged()
 
     def test_minimum_cluster_size(self):
         with pytest.raises(ReplicationError):
             Cluster(0)
+
+
+class TestPartitionedContext:
+    def test_heals_on_normal_exit(self):
+        cluster = Cluster(3, seed=7)
+        cluster.bootstrap(list("abc"))
+        with cluster.partitioned({1, 2}, {3}) as same:
+            assert same is cluster
+            cluster[1].insert(0, "x")
+            cluster.settle()
+            assert not cluster.network.reachable(1, 3)
+            assert cluster.network.held > 0
+        # Healed: the held envelope is released and deliverable.
+        assert cluster.network.reachable(1, 3)
+        assert cluster.network.held == 0
+        cluster.settle()
+        cluster.assert_converged()
+
+    def test_heals_on_exception(self):
+        # A failing assertion inside the block must not leak a split
+        # network into teardown or the next test round.
+        cluster = Cluster(3, seed=7)
+        cluster.bootstrap(list("abc"))
+        with pytest.raises(RuntimeError, match="mid-partition"):
+            with cluster.partitioned({1}, {2, 3}):
+                cluster[2].insert(0, "y")
+                raise RuntimeError("boom mid-partition")
+        assert cluster.network.reachable(1, 2)
+        cluster.settle()
+        cluster.assert_converged()
+
+    def test_nests_like_repartition(self):
+        # An inner partitioned() replaces the outer split (the network
+        # holds one partition at a time); the inner exit heals fully —
+        # same semantics as calling partition() twice then heal().
+        cluster = Cluster(3, seed=9)
+        cluster.bootstrap(list("ab"))
+        with cluster.partitioned({1}, {2, 3}):
+            with cluster.partitioned({1, 2}, {3}):
+                assert cluster.network.reachable(1, 2)
+                assert not cluster.network.reachable(2, 3)
+            assert cluster.network.reachable(2, 3)
+        cluster.settle()
+        cluster.assert_converged()
 
 
 class TestWireDiscipline:

@@ -486,23 +486,38 @@ class TestNewFrameIntegrity:
         for position in range(len(wire) * 8):
             damaged = bytearray(wire)
             damaged[position // 8] ^= 0x80 >> (position % 8)
-            with pytest.raises(CorruptFrameError):
+            with pytest.raises(CorruptFrameError) as err:
                 decode_wire(bytes(damaged))
+            # Satellite: errors attribute the damaged frame — length
+            # always, the kind whenever the header byte survived.
+            assert err.value.length == len(wire)
+            if position >= 8:
+                assert err.value.frame_kind == "sync_delta"
 
     def test_every_decline_bit_flip_detected(self):
         wire = encode_wire(SyncDecline(5, DECLINE_TRY_PEER, hint=9))
         for position in range(len(wire) * 8):
             damaged = bytearray(wire)
             damaged[position // 8] ^= 0x80 >> (position % 8)
-            with pytest.raises(CorruptFrameError):
+            with pytest.raises(CorruptFrameError) as err:
                 decode_wire(bytes(damaged))
+            assert err.value.length == len(wire)
+            if position >= 8:
+                assert err.value.frame_kind == "sync_decline"
 
     def test_every_truncation_detected(self):
+        from repro.replication.wire import peek_wire_kind
+
         for wire in (self._delta_frame().to_wire(),
                      encode_wire(SyncDecline(5, DECLINE_BUSY, hint=2))):
+            kind = peek_wire_kind(wire)
+            assert kind in ("sync_delta", "sync_decline")
             for cut in range(len(wire)):
-                with pytest.raises(DecodeError):
+                with pytest.raises(DecodeError) as err:
                     decode_wire(wire[:cut])
+                assert err.value.length == cut
+                if cut >= 1:
+                    assert err.value.frame_kind == kind
 
     @settings(max_examples=40, deadline=None)
     @given(st.data())

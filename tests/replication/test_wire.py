@@ -126,19 +126,76 @@ class TestIntegrity:
         for position in range(len(frame) * 8):
             damaged = bytearray(frame)
             damaged[position // 8] ^= 0x80 >> (position % 8)
-            with pytest.raises(CorruptFrameError):
+            with pytest.raises(CorruptFrameError) as err:
                 decode_wire(bytes(damaged))
+            # Satellite: the error attributes the failure — payload
+            # length always; the frame kind whenever the flip did not
+            # land in the header byte itself.
+            assert err.value.length == len(frame)
+            if position >= 8:
+                assert err.value.frame_kind == "sync_request"
 
     def test_truncation_detected(self):
         frame = encode_wire(AckFrame(1, VectorClock({1: 1})))
         for cut in range(1, len(frame)):
-            with pytest.raises(DecodeError):
+            with pytest.raises(DecodeError) as err:
                 decode_wire(frame[:cut])
+            assert err.value.length == cut
+            assert err.value.frame_kind == "ack"
         with pytest.raises(DecodeError):
             decode_wire(b"")
 
     def test_corrupt_frame_error_is_a_decode_error(self):
         assert issubclass(CorruptFrameError, DecodeError)
+
+    def test_crc_mismatch_context_has_no_offset(self):
+        # A checksum says the bytes are damaged, not where: kind and
+        # length are attributed, the offset stays None.
+        frame = bytearray(encode_wire(SyncRequest(2, VectorClock({1: 3}))))
+        frame[-1] ^= 0xFF
+        with pytest.raises(CorruptFrameError) as err:
+            decode_wire(bytes(frame))
+        assert err.value.frame_kind == "sync_request"
+        assert err.value.length == len(frame)
+        assert err.value.offset is None
+        assert "kind=sync_request" in err.value.context()
+        assert f"length={len(frame)}" in err.value.context()
+
+    def test_valid_crc_malformed_body_reports_offset(self):
+        # Rebuild a truncated body under a *valid* CRC: the parse gets
+        # past the integrity check and stops mid-stream, so the error
+        # names the byte offset where decoding died.
+        import zlib
+
+        frame = encode_wire(_envelope())
+        body = frame[:-4][:6]  # header + a few bytes, then the cliff
+        forged = body + zlib.crc32(body).to_bytes(4, "big")
+        with pytest.raises(DecodeError) as err:
+            decode_wire(forged)
+        assert not isinstance(err.value, CorruptFrameError)
+        assert err.value.frame_kind == "envelope"
+        assert err.value.offset is not None
+        assert 0 <= err.value.offset <= len(body)
+        assert err.value.length == len(forged)
+
+    def test_peek_wire_kind_names_every_kind(self):
+        from repro.replication.wire import peek_wire_kind
+
+        doc = Treedoc(site=1, mode="sdis")
+        doc.insert_text(0, list("peek"))
+        frames = {
+            "envelope": encode_wire(_envelope()),
+            "ack": encode_wire(AckFrame(1, VectorClock({1: 1}))),
+            "sync_request": encode_wire(
+                SyncRequest(2, VectorClock({1: 3}))),
+            "sync_response": SyncResponse(
+                1, VectorClock({1: 1}), doc.capture_state()).to_wire(),
+        }
+        for kind, data in frames.items():
+            assert peek_wire_kind(data) == kind
+        assert peek_wire_kind(b"") is None
+        assert peek_wire_kind(b"\x00\x01") is None  # core-frame tag
+        assert peek_wire_kind("text") is None
 
     def test_non_bytes_rejected(self):
         with pytest.raises(DecodeError):

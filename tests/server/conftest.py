@@ -1,0 +1,99 @@
+"""Helpers for the daemon tests: ports, loops, loopback clusters."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.server.daemon import DaemonConfig, SiteDaemon
+
+
+def free_port() -> int:
+    """An OS-assigned free TCP port (released immediately — a small
+    race window exists, acceptable for loopback tests)."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def free_ports(count: int) -> List[int]:
+    """Distinct free ports, all held open during allocation so they
+    cannot collide with each other."""
+    sockets = []
+    for _ in range(count):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        sockets.append(sock)
+    ports = [sock.getsockname()[1] for sock in sockets]
+    for sock in sockets:
+        sock.close()
+    return ports
+
+
+def make_cluster_configs(
+    n_sites: int,
+    ports: Optional[List[int]] = None,
+    peer_overrides: Optional[Dict[Tuple[int, int], Tuple[str, int]]] = None,
+    **config_kwargs,
+) -> List[DaemonConfig]:
+    """Fully-meshed daemon configs for sites 1..n on loopback.
+
+    ``peer_overrides`` maps (site, peer) to an alternative address —
+    how a FaultyTransport proxy is spliced into one direction's dials.
+    """
+    ports = ports or free_ports(n_sites)
+    overrides = peer_overrides or {}
+    configs = []
+    for index in range(n_sites):
+        site = index + 1
+        peers = {}
+        for other_index in range(n_sites):
+            other = other_index + 1
+            if other == site:
+                continue
+            peers[other] = overrides.get(
+                (site, other), ("127.0.0.1", ports[other_index])
+            )
+        configs.append(DaemonConfig(
+            site=site, port=ports[index], peers=peers, **config_kwargs
+        ))
+    return configs
+
+
+async def start_cluster(configs: List[DaemonConfig]) -> List[SiteDaemon]:
+    daemons = [SiteDaemon(config) for config in configs]
+    for daemon in daemons:
+        await daemon.start()
+    return daemons
+
+
+async def stop_cluster(daemons: List[SiteDaemon]) -> None:
+    for daemon in daemons:
+        await daemon.shutdown()
+
+
+async def wait_until(predicate, timeout: float = 20.0,
+                     interval: float = 0.05) -> bool:
+    """Poll ``predicate()`` until true or the deadline passes."""
+    loop = asyncio.get_event_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def run():
+    """Run a coroutine on a fresh event loop (no pytest-asyncio in the
+    toolchain; a plain asyncio.run keeps the tests self-contained)."""
+    def runner(coroutine):
+        return asyncio.run(coroutine)
+
+    return runner

@@ -46,12 +46,11 @@ def test_soak_everything_at_once():
         cluster.assert_converged()
 
         if round_number == 8:
-            cluster.partition({1, 2}, {3, 4, 5})
-            cluster[1].insert(0, "left-side")
-            cluster[4].insert(0, "right-side")
-            cluster.settle()
-            assert cluster[1].atoms() != cluster[4].atoms()
-            cluster.heal()
+            with cluster.partitioned({1, 2}, {3, 4, 5}):
+                cluster[1].insert(0, "left-side")
+                cluster[4].insert(0, "right-side")
+                cluster.settle()
+                assert cluster[1].atoms() != cluster[4].atoms()
             cluster.settle()
             cluster.assert_converged()
 
