@@ -5,10 +5,11 @@
 Runs the pytest-benchmark table/figure modules (timing disabled unless
 pytest-benchmark is installed and ``--benchmark-only`` is passed down —
 the single-pass mode still regenerates and prints the paper tables),
-then the standalone read-path, mixed-storage, sync, network and
-durability benchmarks, which write ``BENCH_read.json``,
-``BENCH_storage.json``, ``BENCH_sync.json``, ``BENCH_network.json``
-and ``BENCH_durability.json``, and closes with one summary whose every
+then the standalone read-path, mixed-storage, hot/cold, sync, network
+and durability benchmarks, which write ``BENCH_read.json``,
+``BENCH_storage.json``, ``BENCH_hotcold.json``, ``BENCH_sync.json``,
+``BENCH_network.json`` and ``BENCH_durability.json``, and closes with
+one summary whose every
 number carries its unit (reads/s, seconds, bytes) — no raw result
 dicts.
 """
@@ -105,6 +106,28 @@ def _summary(root: Path) -> str:
                 f"  storage/explode all            "
                 f"{mechanics['explode_seconds'] * 1e9:>12,.0f} ns"
             )
+    hotcold_report = root / "BENCH_hotcold.json"
+    if hotcold_report.exists():
+        data = json.loads(hotcold_report.read_text())
+        largest = data["hot_cold"][-1]
+        lines.append(
+            f"  hotcold/edit p99 at 10x cold   "
+            f"{largest['p99_ns']:>12,.0f} ns "
+            f"({data['p99_ratio']:.2f}x the 1x p99, "
+            f"{data['steady_cache_drops']} cache drops)"
+        )
+        touch = data["cold_touch"][-1]
+        lines.append(
+            f"  hotcold/first interior touch   "
+            f"{touch['first_touch_ns']:>12,.0f} ns "
+            f"({touch['touch_speedup']:.1f}x vs wholesale explode)"
+        )
+        sweep = data["sweep"]
+        lines.append(
+            f"  hotcold/boundary sweep         "
+            f"{sweep['incremental_seconds'] * 1e9:>12,.0f} ns "
+            f"({sweep['sweep_speedup']:.1f}x vs full survey)"
+        )
     server_report = root / "BENCH_server.json"
     if server_report.exists():
         data = json.loads(server_report.read_text())
@@ -185,6 +208,7 @@ def main(argv=None) -> int:
             return int(status)
     from benchmarks import (
         bench_durability,
+        bench_hotcold,
         bench_network,
         bench_read,
         bench_server,
@@ -199,6 +223,12 @@ def main(argv=None) -> int:
     if status:
         return status
     status = bench_storage.main(list(shared_args))
+    if status:
+        return status
+    # bench_hotcold takes no baseline-src: its before/after numbers
+    # (partial vs wholesale explode, incremental vs full sweep) compare
+    # strategies of the current stack on identical states.
+    status = bench_hotcold.main(["--quick"] if args.quick else [])
     if status:
         return status
     # bench_sync and bench_network take no baseline-src: they compare

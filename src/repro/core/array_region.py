@@ -36,7 +36,7 @@ from repro.core.node import (
     LIVE,
     ArrayLeaf,
     PosNode,
-    collect_array_atoms,
+    collect_leaf_slots,
 )
 from repro.core.path import PosID
 from repro.core.tree import TreedocTree
@@ -54,28 +54,44 @@ def find_collapsible(
     current_revision: int,
     min_age: int = 2,
     min_atoms: int = 8,
-) -> List[Tuple[PosID, PosNode, List[object]]]:
+    allow_tombstones: bool = False,
+    withhold=None,
+) -> List[Tuple[PosID, PosNode, List[object], int]]:
     """Cold canonical subtrees ready to collapse into array leaves.
 
-    Returns ``(plain path, subtree root, atoms)`` triples, top-down and
-    left-to-right. A subtree qualifies when it has been untouched for
-    ``min_age`` revisions (by the :class:`ColdRegionFinder` stamps), is
-    in canonical exploded form (:func:`collect_array_atoms` — fully
-    live, fully plain, the shape flatten builds), and holds at least
-    ``min_atoms`` atoms. The root itself never collapses (mirroring the
-    flatten heuristic); a cold-but-hot-shaped subtree is descended, so
-    smaller canonical pockets inside it are still found. Already
-    collapsed children are skipped.
+    Returns ``(plain path, subtree root, atoms, dead bitmap)``
+    4-tuples, top-down and left-to-right. A subtree qualifies when it
+    has been untouched for ``min_age`` revisions (by the
+    :class:`ColdRegionFinder` stamps), is in canonical exploded form
+    (:func:`collect_leaf_slots` — fully plain, the shape flatten
+    builds), and holds at least ``min_atoms`` identifiers. With
+    ``allow_tombstones`` (SDIS mode), stable-tombstone slots are
+    harvested into the leaf's dead bitmap instead of blocking the
+    collapse; the bitmap is 0 for fully live regions. The root itself
+    never collapses (mirroring the flatten heuristic); a
+    cold-but-hot-shaped subtree is descended, so smaller canonical
+    pockets inside it are still found. Already collapsed children are
+    skipped.
+
+    ``withhold`` is the re-collapse hysteresis hook: an optional
+    ``(bits, node, age) -> bool`` callable consulted on regions that
+    qualify structurally; returning True withholds the region whole —
+    its inner pockets are the same region, so the scan does not descend
+    into it either.
     """
     newest = ColdRegionFinder._newest_stamps(tree.root, stamps)
-    regions: List[Tuple[PosID, PosNode, List[object]]] = []
+    regions: List[Tuple[PosID, PosNode, List[object], int]] = []
     stack: List[Tuple[PosNode, Tuple[int, ...]]] = [(tree.root, ())]
     while stack:
         node, bits = stack.pop()
-        if bits and current_revision - newest[id(node)] >= min_age:
-            atoms = collect_array_atoms(node, min_atoms)
-            if atoms is not None:
-                regions.append((PosID.from_bits(bits), node, atoms))
+        age = current_revision - newest[id(node)]
+        if bits and age >= min_age:
+            harvest = collect_leaf_slots(node, min_atoms, allow_tombstones)
+            if harvest is not None:
+                if withhold is not None and withhold(bits, node, age):
+                    continue
+                atoms, dead = harvest
+                regions.append((PosID.from_bits(bits), node, atoms, dead))
                 continue
         for bit, child in ((0, node.left), (1, node.right)):
             if child is not None and not isinstance(child, ArrayLeaf):

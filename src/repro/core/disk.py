@@ -30,6 +30,14 @@ contiguously, so one (count, first-reference) pair names them all.
 Cold documents therefore load back as array leaves **without
 exploding**; v1 images (no leaves possible) still load.
 
+Format v3 (tombstone-tolerant leaves): the leaf record gains an
+optional dead-slot bitmap sidecar — one flag bit, and when set, a
+gamma-coded dead count followed by gamma-coded offset deltas, ahead of
+the run record (which then carries only the *live* atoms; dead slots
+have no payload). SDIS regions whose tombstones are stable can
+therefore persist collapsed. v2 images (no bitmap possible) still
+load, and ``save(version=2)`` rejects trees holding dead-slot leaves.
+
 The run record and the atom file are the shared segment codec of
 :mod:`repro.core.runs` (``write_run_record`` / ``AtomTable``) — the
 same layout the v2 *wire* frames use, so disk and wire cannot drift.
@@ -64,8 +72,9 @@ from repro.util.files import atomic_write_bytes
 _STATE_TAGS = {EMPTY: 0, LIVE: 1, TOMBSTONE: 2}
 _TAG_STATES = {tag: state for state, tag in _STATE_TAGS.items()}
 
-#: Current on-disk format: v2 adds array-leaf child records.
-FORMAT_VERSION = 2
+#: Current on-disk format: v2 added array-leaf child records; v3 adds
+#: the optional dead-slot bitmap sidecar to the leaf record.
+FORMAT_VERSION = 3
 
 
 @dataclass
@@ -109,19 +118,58 @@ def _read_slot_state(reader: BitReader,
     return state, None
 
 
-def _write_leaf(writer: BitWriter, leaf: ArrayLeaf, atoms: _AtomFile) -> None:
-    """A v2 array-leaf record: the shared RLE run record of
+def _write_leaf(writer: BitWriter, leaf: ArrayLeaf, atoms: _AtomFile,
+                version: int) -> None:
+    """An array-leaf record: the shared RLE run record of
     :mod:`repro.core.runs` — atoms appended to the atom file
-    contiguously, one (count, first-reference) pair naming them all."""
-    write_run_record(writer, len(leaf.atoms), atoms.add_run(leaf.atoms))
+    contiguously, one (count, first-reference) pair naming them all.
+    v3 precedes it with the dead-slot bitmap sidecar: a flag bit, and
+    when set, gamma(dead count) + gamma-coded offset deltas; the run
+    record then carries only the live atoms."""
+    if leaf.dead == 0:
+        if version >= 3:
+            writer.write_bit(0)
+        write_run_record(writer, len(leaf.atoms), atoms.add_run(leaf.atoms))
+        return
+    if version < 3:
+        raise EncodingError(
+            f"format v{version} cannot carry dead-slot bitmaps"
+        )
+    writer.write_bit(1)
+    dead = leaf.dead
+    offsets = [i for i in range(len(leaf.atoms)) if (dead >> i) & 1]
+    writer.write_elias_gamma(len(offsets))
+    previous = -1
+    for offset in offsets:
+        writer.write_elias_gamma(offset - previous)
+        previous = offset
+    live = leaf.live_atoms()
+    write_run_record(writer, len(live), atoms.add_run(live))
 
 
 def _read_leaf(reader: BitReader, parent, bit: int,
-               payloads: List[bytes]) -> ArrayLeaf:
+               payloads: List[bytes], version: int) -> ArrayLeaf:
+    dead = 0
+    ndead = 0
+    if version >= 3 and reader.read_bit():
+        ndead = reader.read_elias_gamma()
+        position = -1
+        for _ in range(ndead):
+            position += reader.read_elias_gamma()
+            dead |= 1 << position
     count, first = read_run_record(reader)
-    atoms = AtomTable(payloads).get_run(first, count)
+    if dead >> (count + ndead):
+        raise EncodingError("leaf dead bitmap out of bounds")
+    live = AtomTable(payloads).get_run(first, count)
+    if dead:
+        atoms: List[object] = []
+        it = iter(live)
+        for slot in range(count + ndead):
+            atoms.append(None if (dead >> slot) & 1 else next(it))
+    else:
+        atoms = live
     # The owning tree is attached by load() once it exists.
-    return ArrayLeaf((parent, bit), atoms, None)
+    return ArrayLeaf((parent, bit), atoms, None, dead=dead)
 
 
 def _write_subtree(writer: BitWriter, root: PosNode, atoms: _AtomFile,
@@ -175,7 +223,7 @@ def _write_entry(writer: BitWriter, node: PosNode, atoms: _AtomFile,
         if version >= 2:
             if isinstance(child, ArrayLeaf):
                 writer.write_bit(1)
-                _write_leaf(writer, child, atoms)
+                _write_leaf(writer, child, atoms, version)
             else:
                 writer.write_bit(0)
         elif isinstance(child, ArrayLeaf):
@@ -227,7 +275,8 @@ def _read_entry(reader: BitReader, node: PosNode,
             continue
         if version >= 2 and reader.read_bit():
             node.set_child(
-                child_bit, _read_leaf(reader, node, child_bit, payloads)
+                child_bit,
+                _read_leaf(reader, node, child_bit, payloads, version),
             )
             continue
         children.append(child_bit)
@@ -238,7 +287,9 @@ def save(tree: TreedocTree, version: int = FORMAT_VERSION) -> DiskImage:
     """Serialize a tree to its on-disk image.
 
     ``version=1`` writes the legacy record (rejecting trees that hold
-    array leaves); the default v2 serializes leaves as RLE atom runs.
+    array leaves); ``version=2`` serializes leaves as RLE atom runs
+    (rejecting dead-slot bitmaps); the default v3 adds the bitmap
+    sidecar, so tombstone-bearing leaves persist collapsed.
     """
     writer = BitWriter()
     atoms = _AtomFile()

@@ -88,7 +88,7 @@ def subtree_atoms(node: PosNode) -> List[object]:
         if entry.state == LIVE:
             append(entry.atom)
         elif type(entry) is ArrayLeaf:
-            atoms.extend(entry.atoms)
+            atoms.extend(entry.live_atoms())
     return atoms
 
 

@@ -408,11 +408,13 @@ def build_exploded(node: "PosNode", atoms: Sequence[object]) -> None:
         node.live_count = 0
         node.id_count = 0
         return
-    _fill_complete(node, list(atoms))
+    _fill_complete(node, list(atoms), 0, len(atoms))
 
 
-def _fill_complete(node: "PosNode", atoms: List[object]) -> None:
-    """Assign ``atoms`` infix-style to a complete subtree under ``node``.
+def _fill_complete(node: "PosNode", atoms: Sequence[object],
+                   lo: int, hi: int) -> None:
+    """Assign ``atoms[lo:hi]`` infix-style to a complete subtree under
+    ``node``.
 
     The middle atom lands on ``node`` itself; left and right halves
     recurse into freshly created children. Surplus positions are simply
@@ -422,7 +424,7 @@ def _fill_complete(node: "PosNode", atoms: List[object]) -> None:
     """
     # Iterative splitting to cope with large arrays without recursion
     # limits: stack of (node, atom-slice bounds).
-    stack: List[Tuple[PosNode, int, int]] = [(node, 0, len(atoms))]
+    stack: List[Tuple[PosNode, int, int]] = [(node, lo, hi)]
     while stack:
         current, lo, hi = stack.pop()
         count = hi - lo
@@ -440,6 +442,128 @@ def _fill_complete(node: "PosNode", atoms: List[object]) -> None:
             right = PosNode(parent=(current, RIGHT))
             current.right = right
             stack.append((right, mid + 1, hi))
+
+
+def _popcount_range(dead: int, lo: int, hi: int) -> int:
+    """Number of set bits of the ``dead`` bitmap in offsets [lo, hi)."""
+    return ((dead >> lo) & ((1 << (hi - lo)) - 1)).bit_count()
+
+
+def build_exploded_with_dead(node: "PosNode", atoms: Sequence[object],
+                             dead: int) -> None:
+    """Rebuild ``node``'s subtree as the canonical exploded form of a
+    tombstone-bearing region, in place: the shape of ``len(atoms)``
+    identifiers, with the slots at the set offsets of the ``dead``
+    bitmap restored as SDIS tombstones instead of live atoms.
+
+    This is the inverse of :func:`collect_leaf_slots`, exactly as
+    :func:`build_exploded` is the inverse of :func:`collect_array_atoms`:
+    a region collapsed with its stable tombstones explodes back to the
+    identical structure, so the bitmap leaf stays invisible to remote
+    operations.
+    """
+    node.plain_state = EMPTY
+    node.plain_atom = None
+    node.minis = []
+    node.left = None
+    node.right = None
+    if not atoms:
+        node.live_count = 0
+        node.id_count = 0
+        return
+    stack: List[Tuple[PosNode, int, int]] = [(node, 0, len(atoms))]
+    while stack:
+        current, lo, hi = stack.pop()
+        count = hi - lo
+        left_atoms, right_atoms = _canonical_split(count)
+        mid = lo + left_atoms
+        if (dead >> mid) & 1:
+            current.plain_state = TOMBSTONE
+            current.plain_atom = None
+        else:
+            current.plain_state = LIVE
+            current.plain_atom = atoms[mid]
+        current.live_count = count - _popcount_range(dead, lo, hi)
+        current.id_count = count
+        if left_atoms > 0:
+            left = PosNode(parent=(current, LEFT))
+            current.left = left
+            stack.append((left, lo, mid))
+        if right_atoms > 0:
+            right = PosNode(parent=(current, RIGHT))
+            current.right = right
+            stack.append((right, mid + 1, hi))
+
+
+def build_partial_exploded(node: "PosNode", atoms: Sequence[object],
+                           around: int, core_atoms: int, leaf_min: int,
+                           tree) -> None:
+    """Rebuild ``node``'s subtree as a *partial* canonical explosion of
+    ``atoms``: real structure along the canonical spine to slot offset
+    ``around``, off-spine sides kept collapsed as sub-leaves.
+
+    Every materialized node carries exactly the plain atom, counts and
+    children the full canonical form (:func:`build_exploded`) would give
+    it — the only difference is that subtrees the spine never enters
+    stay :class:`ArrayLeaf`\\ s. Since a leaf *is* the canonical form of
+    its atoms, the partial result is canonical too, and a replica that
+    exploded fully remains PosID-identical with one that exploded
+    partially. The descent stops splitting once the remainder holds at
+    most ``core_atoms`` atoms (materialized complete); sides smaller
+    than ``leaf_min`` are materialized rather than kept as leaves.
+    """
+    node.plain_state = EMPTY
+    node.plain_atom = None
+    node.minis = []
+    node.left = None
+    node.right = None
+    current, lo, hi = node, 0, len(atoms)
+    while True:
+        count = hi - lo
+        if count <= core_atoms:
+            _fill_complete(current, atoms, lo, hi)
+            return
+        left_atoms, _right_atoms = _canonical_split(count)
+        mid = lo + left_atoms
+        current.plain_state = LIVE
+        current.plain_atom = atoms[mid]
+        current.live_count = count
+        current.id_count = count
+        if around < mid:
+            _attach_partial_side(current, RIGHT, atoms, mid + 1, hi,
+                                 leaf_min, tree)
+            child = PosNode(parent=(current, LEFT))
+            current.left = child
+            current, hi = child, mid
+        elif around > mid:
+            _attach_partial_side(current, LEFT, atoms, lo, mid,
+                                 leaf_min, tree)
+            child = PosNode(parent=(current, RIGHT))
+            current.right = child
+            current, lo = child, mid + 1
+        else:
+            _attach_partial_side(current, LEFT, atoms, lo, mid,
+                                 leaf_min, tree)
+            _attach_partial_side(current, RIGHT, atoms, mid + 1, hi,
+                                 leaf_min, tree)
+            return
+
+
+def _attach_partial_side(current: "PosNode", bit: int,
+                         atoms: Sequence[object], lo: int, hi: int,
+                         leaf_min: int, tree) -> None:
+    """Attach ``atoms[lo:hi]`` as ``current``'s off-spine child: a
+    sub-leaf when large enough to be worth keeping collapsed, else the
+    materialized complete subtree."""
+    if hi <= lo:
+        return
+    if hi - lo >= leaf_min:
+        current.set_child(bit, ArrayLeaf((current, bit),
+                                         list(atoms[lo:hi]), tree))
+    else:
+        child = PosNode(parent=(current, bit))
+        current.set_child(bit, child)
+        _fill_complete(child, atoms, lo, hi)
 
 
 def collect_array_atoms(child: Child, min_atoms: int = 1) -> Optional[List[object]]:
@@ -471,7 +595,9 @@ def collect_array_atoms(child: Child, min_atoms: int = 1) -> Optional[List[objec
 
 def _collect_canonical(child: Child, expected: int, out: List[object]) -> bool:
     if isinstance(child, ArrayLeaf):
-        if len(child.atoms) != expected:
+        # A tombstone-bearing leaf is not *fully live* canonical form;
+        # the tombstone-tolerant harvest is collect_leaf_slots.
+        if child.dead or len(child.atoms) != expected:
             return False
         out.extend(child.atoms)
         return True
@@ -497,6 +623,78 @@ def _collect_canonical(child: Child, expected: int, out: List[object]) -> bool:
     return _collect_canonical(node.right, right_atoms, out)
 
 
+def collect_leaf_slots(child: Child, min_atoms: int = 1,
+                       allow_tombstones: bool = False
+                       ) -> Optional[Tuple[List[object], int]]:
+    """``(atoms, dead)`` of a subtree in canonical *shape* whose only
+    deviation from full liveness is stable SDIS tombstones, else None —
+    the tombstone-tolerant collapse predicate and harvest in one walk.
+
+    The shape check is keyed on **identifier** counts (a tombstone still
+    occupies its slot), so a region that was canonical when built stays
+    collapsible after some of its atoms are deleted under SDIS. The
+    returned ``atoms`` list has the region's full identifier length with
+    None at each dead offset; ``dead`` is the offset bitmap. With
+    ``allow_tombstones`` False this degenerates to the fully live
+    harvest (any tombstone rejects). A region with no visible atoms at
+    all returns None — an all-dead leaf would be invisible yet
+    unprunable, and purge+flatten handles it better.
+    """
+    expected = (
+        len(child.atoms) if isinstance(child, ArrayLeaf) else child.id_count
+    )
+    if expected < min_atoms:
+        return None
+    out: List[object] = []
+    dead_acc = [0]
+    if not _collect_canonical_slots(child, expected, out, allow_tombstones,
+                                    dead_acc):
+        return None
+    dead = dead_acc[0]
+    if len(out) == dead.bit_count():
+        return None
+    return out, dead
+
+
+def _collect_canonical_slots(child: Child, expected: int, out: List[object],
+                             allow_tombstones: bool,
+                             dead_acc: List[int]) -> bool:
+    if isinstance(child, ArrayLeaf):
+        if len(child.atoms) != expected:
+            return False
+        if child.dead:
+            if not allow_tombstones:
+                return False
+            dead_acc[0] |= child.dead << len(out)
+        out.extend(child.atoms)
+        return True
+    node = child
+    if node.minis or node.id_count != expected:
+        return False
+    state = node.plain_state
+    if state == EMPTY or (state == TOMBSTONE and not allow_tombstones):
+        return False
+    left_atoms, right_atoms = _canonical_split(expected)
+    if left_atoms == 0:
+        if node.left is not None:
+            return False
+    elif node.left is None or not _collect_canonical_slots(
+        node.left, left_atoms, out, allow_tombstones, dead_acc
+    ):
+        return False
+    if state == TOMBSTONE:
+        dead_acc[0] |= 1 << len(out)
+        out.append(None)
+    else:
+        out.append(node.plain_atom)
+    if right_atoms == 0:
+        return node.right is None
+    if node.right is None:
+        return False
+    return _collect_canonical_slots(node.right, right_atoms, out,
+                                    allow_tombstones, dead_acc)
+
+
 def canonical_path_bits(count: int, index: int) -> Tuple[int, ...]:
     """Branch bits of atom ``index`` within a canonical region of
     ``count`` atoms, relative to the region root (O(log count))."""
@@ -515,6 +713,29 @@ def canonical_path_bits(count: int, index: int) -> Tuple[int, ...]:
         else:
             bits.append(RIGHT)
             lo = mid + 1
+
+
+def canonical_bits_to_index(count: int, bits: Sequence[int]) -> int:
+    """Slot offset a path of plain branch ``bits`` routes *to or
+    through* inside a canonical region of ``count`` atoms: the last
+    on-path midpoint (the region root's own slot for an empty path).
+    Bits that run past the region's structure — a path deeper than the
+    canonical form, about to create fresh nodes — anchor at the last
+    midpoint reached. Used to pick the partial-explode touch point for
+    an incoming remote path."""
+    lo, hi = 0, count
+    left_atoms, _ = _canonical_split(count)
+    mid = lo + left_atoms
+    for bit in bits:
+        if bit == LEFT:
+            hi = mid
+        else:
+            lo = mid + 1
+        if hi <= lo:
+            break
+        left_atoms, _ = _canonical_split(hi - lo)
+        mid = lo + left_atoms
+    return mid
 
 
 def canonical_posids(base: Tuple[PathElement, ...], count: int) -> List[PosID]:
@@ -542,22 +763,32 @@ class ArrayLeaf:
     """A quiescent region stored as a bare atom list (section 4.2).
 
     Replaces a whole subtree at a position node's plain child slot. The
-    region is always the canonical exploded form of ``atoms`` — fully
-    live, fully plain — so the leaf needs **no per-atom metadata**: its
-    identifier structure is implied by the atom count and the attach
-    point. :meth:`explode` rebuilds that structure deterministically and
-    locally when a path lands inside the region ("applying a path to an
-    array", section 4.2.1) — no replicated explode operation exists.
+    region is always the canonical exploded *shape* of its identifiers —
+    fully plain, one slot per atom — so the leaf needs **no per-atom
+    metadata**: its identifier structure is implied by the atom count
+    and the attach point. :meth:`explode` rebuilds that structure
+    deterministically and locally when a path lands inside the region
+    ("applying a path to an array", section 4.2.1) — no replicated
+    explode operation exists.
+
+    The ``dead`` bitmap is the tombstone-tolerant extension (DESIGN.md
+    section 12): a set bit marks a slot whose atom was deleted under
+    SDIS but whose identifier is not yet causally stable enough to
+    purge. ``atoms`` always has full identifier length, with None at
+    each dead offset; reads mask the dead slots (``live_atoms``,
+    ``live_to_slot``), and explode restores them as TOMBSTONE slots. A
+    fully live leaf has ``dead == 0`` and pays nothing for the feature.
 
     ``tree`` is the owning :class:`repro.core.tree.TreedocTree`: explode
-    must drop the tree's live-snapshot cache, and navigation helpers
+    must splice the tree's live-snapshot cache, and navigation helpers
     that step into a leaf have no other route to the tree. Explode
     clears both ``parent`` and ``tree`` on the way out, so an exploded
     husk is fully detached: it dies by reference counting alone and a
     stray reference to it cannot pin the tree.
     """
 
-    __slots__ = ("parent", "atoms", "tree")
+    __slots__ = ("parent", "atoms", "tree", "dead",
+                 "live_count", "id_count", "_live_map")
 
     #: Class-level pseudo-state: a leaf is not an atom slot, but giving
     #: it a ``state`` that matches no slot state lets hot dispatch loops
@@ -566,37 +797,85 @@ class ArrayLeaf:
     #: every slot.
     state = "array"
 
-    def __init__(self, parent: ParentLink, atoms: List[object], tree) -> None:
+    def __init__(self, parent: ParentLink, atoms: List[object], tree,
+                 dead: int = 0) -> None:
         if not atoms:
             raise TreeError("an array leaf must hold at least one atom")
+        if dead:
+            if dead < 0 or dead >> len(atoms):
+                raise TreeError("dead bitmap wider than the atom array")
+            if dead.bit_count() >= len(atoms):
+                raise TreeError("an array leaf must hold a visible atom")
         self.parent = parent
         self.atoms = atoms
         self.tree = tree
-
-    @property
-    def live_count(self) -> int:
-        """Visible atoms — the whole region is live by construction."""
-        return len(self.atoms)
-
-    @property
-    def id_count(self) -> int:
-        """Used identifiers — one per atom, no tombstones by construction."""
-        return len(self.atoms)
+        self.dead = dead
+        #: Visible atoms / used identifiers of the region. Plain
+        #: attributes, not properties: the snapshot cache's width
+        #: arithmetic reads them on hot paths.
+        self.live_count = len(atoms) - dead.bit_count()
+        self.id_count = len(atoms)
+        #: Lazily built live-offset -> slot-offset table (None until a
+        #: masked read needs it; stays None for dead == 0).
+        self._live_map: Optional[List[int]] = None
 
     @property
     def implicit_depth(self) -> int:
         """Levels the exploded form of this region occupies."""
         return explode_depth(len(self.atoms))
 
-    def explode(self) -> "PosNode":
+    def live_atoms(self) -> List[object]:
+        """The region's visible atoms (the raw array when nothing is
+        dead — callers must not mutate the result)."""
+        if not self.dead:
+            return self.atoms
+        dead = self.dead
+        return [atom for offset, atom in enumerate(self.atoms)
+                if not (dead >> offset) & 1]
+
+    def _ensure_live_map(self) -> List[int]:
+        table = self._live_map
+        if table is None:
+            dead = self.dead
+            table = [offset for offset in range(len(self.atoms))
+                     if not (dead >> offset) & 1]
+            self._live_map = table
+        return table
+
+    def live_to_slot(self, offset: int) -> int:
+        """Slot offset (index into ``atoms``) of visible atom ``offset``."""
+        if not self.dead:
+            return offset
+        return self._ensure_live_map()[offset]
+
+    def live_atom(self, offset: int) -> object:
+        """The ``offset``-th *visible* atom of the region."""
+        if not self.dead:
+            return self.atoms[offset]
+        return self.atoms[self._ensure_live_map()[offset]]
+
+    def explode(self, around: Optional[int] = None) -> "PosNode":
         """Rebuild the region as tree structure; returns the new subtree
-        root. Delegates to the owning tree (cache maintenance)."""
+        root. Delegates to the owning tree (cache maintenance).
+        ``around`` is the slot offset about to be touched — large leaves
+        then explode partially around it."""
         if self.tree is None:
             raise TreeError("array leaf already exploded")
-        return self.tree.explode_leaf(self)
+        return self.tree.explode_leaf(self, around)
 
     def posids(self) -> List[PosID]:
-        """The region's atom PosIDs in document order, without exploding."""
+        """PosIDs of the region's *visible* atoms in document order,
+        without exploding."""
+        region = canonical_posids(self.base_elements(), len(self.atoms))
+        dead = self.dead
+        if not dead:
+            return region
+        return [posid for offset, posid in enumerate(region)
+                if not (dead >> offset) & 1]
+
+    def id_posids(self) -> List[PosID]:
+        """PosIDs of every used identifier of the region (visible atoms
+        and dead slots), in document order."""
         return canonical_posids(self.base_elements(), len(self.atoms))
 
     def base_elements(self) -> Tuple[PathElement, ...]:
@@ -609,6 +888,9 @@ class ArrayLeaf:
         return _node_posid(container).elements + (PathElement(bit),)
 
     def __repr__(self) -> str:
+        if self.dead:
+            return (f"<array-leaf {self.live_count} atoms "
+                    f"(+{self.id_count - self.live_count} dead)>")
         return f"<array-leaf {len(self.atoms)} atoms>"
 
 
@@ -652,6 +934,6 @@ def iter_subtree_entries(root: "PosNode") -> Iterator[Entry]:
 def entry_atoms(entry: Entry) -> Iterator[object]:
     """The visible atoms an entry contributes (0, 1, or a whole region)."""
     if isinstance(entry, ArrayLeaf):
-        yield from entry.atoms
+        yield from entry.live_atoms()
     elif entry.state == LIVE:
         yield entry.atom

@@ -192,7 +192,11 @@ class AtomRun:
     @classmethod
     def from_leaf(cls, leaf: ArrayLeaf) -> "AtomRun":
         """The run standing for a collapsed region (always canonical,
-        always plain — that is what makes a leaf a leaf)."""
+        always plain — that is what makes a leaf a leaf). Leaves with a
+        dead bitmap have no run form (a run's identifiers are all live)
+        and are rejected."""
+        if leaf.dead:
+            raise TreeError("a tombstone-bearing leaf has no run form")
         return cls(leaf.base_elements(), tuple(leaf.atoms), CANONICAL, None)
 
     def __eq__(self, other: object) -> bool:
@@ -476,7 +480,19 @@ def iter_state_segments(tree, origin: SiteId,
                     tuple(e.bit for e in elements)):
                 continue  # subtree disjoint from the cover: prune
             if isinstance(child, ArrayLeaf):
-                segments.append(AtomRun(elements, tuple(child.atoms)))
+                if child.dead == 0:
+                    segments.append(AtomRun(elements, tuple(child.atoms)))
+                else:
+                    # A tombstone-bearing leaf cannot travel as one run
+                    # (a run's identifiers are all live): emit per-slot
+                    # records, dead slots as tombstones.
+                    dead = child.dead
+                    for offset, (posid, atom) in enumerate(
+                            zip(child.id_posids(), child.atoms)):
+                        if (dead >> offset) & 1:
+                            segments.append(DeleteOp(posid, origin))
+                        else:
+                            segments.append(InsertOp(posid, atom, origin))
                 continue
             if plain_child:
                 atoms = collect_array_atoms(child, min_run_atoms)

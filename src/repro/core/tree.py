@@ -45,9 +45,20 @@ is rebuilt deterministically and locally (:meth:`explode_leaf`), so
 replicas never ship an explode operation and a collapsing replica stays
 bit-identical in identifier space with a non-collapsing one. Collapse
 and explode preserve the subtree counts exactly (a leaf reports its
-atom count as both live and id count), so neither touches ancestor
-aggregates or the generation counter; both drop the snapshot cache,
-which the next read rebuilds.
+visible atoms and used identifiers as its aggregates), so neither
+touches ancestor aggregates or the generation counter; both *splice*
+the snapshot cache in place — a collapse folds the region's slot
+entries into one leaf entry, an explode expands the leaf entry into
+the new subtree's live entries — so a mixed cache survives edits
+around untouched leaf segments instead of being dropped and rebuilt.
+
+Large leaves explode *partially* (DESIGN.md section 12): the spine to
+the touched atom is materialized as real canonical structure while the
+off-spine sides stay collapsed as sub-leaves, bounding the explode to
+O(edit) instead of O(region). The split follows the canonical
+``_canonical_split`` arithmetic at every level, so the partial form is
+a strict subset of the full canonical form and replicas that exploded
+fully remain PosID-identical with replicas that exploded partially.
 """
 
 from __future__ import annotations
@@ -66,6 +77,9 @@ from repro.core.node import (
     MiniNode,
     PosNode,
     build_exploded,
+    build_exploded_with_dead,
+    build_partial_exploded,
+    canonical_bits_to_index,
     canonical_path_bits,
     collect_array_atoms,
     iter_subtree_entries,
@@ -92,13 +106,14 @@ def _as_node(child) -> PosNode:
 def _leftmost_slot(node: PosNode) -> AtomSlot:
     """First slot (in infix order) of the subtree rooted at ``node``."""
     # The leaf check is inlined (not _as_node): this loop runs once per
-    # tree level on the replay hot path.
+    # tree level on the replay hot path. A collapsed region explodes
+    # around its first atom — the walk only needs the region's edge.
     while True:
         child = node.left
         if child is None:
             return node
         if type(child) is ArrayLeaf:
-            child = child.explode()
+            child = child.explode(0)
         node = child
 
 
@@ -115,7 +130,7 @@ def _rightmost_slot(node: PosNode) -> AtomSlot:
         child = node.right
         if child is not None:
             if type(child) is ArrayLeaf:
-                child = child.explode()
+                child = child.explode(len(child.atoms) - 1)
             node = child
             continue
         if node.minis:
@@ -180,7 +195,7 @@ def successor_slot(slot: AtomSlot) -> Optional[AtomSlot]:
     child = node.right
     if child is not None:
         if type(child) is ArrayLeaf:
-            child = child.explode()
+            child = child.explode(0)
         return _leftmost_slot(child)
     return _up_successor(node)
 
@@ -257,13 +272,20 @@ class TreedocTree:
         #: atom slots, plus one entry per collapsed region (ArrayLeaf) —
         #: or None when invalidated (an empty tree has a valid empty
         #: cache). Without leaves every entry has width 1 and all the
-        #: splice fast paths below apply unchanged.
+        #: splice fast paths below apply unchanged; with leaves, every
+        #: mutation splices *around* untouched leaf segments.
         self._live: Optional[List[Entry]] = []
-        #: True when the cache holds at least one ArrayLeaf entry; the
-        #: per-op splice machinery then stands down (a mutation drops
-        #: the cache instead — mutations explode their own region first,
-        #: and quiescent regions see none).
+        #: True when the cache holds at least one ArrayLeaf entry
+        #: (mirrors ``_live_leaves > 0``; kept as a plain attribute for
+        #: the hot-path reads).
         self._live_has_leaf = False
+        #: Number of ArrayLeaf entries currently in the cache,
+        #: maintained by every splice.
+        self._live_leaves = 0
+        #: Total live atoms the cache represents (sum of entry widths:
+        #: 1 per slot entry, ``live_count`` per leaf entry); meaningful
+        #: only while ``_live`` is not None.
+        self._live_total = 0
         #: Lazily built cumulative live-index starts per cache entry
         #: (only needed, and only built, when leaf entries exist).
         self._live_starts: Optional[List[int]] = None
@@ -283,6 +305,21 @@ class TreedocTree:
         #: first atom lands at this live index (local run inserts): the
         #: flush splices there without per-slot rank queries.
         self._bulk_added_at: Optional[int] = None
+        #: Plain ``weakref.ref`` to the owning document, whose
+        #: ``_on_explode(node)`` is called after every leaf explosion
+        #: with the new subtree root (it feeds its re-collapse
+        #: hysteresis and incremental sweep queue from it). A plain
+        #: weakref is gc-opaque, so the tree's reachability graph never
+        #: includes its owner.
+        self._explode_listener = None
+        #: Storage-health counters (surfaced by ``measure_tree`` and the
+        #: daemon's admin status): region explosions (full and partial),
+        #: snapshot-cache drops (a cache existed and was discarded) and
+        #: segment-aware splices performed on a leaf-bearing cache.
+        self.explodes = 0
+        self.partial_explodes = 0
+        self.cache_drops = 0
+        self.cache_splices = 0
 
     @property
     def generation(self) -> int:
@@ -302,27 +339,50 @@ class TreedocTree:
         if not snapshot:
             self._live = None
             self._live_has_leaf = False
+            self._live_leaves = 0
+            self._live_total = 0
             self._live_starts = None
         if not finger:
             self._finger = None
 
     # -- path <-> structure ---------------------------------------------------
 
+    @staticmethod
+    def _leaf_touch_offset(leaf: ArrayLeaf, elements, position: int) -> int:
+        """Slot offset inside ``leaf`` that the remaining path elements
+        (``elements[position:]``) route to or through — the
+        partial-explode touch point for a remote path landing in the
+        region. Plain bits descend the canonical structure; the first
+        disambiguated element anchors at the node its bit reaches (its
+        mini-node hangs there); a path ending at the region root
+        anchors at the root's own slot."""
+        bits: List[int] = []
+        for element in elements[position:]:
+            bits.append(element.bit)
+            if element.dis is not None:
+                break
+        return canonical_bits_to_index(len(leaf.atoms), bits)
+
     def materialize(self, posid: PosID) -> AtomSlot:
         """Walk ``posid``, creating missing structure; return its slot.
 
         Re-creates discarded ancestors, as the replay version of insert
         must under UDIS (section 3.3.1). A path landing on or inside a
-        collapsed region explodes it first (section 4.2.1).
+        collapsed region explodes it first (section 4.2.1) — around the
+        touched offset, so a large region only materializes its spine.
         """
         context: AtomSlot = self.root
-        for element in posid:
+        elements = posid.elements
+        for position, element in enumerate(elements):
             child = context.child(element.bit)
             if child is None:
                 child = PosNode(parent=(context, element.bit))
                 context.set_child(element.bit, child)
             elif isinstance(child, ArrayLeaf):
-                child = self.explode_leaf(child)
+                child = self.explode_leaf(
+                    child,
+                    self._leaf_touch_offset(child, elements, position + 1),
+                )
             if element.dis is None:
                 context = child
             else:
@@ -337,12 +397,16 @@ class TreedocTree:
         Like :meth:`materialize`, a path routing into a collapsed region
         explodes it — a lookup precedes a structural use of the slot."""
         context: AtomSlot = self.root
-        for element in posid:
+        elements = posid.elements
+        for position, element in enumerate(elements):
             child = context.child(element.bit)
             if child is None:
                 return None
             if isinstance(child, ArrayLeaf):
-                child = self.explode_leaf(child)
+                child = self.explode_leaf(
+                    child,
+                    self._leaf_touch_offset(child, elements, position + 1),
+                )
             if element.dis is None:
                 context = child
             else:
@@ -399,10 +463,14 @@ class TreedocTree:
 
     def _drop_live_cache(self) -> None:
         """Drop the cache and finger *without* a generation bump: used
-        by collapse/explode, which change representation but not
-        content, so derived text/line/snapshot caches stay valid."""
+        around structural surgery whose result the splice paths cannot
+        follow (flatten rebuilds, disk load, recounts)."""
+        if self._live is not None:
+            self.cache_drops += 1
         self._live = None
         self._live_has_leaf = False
+        self._live_leaves = 0
+        self._live_total = 0
         self._live_starts = None
         self._finger = None
 
@@ -413,24 +481,29 @@ class TreedocTree:
         if live is None and self.cache_enabled:
             live = []
             append = live.append
-            has_leaf = False
+            leaves = 0
+            total = 0
             for entry in iter_subtree_entries(self.root):
                 # Slots first (the common case); a leaf's pseudo-state
                 # never equals LIVE.
                 if entry.state == LIVE:
                     append(entry)
+                    total += 1
                 elif type(entry) is ArrayLeaf:
                     append(entry)
-                    has_leaf = True
+                    leaves += 1
+                    total += entry.live_count
             self._live = live
-            self._live_has_leaf = has_leaf
+            self._live_has_leaf = leaves > 0
+            self._live_leaves = leaves
+            self._live_total = total
             self._live_starts = None
         return live
 
-    def _entry_at(self, index: int) -> Tuple[Entry, int]:
-        """Cache entry covering live ``index``, plus the offset inside
-        it (0 for slots; an atom offset for ArrayLeaf entries). Valid
-        cache required."""
+    def _position_at(self, index: int) -> Tuple[int, int]:
+        """``(cache entry position, offset inside that entry)`` covering
+        live ``index``; an index at or past the cached total maps to
+        ``(len(cache), overshoot)``. Valid cache required."""
         starts = self._live_starts
         if starts is None:
             starts = []
@@ -438,11 +511,20 @@ class TreedocTree:
             for entry in self._live:
                 starts.append(total)
                 total += (
-                    len(entry.atoms) if isinstance(entry, ArrayLeaf) else 1
+                    entry.live_count if isinstance(entry, ArrayLeaf) else 1
                 )
             self._live_starts = starts
+        if index >= self._live_total:
+            return len(self._live), index - self._live_total
         position = bisect_right(starts, index) - 1
-        return self._live[position], index - starts[position]
+        return position, index - starts[position]
+
+    def _entry_at(self, index: int) -> Tuple[Entry, int]:
+        """Cache entry covering live ``index``, plus the offset inside
+        it (0 for slots; a *live* atom offset for ArrayLeaf entries).
+        Valid cache required."""
+        position, offset = self._position_at(index)
+        return self._live[position], offset
 
     def _note_insert(self, slot: AtomSlot) -> None:
         """Record ``slot`` turning LIVE (counts already adjusted).
@@ -460,19 +542,33 @@ class TreedocTree:
             self._bulk_added.append(slot)
             return
         live = self._live
-        if live is not None and self._live_has_leaf:
-            # Leaf entries break the index-is-rank splice arithmetic;
-            # mutations on a mixed cache drop it (the edited region
-            # itself exploded before this point — remaining leaves are
-            # elsewhere, and the next read rebuilds around them).
-            self._drop_live_cache()
-            live = None
         if live is not None:
             rank = self.live_rank(slot)
-            if rank == len(live):
-                live.append(slot)
+            if not self._live_has_leaf:
+                if rank == len(live):
+                    live.append(slot)
+                else:
+                    live.insert(rank, slot)
+                self._live_total += 1
             else:
-                live.insert(rank, slot)
+                # Leaf entries make live indexes differ from entry
+                # positions: locate the boundary covering ``rank`` and
+                # splice the new slot there, leaving every untouched
+                # leaf segment opaque. A rank strictly interior to a
+                # leaf entry is impossible — a mutation inside a region
+                # explodes it first, and the explode splice replaced
+                # the leaf entry already — so an interior hit means the
+                # bookkeeping drifted: invalidate, never go stale.
+                position, offset = self._position_at(rank)
+                if offset:
+                    self.invalidate_live_cache()
+                    if self.finger_enabled:
+                        self._finger = (rank, slot)
+                    return
+                live.insert(position, slot)
+                self._live_starts = None
+                self._live_total += 1
+                self.cache_splices += 1
             if self.finger_enabled:
                 self._finger = (rank, slot)
         elif self.finger_enabled:
@@ -489,16 +585,33 @@ class TreedocTree:
             return
         rank: Optional[int] = None
         live = self._live
-        if live is not None and self._live_has_leaf:
-            self._drop_live_cache()
-            live = None
         if live is not None:
             rank = self.live_rank(slot)
-            if rank < len(live) and live[rank] is slot:
-                del live[rank]
-            else:  # pragma: no cover - bookkeeping out of sync
-                self.invalidate_live_cache()
-                return
+            if not self._live_has_leaf:
+                if rank < len(live) and live[rank] is slot:
+                    del live[rank]
+                    self._live_total -= 1
+                else:
+                    # Bookkeeping out of sync: the counts' rank and the
+                    # cached sequence disagree about this slot.
+                    self.invalidate_live_cache()
+                    return
+            else:
+                position, offset = self._position_at(rank)
+                if (
+                    offset == 0
+                    and position < len(live)
+                    and live[position] is slot
+                ):
+                    del live[position]
+                    self._live_starts = None
+                    self._live_total -= 1
+                    self.cache_splices += 1
+                else:
+                    # The covering entry is not this slot (an interior
+                    # leaf offset, or drifted counts): invalidate.
+                    self.invalidate_live_cache()
+                    return
         finger = self._finger
         if finger is not None:
             if finger[1] is slot:
@@ -530,7 +643,10 @@ class TreedocTree:
         """Fold a closed bulk section's slot changes into the cache:
         one compaction pass (or one hinted slice delete) for removals,
         one splice (contiguous runs, the common case) or one ordered
-        merge for insertions."""
+        merge for insertions. Leaf entries are opaque segments spliced
+        *around* — explode/collapse inside the section already kept the
+        entry list aligned — and only drifted bookkeeping (a hint that
+        does not match the changes actually made) invalidates."""
         added = self._bulk_added
         removed = self._bulk_removed
         removed_range = self._bulk_removed_range
@@ -545,27 +661,68 @@ class TreedocTree:
         live = self._live
         if live is None:
             return
-        if self._live_has_leaf:
-            # See _note_insert: no splice arithmetic over leaf entries.
-            self._drop_live_cache()
-            return
+        has_leaf = self._live_has_leaf
         if removed:
             if removed_range is not None and not added:
                 start, end = removed_range
-                del live[start:end]
-                if len(live) != self.root.live_count:
-                    self.invalidate_live_cache()  # pragma: no cover
+                count = end - start
+                if not has_leaf:
+                    del live[start:end]
+                    self._live_total -= count
+                else:
+                    position, offset = self._position_at(start)
+                    # Range deletes explode every overlapping region up
+                    # front (live_slice), so the range covers width-1
+                    # entries only; an interior leaf offset means the
+                    # hint and the cache disagree.
+                    if offset or any(
+                        type(s) is ArrayLeaf
+                        for s in live[position:position + count]
+                    ):
+                        self.invalidate_live_cache()
+                        return
+                    del live[position:position + count]
+                    self._live_starts = None
+                    self._live_total -= count
+                    self.cache_splices += 1
+                if self._live_total != self.root.live_count:
+                    # The hint did not match the removals actually made.
+                    self.invalidate_live_cache()
                 return
-            live = [s for s in live if s.state == LIVE]
+            kept: List[Entry] = []
+            total = 0
+            for entry in live:
+                if entry.state == LIVE:
+                    kept.append(entry)
+                    total += 1
+                elif type(entry) is ArrayLeaf:
+                    kept.append(entry)
+                    total += entry.live_count
+            live = kept
             self._live = live
+            self._live_total = total
+            if has_leaf:
+                self._live_starts = None
+                self.cache_splices += 1
         if added:
             if added_at is not None and not removed:
                 # A local run insert: the slots land, in batch order, as
                 # the contiguous live range starting at the hinted index
                 # — splice without any rank queries.
-                live[added_at:added_at] = added
-                if len(live) != self.root.live_count:
-                    self.invalidate_live_cache()  # pragma: no cover
+                if not has_leaf:
+                    live[added_at:added_at] = added
+                else:
+                    position, offset = self._position_at(added_at)
+                    if offset:
+                        self.invalidate_live_cache()
+                        return
+                    live[position:position] = added
+                    self._live_starts = None
+                    self.cache_splices += 1
+                self._live_total += len(added)
+                if self._live_total != self.root.live_count:
+                    # The hint did not match the additions actually made.
+                    self.invalidate_live_cache()
                 return
             seen: set = set()
             pairs: List[Tuple[int, AtomSlot]] = []
@@ -577,7 +734,7 @@ class TreedocTree:
                     seen.add(key)
                     pairs.append((self.live_rank(slot), slot))
             total = self.root.live_count
-            if len(live) + len(pairs) != total:
+            if self._live_total + len(pairs) != total:
                 # A slot re-entered the cache (or bookkeeping drifted):
                 # fall back to invalidation, never to staleness.
                 self.invalidate_live_cache()
@@ -590,21 +747,62 @@ class TreedocTree:
             pairs.sort(key=lambda pair: pair[0])
             lo = pairs[0][0]
             if pairs[-1][0] - lo == len(pairs) - 1:
-                live[lo:lo] = [slot for _, slot in pairs]
+                if not has_leaf:
+                    live[lo:lo] = [slot for _, slot in pairs]
+                else:
+                    position, offset = self._position_at(lo)
+                    if offset:
+                        self.invalidate_live_cache()
+                        return
+                    live[position:position] = [slot for _, slot in pairs]
+                    self._live_starts = None
+                    self.cache_splices += 1
+                self._live_total = total
             else:
-                merged: List[AtomSlot] = []
+                # Scattered insertions: one ordered merge over entries,
+                # advancing a live-index cursor by each entry's width.
+                merged: List[Entry] = []
+                cursor = 0
                 old_index = 0
+                old_count = len(live)
                 next_added = 0
-                for rank in range(total):
-                    if next_added < len(pairs) and pairs[next_added][0] == rank:
+                npairs = len(pairs)
+                while next_added < npairs or old_index < old_count:
+                    if next_added < npairs and pairs[next_added][0] == cursor:
                         merged.append(pairs[next_added][1])
                         next_added += 1
+                        cursor += 1
+                        continue
+                    if old_index >= old_count:
+                        # A rank points past the end: drifted.
+                        self.invalidate_live_cache()
+                        return
+                    entry = live[old_index]
+                    old_index += 1
+                    if type(entry) is ArrayLeaf:
+                        width = entry.live_count
+                        if (
+                            next_added < npairs
+                            and pairs[next_added][0] < cursor + width
+                        ):
+                            # A rank interior to a leaf segment: the
+                            # region should have exploded first.
+                            self.invalidate_live_cache()
+                            return
+                        merged.append(entry)
+                        cursor += width
                     else:
-                        merged.append(live[old_index])
-                        old_index += 1
+                        merged.append(entry)
+                        cursor += 1
                 self._live = merged
-        if self._live is not None and len(self._live) != self.root.live_count:
-            self.invalidate_live_cache()  # pragma: no cover - safety net
+                self._live_total = total
+                if has_leaf:
+                    self._live_starts = None
+                    self.cache_splices += 1
+        if self._live is not None and self._live_total != self.root.live_count:
+            # Safety net: every path above must leave the cached widths
+            # agreeing with the root's live count.
+            self.invalidate_live_cache()
 
     # -- rank and finger navigation ------------------------------------------------
 
@@ -829,8 +1027,9 @@ class TreedocTree:
         live = 0
         ids = 0
         # Post-order over position nodes, iteratively (deep trees).
-        # Array-leaf children are their own ground truth — one atom per
-        # slot, all live — and are not descended.
+        # Array-leaf children are their own ground truth — counts
+        # maintained by construction, dead bitmap included — and are
+        # not descended.
         order: List[PosNode] = []
         stack = [node]
         while stack:
@@ -864,25 +1063,39 @@ class TreedocTree:
 
     # -- mixed storage: collapse and explode (section 4.2) -----------------------
 
+    #: Leaf size at or above which a targeted explode splits the region
+    #: into ``leaf / exploded-core / leaf`` around the touch point
+    #: instead of materializing every atom (partial explode).
+    PARTIAL_EXPLODE_MIN = 256
+    #: Atom count at or below which the partial descent stops splitting
+    #: and materializes the remainder as plain canonical structure.
+    PARTIAL_CORE_ATOMS = 64
+    #: Minimum off-spine side worth keeping collapsed; smaller sides
+    #: are materialized into the spine.
+    PARTIAL_LEAF_MIN = 8
+
     def collapse_subtree(self, node: PosNode,
                          atoms: Optional[List[object]] = None,
-                         min_atoms: int = 1) -> ArrayLeaf:
+                         min_atoms: int = 1,
+                         dead: int = 0) -> ArrayLeaf:
         """Replace ``node``'s subtree by an :class:`ArrayLeaf` holding
         its atoms — zero per-atom metadata.
 
         The subtree must be in canonical exploded form (fully live,
-        fully plain, :func:`repro.core.node.collect_array_atoms`), so a
+        fully plain, :func:`repro.core.node.collect_array_atoms`) — or,
+        for the tombstone-tolerant form, canonical in *shape* with
+        stable SDIS tombstones at the offsets of the ``dead`` bitmap
+        (:func:`repro.core.node.collect_leaf_slots`, which the caller
+        must have run to produce ``atoms`` and ``dead``). Either way a
         later explode-on-touch rebuilds the identical structure and the
         transformation is invisible to remote operations; that is what
         makes collapse a purely local decision needing no replication.
-        ``atoms`` may carry the pre-verified atom array when the caller
-        (the cold-region scan) already walked the region.
 
-        Counts are unchanged — the leaf reports its atom count as both
-        aggregates — so no ancestor propagation happens; the snapshot
-        cache is dropped (the next read rebuilds it with the leaf as a
-        single slice entry) without bumping the generation, since the
-        visible content is untouched.
+        Counts are unchanged — the leaf reports the region's visible
+        atoms and used identifiers as its aggregates — so no ancestor
+        propagation happens; the snapshot cache is *spliced* (the
+        region's slot entries fold into one leaf entry) without bumping
+        the generation, since the visible content is untouched.
         """
         if self._bulk_deltas is not None:
             raise TreeError("collapse inside a bulk section")
@@ -900,20 +1113,68 @@ class TreedocTree:
                 raise TreeError(
                     "subtree is not an array-representable canonical region"
                 )
-        leaf = ArrayLeaf((container, bit), list(atoms), self)
+        region_live = [
+            entry for entry in iter_subtree_entries(node)
+            if entry.state == LIVE or type(entry) is ArrayLeaf
+        ]
+        leaf = ArrayLeaf((container, bit), list(atoms), self, dead=dead)
         container.set_child(bit, leaf)
-        self._drop_live_cache()
+        self._splice_collapsed(region_live, leaf)
         return leaf
 
-    def explode_leaf(self, leaf: ArrayLeaf) -> PosNode:
+    def _splice_collapsed(self, region_live: List[Entry],
+                          leaf: ArrayLeaf) -> None:
+        """Replace a collapsed region's cache entries (its live slots
+        and sub-leaves, contiguous in document order) by the one new
+        leaf entry."""
+        live = self._live
+        if live is None:
+            return
+        if not region_live:  # pragma: no cover - leaves hold >=1 atom
+            self.invalidate_live_cache()
+            return
+        try:
+            position = live.index(region_live[0])
+        except ValueError:
+            self.invalidate_live_cache()
+            return
+        count = len(region_live)
+        window = live[position:position + count]
+        if len(window) != count or any(
+            a is not b for a, b in zip(window, region_live)
+        ):
+            # The cache disagrees about the region's entries: drifted.
+            self.invalidate_live_cache()
+            return
+        swallowed = sum(1 for e in region_live if type(e) is ArrayLeaf)
+        live[position:position + count] = [leaf]
+        self._live_leaves += 1 - swallowed
+        self._live_has_leaf = self._live_leaves > 0
+        self._live_starts = None
+        self.cache_splices += 1
+        # The finger may anchor on a slot the collapse just replaced;
+        # it rebuilds cheaply, so drop it outright (collapse is rare).
+        self._finger = None
+
+    def explode_leaf(self, leaf: ArrayLeaf,
+                     around: Optional[int] = None) -> PosNode:
         """Rebuild a collapsed region as tree structure, in place
         (section 4.2.1's implicit explode: deterministic and local, so
         all replicas touching the region independently agree).
 
-        Returns the new subtree root. Counts are unchanged; the cache is
-        dropped without a generation bump. Safe inside a bulk section —
-        remote batch paths resolve into leaves mid-batch — because no
-        count deltas are involved.
+        ``around``, when given, is the slot offset (index into
+        ``leaf.atoms``) the caller is about to touch: a large enough
+        tombstone-free leaf then explodes *partially* — real canonical
+        structure along the spine to that atom, off-spine sides kept
+        collapsed as sub-leaves — bounding the work to O(edit) instead
+        of O(region). The partial form is a strict subset of the full
+        canonical form, so replicas stay PosID-identical either way.
+
+        Returns the new subtree root. Counts are unchanged; the cache
+        entry for the leaf is *spliced* into the replacement subtree's
+        live entries without a generation bump. Safe inside a bulk
+        section — remote batch paths resolve into leaves mid-batch —
+        because no count deltas are involved.
         """
         parent = leaf.parent
         if parent is None:
@@ -922,7 +1183,25 @@ class TreedocTree:
         if container.child(bit) is not leaf:
             raise TreeError("array leaf detached from its container")
         node = PosNode(parent=(container, bit))
-        build_exploded(node, leaf.atoms)
+        atoms = leaf.atoms
+        if (
+            around is not None
+            and not leaf.dead
+            and len(atoms) >= self.PARTIAL_EXPLODE_MIN
+        ):
+            build_partial_exploded(
+                node, atoms, min(max(around, 0), len(atoms) - 1),
+                core_atoms=self.PARTIAL_CORE_ATOMS,
+                leaf_min=self.PARTIAL_LEAF_MIN,
+                tree=self,
+            )
+            self.partial_explodes += 1
+        else:
+            if leaf.dead:
+                build_exploded_with_dead(node, atoms, leaf.dead)
+            else:
+                build_exploded(node, atoms)
+            self.explodes += 1
         container.set_child(bit, node)
         depth = slot_depth(container) + leaf.implicit_depth
         # Fully detach the husk: clearing the tree backref (not just the
@@ -933,8 +1212,44 @@ class TreedocTree:
         leaf.tree = None
         if depth > self.height:
             self.height = depth
-        self._drop_live_cache()
+        self._splice_exploded(leaf, node)
+        listener = self._explode_listener
+        if listener is not None:
+            # The owning document may already be gone (husk trees,
+            # teardown order) — then there is nobody to notify.
+            owner = listener()
+            if owner is not None:
+                owner._on_explode(node)
         return node
+
+    def _splice_exploded(self, leaf: ArrayLeaf, node: PosNode) -> None:
+        """Replace the exploded leaf's cache entry by the live entries
+        of its replacement subtree (same total width, so the rest of
+        the cache — and the edit finger — stays valid, even inside a
+        bulk section)."""
+        live = self._live
+        if live is None:
+            return
+        try:
+            position = live.index(leaf)
+        except ValueError:
+            # A cache that does not know one of the tree's leaves is
+            # out of sync; invalidate, never go stale.
+            self.invalidate_live_cache()
+            return
+        entries: List[Entry] = []
+        leaves = 0
+        for entry in iter_subtree_entries(node):
+            if entry.state == LIVE:
+                entries.append(entry)
+            elif type(entry) is ArrayLeaf:
+                entries.append(entry)
+                leaves += 1
+        live[position:position + 1] = entries
+        self._live_leaves += leaves - 1
+        self._live_has_leaf = self._live_leaves > 0
+        self._live_starts = None
+        self.cache_splices += 1
 
     def iter_entries(self) -> Iterator[Entry]:
         """All storage entries in identifier order: atom slots plus one
@@ -958,7 +1273,7 @@ class TreedocTree:
             if entry.state == LIVE:
                 append(entry.atom)
             elif type(entry) is ArrayLeaf:
-                atoms.extend(entry.atoms)
+                atoms.extend(entry.live_atoms())
         return atoms
 
     # -- slot state changes ------------------------------------------------------
@@ -1095,10 +1410,20 @@ class TreedocTree:
         if live is not None:
             if not self._live_has_leaf:
                 return live[index]
-            entry, _ = self._entry_at(index)
-            if not isinstance(entry, ArrayLeaf):
+            entry, offset = self._entry_at(index)
+            # Explode around the touched atom; the splice keeps the
+            # cache valid, so re-resolving the index stays cheap. A
+            # partial explode can leave the index inside a sub-leaf,
+            # hence the loop (each pass shrinks the covering leaf).
+            while isinstance(entry, ArrayLeaf) and self._live is not None:
+                self.explode_leaf(entry, entry.live_to_slot(offset))
+                if self._live is None:
+                    break  # splice drifted: fall back to a descent
+                entry, offset = self._entry_at(index)
+            if self._live is not None:
+                if self.finger_enabled:
+                    self._finger = (index, entry)
                 return entry
-            self.explode_leaf(entry)  # drops the cache; descend below
         if self.finger_enabled:
             slot = self._finger_seek(index)
             if slot is not None:
@@ -1118,7 +1443,7 @@ class TreedocTree:
                 return self._live[index].atom
             entry, offset = self._entry_at(index)
             if isinstance(entry, ArrayLeaf):
-                return entry.atoms[offset]
+                return entry.live_atom(offset)
             return entry.atom
         return self.live_slot_at(index).atom
 
@@ -1131,7 +1456,9 @@ class TreedocTree:
         if self._ensure_live() is not None and self._live_has_leaf:
             entry, offset = self._entry_at(index)
             if isinstance(entry, ArrayLeaf):
-                bits = canonical_path_bits(len(entry.atoms), offset)
+                bits = canonical_path_bits(
+                    len(entry.atoms), entry.live_to_slot(offset)
+                )
                 return PosID(
                     entry.base_elements()
                     + tuple(PathElement(bit) for bit in bits)
@@ -1164,21 +1491,31 @@ class TreedocTree:
             self._entry_at(start)  # materialize the starts index
             starts = self._live_starts
             first = bisect_right(starts, start) - 1
-            overlapping: List[ArrayLeaf] = []
+            overlapping: List[Tuple[ArrayLeaf, int]] = []
             position = first
             while position < len(live) and starts[position] < end:
                 entry = live[position]
                 if type(entry) is ArrayLeaf:
-                    overlapping.append(entry)
+                    overlapping.append((entry, starts[position]))
                 position += 1
             if not overlapping:
                 # Every entry overlapping the range is a slot: with the
                 # leaves all outside it, entry widths inside are 1.
                 return live[first:first + (end - start)]
-            # Explode every overlapping region, then rebuild the cache
-            # once (not once per leaf) on the next loop pass.
-            for leaf in overlapping:
-                self.explode_leaf(leaf)
+            # Explode every overlapping region — around the first
+            # touched atom when the range only grazes the leaf, so a
+            # big region clipped at one edge materializes a spine, not
+            # everything. Captured starts stay correct across splices
+            # (explode preserves widths). A wide overlap explodes
+            # whole: a partial form would re-explode its sub-leaves
+            # pass after pass.
+            for leaf, leaf_start in overlapping:
+                lo = max(start - leaf_start, 0)
+                hi = min(end - leaf_start, leaf.live_count)
+                if hi - lo <= self.PARTIAL_CORE_ATOMS:
+                    self.explode_leaf(leaf, leaf.live_to_slot(lo))
+                else:
+                    self.explode_leaf(leaf)
 
     def id_slot_at(self, index: int) -> AtomSlot:
         """Slot of the ``index``-th used identifier (0-based)."""
@@ -1203,7 +1540,11 @@ class TreedocTree:
             if index < weight:
                 node = node.left
                 if type(node) is ArrayLeaf:
-                    node = node.explode()
+                    # ``index`` is the offset inside the region (live
+                    # descents over a dead-free leaf: live offset ==
+                    # slot offset; a dead-bearing leaf always explodes
+                    # fully, so the hint only picks the spine there).
+                    node = node.explode(index)
                 continue
             index -= weight
             weight = slot_weight(node)
@@ -1234,7 +1575,7 @@ class TreedocTree:
                 raise TreeError("count bookkeeping out of sync")
             node = node.right
             if type(node) is ArrayLeaf:
-                node = node.explode()
+                node = node.explode(index)
 
     # -- iteration --------------------------------------------------------------------
 
@@ -1275,7 +1616,7 @@ class TreedocTree:
             atoms: List[object] = []
             for entry in live:
                 if isinstance(entry, ArrayLeaf):
-                    atoms.extend(entry.atoms)
+                    atoms.extend(entry.live_atoms())
                 else:
                     atoms.append(entry.atom)
             return atoms
@@ -1344,12 +1685,23 @@ class TreedocTree:
         if (live, ids) != before:
             raise TreeError("aggregate counts inconsistent")  # pragma: no cover
         # recount_subtree invalidated the cache defensively; it was just
-        # verified against a fresh walk, so reinstate it.
+        # verified against a fresh walk, so reinstate it (widths
+        # recomputed — the invalidation zeroed them).
         self._live = cached_live
         if cached_live is not None:
-            self._live_has_leaf = any(
-                isinstance(entry, ArrayLeaf) for entry in cached_live
-            )
+            leaves = 0
+            total = 0
+            for entry in cached_live:
+                if isinstance(entry, ArrayLeaf):
+                    leaves += 1
+                    total += entry.live_count
+                else:
+                    total += 1
+            self._live_has_leaf = leaves > 0
+            self._live_leaves = leaves
+            self._live_total = total
+            if total != self.root.live_count:
+                raise TreeError("live-snapshot cache width out of sync")
         previous: Optional[PosID] = None
         for entry in iter_subtree_entries(self.root):
             if isinstance(entry, ArrayLeaf):
@@ -1397,6 +1749,12 @@ class TreedocTree:
         neighbours. Returns the region's last PosID."""
         if not leaf.atoms:
             raise TreeError("empty array leaf")  # pragma: no cover
+        if leaf.dead < 0 or leaf.dead >> len(leaf.atoms):
+            raise TreeError("dead bitmap wider than the atom array")
+        if leaf.live_count != len(leaf.atoms) - leaf.dead.bit_count():
+            raise TreeError("array-leaf live count out of sync")
+        if leaf.live_count < 1:
+            raise TreeError("array leaf with no visible atoms")
         if leaf.tree is not self:
             raise TreeError("array leaf owned by a different tree")
         parent = leaf.parent
@@ -1407,7 +1765,7 @@ class TreedocTree:
             raise TreeError("array leaf attached under a mini-node")
         if container.child(bit) is not leaf:
             raise TreeError("broken parent link at array leaf")
-        region = leaf.posids()
+        region = leaf.id_posids()
         if any(not a < b for a, b in zip(region, region[1:])):
             raise TreeError("array-leaf region out of order")  # pragma: no cover
         if previous is not None and not previous < region[0]:

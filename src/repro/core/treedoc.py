@@ -20,6 +20,7 @@ Example
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.alloc import Allocator
@@ -32,7 +33,11 @@ from repro.core.flatten import (
     subtree_atoms,
 )
 from repro.core.node import (
+    ArrayLeaf,
     AtomSlot,
+    MiniNode,
+    PosNode,
+    collect_leaf_slots,
     parent_host,
     slot_host,
     slot_is_live,
@@ -106,6 +111,28 @@ class Treedoc:
         self._op_seq = 0
         #: Last rendered text, keyed by (generation, separator).
         self._text_cache: Optional[tuple] = None
+        #: Touch log for the incremental auto-collapse sweep: id ->
+        #: position node touched since the last sweep (populated only
+        #: when ``collapse_every`` is configured). Strong references,
+        #: like ``_touch_seen``: a pruned node's id must not be recycled
+        #: and mistaken for a pending live node.
+        self._sweep_pending: Dict[int, PosNode] = {}
+        #: Re-collapse hysteresis: region branch bits -> [explosion
+        #: count, revision of the last explosion]. Bounded by
+        #: ``_HISTORY_LIMIT``; entries decay once a region stays quiet
+        #: past its damped window (see :meth:`_required_age`).
+        self._explode_history: Dict[tuple, List[int]] = {}
+        #: The first auto-collapse boundary (and the first after a state
+        #: swap) must scan the whole tree — the touch log only covers
+        #: edits made since it started recording.
+        self._needs_full_sweep = True
+        # Weak, and a *plain* weakref (gc-opaque — ``WeakMethod`` leaks
+        # its module globals through ``gc.get_referents``): the tree
+        # must not reference its owning document — a tree-rooted
+        # reachability walk (resident-byte accounting, serializers)
+        # would otherwise pull in the whole facade, and husk trees
+        # would pin dead documents alive.
+        self.tree._explode_listener = weakref.ref(self)
 
     # -- queries -----------------------------------------------------------------
 
@@ -468,7 +495,10 @@ class Treedoc:
         self.revision += 1
         self._touch_seen.clear()
         if self.collapse_every and self.revision % self.collapse_every == 0:
-            self.collapse_cold()
+            if self._needs_full_sweep:
+                self.collapse_cold()
+            else:
+                self._collapse_cold_incremental()
         return self.revision
 
     # -- mixed storage (section 4.2) ---------------------------------------------
@@ -480,33 +510,216 @@ class Treedoc:
         Purely local — the canonical shape makes a later implicit
         explode rebuild the identical structure, so no replicated
         operation exists and replicas may collapse independently
-        (section 4.2.1). Returns the collapsed regions' plain paths.
+        (section 4.2.1). Under SDIS, stable-tombstone slots are folded
+        into the leaf's dead bitmap instead of blocking the collapse.
+        Regions that recently exploded are withheld until they have
+        stayed cold for their damped window (:meth:`_required_age`), so
+        a ping-ponging hot boundary does not thrash collapse/explode.
+        Returns the collapsed regions' plain paths.
         """
+        base_age = self.collapse_min_age if min_age is None else min_age
+        if min_age is None and min_atoms is None:
+            # A full default-parameter pass re-baselines the incremental
+            # sweep: everything cold as of now is handled (collapsed or
+            # re-queued below). Still-warm pending entries must survive
+            # the baseline — they are not cold yet, so this scan will
+            # not touch them, and nothing later would re-queue a region
+            # that simply goes quiet.
+            self._needs_full_sweep = False
+            stamps = self._touch_stamps
+            self._sweep_pending = {
+                key: node for key, node in self._sweep_pending.items()
+                if (stamp := stamps.get(id(node))) is not None
+                and self.revision - stamp < base_age
+            }
+        withhold = None
+        if self._explode_history:
+            def withhold(bits, node, age):
+                if age >= self._required_age(bits, base_age):
+                    return False
+                if self.collapse_every is not None:
+                    # Revisit once the damped window has passed — the
+                    # region stays quiet, so no touch would re-queue it.
+                    self._sweep_pending[id(node)] = node
+                return True
         regions = find_collapsible(
             self.tree,
             self._touch_stamps,
             self.revision,
-            min_age=self.collapse_min_age if min_age is None else min_age,
+            min_age=base_age,
             min_atoms=(
                 self.collapse_min_atoms if min_atoms is None else min_atoms
             ),
+            allow_tombstones=self.keeps_tombstones,
+            withhold=withhold,
         )
-        for _, node, atoms in regions:
+        for _, node, atoms, dead in regions:
             self._purge_region_stamps(node)
-            self.tree.collapse_subtree(node, atoms=atoms)
-        return [path for path, _, _ in regions]
+            self.tree.collapse_subtree(node, atoms=atoms, dead=dead)
+        return [path for path, _, _, _ in regions]
+
+    def _collapse_cold_incremental(self) -> List[PosID]:
+        """The auto-collapse sweep, in O(touched regions): instead of
+        re-scanning the whole tree (:func:`find_collapsible`), climb
+        from the nodes touched since the last sweep (``_sweep_pending``)
+        to their highest cold, plain-attached ancestors and harvest
+        canonical pockets inside those candidates only.
+
+        Correct because every touch stamps its full spine
+        (:meth:`_touch`), so a node's own stamp bounds its subtree's
+        newest stamp and coldness is judged from region roots alone; and
+        because anything cold at the last full pass was collapsed or
+        re-queued then — a region cannot go cold unobserved.
+        """
+        stamps = self._touch_stamps
+        revision = self.revision
+        base_age = self.collapse_min_age
+        root = self.tree.root
+        pending = self._sweep_pending
+        keep: Dict[int, PosNode] = {}
+        candidates: Dict[int, PosNode] = {}
+        for key, node in pending.items():
+            st = stamps.get(id(node))
+            if st is not None and revision - st < base_age:
+                keep[key] = node  # still warm: revisit next sweep
+                continue
+            if node is root:
+                # A whole-document rebuild queues the root (there is no
+                # higher region): scan from it, pockets only — the root
+                # itself never collapses (full-pass parity).
+                candidates[id(root)] = root
+                continue
+            current = node
+            region = None
+            while current is not root:
+                parent = current.parent
+                if parent is None:
+                    region = None  # floating husk: nothing here is live
+                    break
+                container, bit = parent
+                if isinstance(container, MiniNode):
+                    if container.child(bit) is not current:
+                        region = None
+                    # A mini link: every ancestor holds a mini-node and
+                    # can never be canonical — stop climbing.
+                    break
+                if container.child(bit) is not current:
+                    # Pruned/collapsed/flattened away: what was found so
+                    # far is outside the tree, but the container itself
+                    # may still be a live cold region — restart there.
+                    region = None
+                    current = container
+                    continue
+                st = stamps.get(id(current))
+                if st is not None and revision - st < base_age:
+                    break  # warm ancestor: the maximal cold region is below
+                region = current
+                current = container
+            if region is not None:
+                candidates[id(region)] = region
+        self._sweep_pending = keep
+        collapsed: List[PosID] = []
+        min_atoms = self.collapse_min_atoms
+        allow_tombstones = self.keeps_tombstones
+        for region in candidates.values():
+            if region is root:
+                stack = [child for child in (root.left, root.right)
+                         if child is not None
+                         and type(child) is not ArrayLeaf]
+            else:
+                parent = region.parent
+                if parent is None:
+                    continue
+                container, bit = parent
+                if container.child(bit) is not region:
+                    continue  # detached by an earlier collapse this pass
+                # Descend for canonical pockets: the region is cold but
+                # may be hot-shaped (same rule as the full scan).
+                stack = [region]
+            while stack:
+                node = stack.pop()
+                harvest = collect_leaf_slots(node, min_atoms,
+                                             allow_tombstones)
+                if harvest is None:
+                    for child in (node.left, node.right):
+                        if child is not None and type(child) is not ArrayLeaf:
+                            stack.append(child)
+                    continue
+                posid = slot_posid(node)
+                if self._explode_history:
+                    st = stamps.get(id(node))
+                    age = revision - st if st is not None else revision + 1
+                    if age < self._required_age(posid.bits(), base_age):
+                        # Damped: revisit once the extra coldness accrues.
+                        self._sweep_pending[id(node)] = node
+                        continue
+                atoms, dead = harvest
+                self._purge_region_stamps(node)
+                self.tree.collapse_subtree(node, atoms=atoms, dead=dead)
+                collapsed.append(posid)
+        return collapsed
+
+    #: Hysteresis caps: the damped window doubles per recorded explosion
+    #: up to ``min_age << _DAMP_LIMIT``; at most ``_HISTORY_LIMIT``
+    #: regions are tracked (stalest evicted first).
+    _DAMP_LIMIT = 6
+    _HISTORY_LIMIT = 64
+
+    def _on_explode(self, node: PosNode) -> None:
+        """Tree callback fired after a collapsed leaf explodes back to
+        tree form: feed the re-collapse hysteresis (the region just
+        proved it was not cold) and queue it for the incremental
+        sweep."""
+        bits = slot_posid(node).bits()
+        history = self._explode_history
+        entry = history.get(bits)
+        if entry is not None:
+            if entry[0] < self._DAMP_LIMIT:
+                entry[0] += 1
+            entry[1] = self.revision
+        else:
+            if len(history) >= self._HISTORY_LIMIT:
+                del history[min(history, key=lambda k: history[k][1])]
+            history[bits] = [1, self.revision]
+        if self.collapse_every is not None:
+            self._sweep_pending[id(node)] = node
+
+    def _required_age(self, bits: tuple, base: int) -> int:
+        """Re-collapse hysteresis: the coldness (in revisions) the
+        region at ``bits`` must show before collapsing again. Each
+        recorded explosion of an overlapping region (ancestor or
+        descendant — collapse granularity shifts, so keys are matched on
+        their mutual prefix) doubles the requirement; records decay once
+        the region stays quiet past its own damped window."""
+        required = base
+        history = self._explode_history
+        revision = self.revision
+        for key in list(history):
+            count, last = history[key]
+            if revision - last > (base << (count + 1)):
+                del history[key]
+                continue
+            shorter = len(key) if len(key) < len(bits) else len(bits)
+            if key[:shorter] == bits[:shorter]:
+                age = base << count
+                if age > required:
+                    required = age
+        return required
 
     def _purge_region_stamps(self, node) -> None:
         """Drop cold-clock bookkeeping for a subtree about to be freed
         (collapse replaces it with an array leaf): stale ``id()`` keys
-        must not linger in ``_touch_stamps``, and ``_touch_seen`` must
-        not keep the dead nodes alive until the next revision."""
+        must not linger in ``_touch_stamps`` or ``_sweep_pending``, and
+        ``_touch_seen`` must not keep the dead nodes alive until the
+        next revision."""
         stamps = self._touch_stamps
         seen = self._touch_seen
+        pending = self._sweep_pending
         for freed in node.iter_nodes():
             key = id(freed)
             stamps.pop(key, None)
             seen.pop(key, None)
+            pending.pop(key, None)
 
     @property
     def array_leaf_count(self) -> int:
@@ -563,10 +776,14 @@ class Treedoc:
         # swap, or downstream caches keyed on (generation, ...) could
         # serve the pre-sync document.
         fresh._generation = self.tree.generation + 1
+        fresh._explode_listener = weakref.ref(self)
         self.tree = fresh
         self.allocator = Allocator(fresh, balanced=self.allocator.balanced)
         self._touch_stamps = {}
         self._touch_seen = {}
+        self._sweep_pending = {}
+        self._explode_history = {}
+        self._needs_full_sweep = True
         self._text_cache = None
         return len(atoms)
 
@@ -645,6 +862,8 @@ class Treedoc:
             seen.clear()
         revision = self.revision
         node = slot_host(slot)
+        if self.collapse_every is not None:
+            self._sweep_pending[id(node)] = node
         while node is not None:
             key = id(node)
             if key in seen:
@@ -662,8 +881,12 @@ class Treedoc:
         if len(seen) > self._TOUCH_SEEN_LIMIT:
             seen.clear()
         revision = self.revision
+        pending = self._sweep_pending if self.collapse_every is not None \
+            else None
         for slot in slots:
             node = slot_host(slot)
+            if pending is not None:
+                pending[id(node)] = node
             while node is not None:
                 key = id(node)
                 if key in seen:
@@ -675,6 +898,8 @@ class Treedoc:
     def _touch_region(self, path: PosID) -> None:
         node = resolve_region(self.tree, path)
         self._touch_stamps[id(node)] = self.revision
+        if self.collapse_every is not None:
+            self._sweep_pending[id(node)] = node
         self._touch(node)
 
     # -- diagnostics ------------------------------------------------------------------

@@ -93,6 +93,14 @@ class TreeStats:
     sync_wire_bytes: int = 0
     #: Measured bytes of the SyncRequest probe that solicited it.
     sync_request_bytes: int = 0
+    #: Storage-health counters, cumulative over the tree's lifetime
+    #: (:class:`repro.core.tree.TreedocTree`): full region explosions,
+    #: partial (leaf/core/leaf) explosions, live-snapshot cache drops,
+    #: and in-place cache splices.
+    explodes: int = 0
+    partial_explodes: int = 0
+    cache_drops: int = 0
+    cache_splices: int = 0
     #: Per-atom PosID sizes (bits), for distribution plots.
     posid_bits: List[int] = field(default_factory=list)
 
@@ -278,15 +286,19 @@ def measure_tree(tree: TreedocTree, with_disk: bool = True,
     for entry in iter_subtree_entries(tree.root):
         if isinstance(entry, ArrayLeaf):
             stats.array_leaves += 1
-            stats.array_atoms += len(entry.atoms)
-            for posid, atom in zip(entry.posids(), entry.atoms):
+            stats.array_atoms += entry.id_count
+            dead = entry.dead
+            for offset, posid in enumerate(entry.id_posids()):
                 bits = posid.size_bits
+                total_id_bits += bits
+                stats.used_ids += 1
+                if (dead >> offset) & 1:
+                    stats.tombstones += 1
+                    continue
                 stats.posid_bits.append(bits)
                 total_bits += bits
-                total_id_bits += bits
                 stats.live_atoms += 1
-                stats.used_ids += 1
-                stats.document_bytes += _atom_bytes(atom)
+                stats.document_bytes += _atom_bytes(entry.atoms[offset])
                 if bits > stats.max_posid_bits:
                     stats.max_posid_bits = bits
             continue
@@ -311,6 +323,10 @@ def measure_tree(tree: TreedocTree, with_disk: bool = True,
     if stats.live_atoms:
         stats.avg_posid_bits = total_bits / stats.live_atoms
     stats.height = tree.height
+    stats.explodes = tree.explodes
+    stats.partial_explodes = tree.partial_explodes
+    stats.cache_drops = tree.cache_drops
+    stats.cache_splices = tree.cache_splices
     if with_disk:
         overhead, document = measure_on_disk(tree)
         stats.disk_overhead_bytes = overhead

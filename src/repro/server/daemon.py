@@ -426,9 +426,20 @@ class SiteDaemon:
             return round(latencies[index], 4)
 
         shed = self.transport.shed_totals()
+        tree = self.site.doc.tree
         return {
             "site": self.config.site,
             "atoms": len(self.site),
+            # Storage health (live mixed tree/array form): collapsed
+            # regions resident, and the tree's cumulative
+            # explode/cache counters.
+            "storage": {
+                "array_leaves": len(tree.array_leaves()),
+                "explodes": tree.explodes,
+                "partial_explodes": tree.partial_explodes,
+                "cache_drops": tree.cache_drops,
+                "cache_splices": tree.cache_splices,
+            },
             "clock": {str(k): v for k, v in
                       sorted(self.site.broadcast.clock.items())},
             "connected": list(self.transport.connected),

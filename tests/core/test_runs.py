@@ -271,7 +271,7 @@ class TestHuskGc:
                                    min_age=1, min_atoms=8)
         assert regions
         freed_ids = {
-            id(node) for _, root, _ in regions for node in root.iter_nodes()
+            id(node) for _, root, _, _ in regions for node in root.iter_nodes()
         }
         assert freed_ids & set(doc._touch_stamps)
         doc.collapse_cold(min_age=1, min_atoms=8)

@@ -45,7 +45,7 @@ def assert_cache_identity(doc: Treedoc) -> None:
 _step = st.tuples(
     st.sampled_from(
         ["local_insert", "local_delete", "remote_batch", "flatten",
-         "purge", "recount", "read"]
+         "purge", "recount", "read", "collapse", "leaf_explode"]
     ),
     st.integers(min_value=0, max_value=10_000),
     st.integers(min_value=1, max_value=6),
@@ -114,8 +114,25 @@ class TestCachedSnapshotIdentity:
                             other.tree.purge_tombstone(other_slot)
             elif kind == "recount":
                 doc.tree.recount_subtree(doc.tree.root)
+            elif kind == "collapse":
+                # Purely local representation change: leaf entries join
+                # the cache as opaque segments, spliced around (never
+                # dropped) by the surrounding steps.
+                doc.note_revision()
+                doc.collapse_cold(min_age=1, min_atoms=2)
+                assert doc.atoms() == doc.tree.walk_atoms()
+            elif kind == "leaf_explode":
+                leaves = doc.tree.array_leaves()
+                if leaves:
+                    leaves[position % len(leaves)].explode()
             elif kind == "read":
-                assert doc.atoms() == fresh_walk_atoms(doc.tree)
+                # walk_atoms handles mixed storage (a collapse step may
+                # have left array leaves in the tree).
+                assert doc.atoms() == doc.tree.walk_atoms()
+        # Explode any remaining leaves (itself a splice path) so the
+        # slot-level identity below can walk every slot.
+        for leaf in doc.tree.array_leaves():
+            leaf.explode()
         assert_cache_identity(doc)
         # The mirror applied every batch remotely: same visible content,
         # and its own cache holds the identity too.
@@ -188,6 +205,80 @@ class TestCachedSnapshotIdentity:
         assert doc.text() == "abc"  # cached hit
         doc.insert_text(3, list("d"))
         assert doc.text() == "abcd"  # generation bump refreshed it
+
+
+class TestBulkHintDrift:
+    """The flush-time drift detectors (previously ``pragma: no cover``
+    safety nets): a bulk hint that does not match the changes actually
+    made must invalidate the cache — never leave it stale, never crash.
+    Each test doctors one mismatch and checks the next read rebuilds."""
+
+    def _leafy_doc(self):
+        doc = Treedoc(site=1, mode="sdis")
+        doc.insert_text(0, [f"l{i}" for i in range(16)])
+        doc.note_revision()
+        doc.flatten_local(ROOT)
+        for _ in range(3):
+            doc.note_revision()
+        doc.collapse_cold(min_age=1, min_atoms=4)
+        assert doc.array_leaf_count >= 1
+        doc.atoms()
+        assert doc.tree._live_has_leaf
+        return doc
+
+    def test_wrong_removed_range_hint_invalidates(self):
+        doc = Treedoc(site=1, mode="sdis")
+        doc.insert_text(0, list("abcdef"))
+        doc.atoms()
+        tree = doc.tree
+        slot = tree.live_slot_at(0)
+        tree.begin_bulk()
+        tree.make_tombstone(slot)
+        tree.hint_bulk_removed_range(0, 0)  # lies: one removal happened
+        tree.end_bulk()
+        assert tree._live is None
+        assert doc.atoms() == list("bcdef")
+        assert_cache_identity(doc)
+
+    def test_removed_range_hint_into_leaf_interior_invalidates(self):
+        doc = self._leafy_doc()
+        before = doc.atoms()
+        tree = doc.tree
+        tree.begin_bulk()
+        tree._bulk_removed = True  # a removal recorded, range mid-leaf
+        tree.hint_bulk_removed_range(1, 2)
+        tree.end_bulk()
+        assert tree._live is None
+        assert doc.atoms() == before
+        assert doc.atoms() == doc.tree.walk_atoms()
+        doc.check()
+
+    def test_wrong_added_at_hint_invalidates(self):
+        doc = Treedoc(site=1, mode="sdis")
+        doc.insert_text(0, list("abc"))
+        doc.atoms()
+        tree = doc.tree
+        slot = tree.live_slot_at(0)
+        tree.begin_bulk()
+        tree._bulk_added.extend([slot, slot])  # drifted: listed twice
+        tree.hint_bulk_added_at(1)
+        tree.end_bulk()
+        assert tree._live is None
+        assert doc.atoms() == list("abc")
+        assert_cache_identity(doc)
+
+    def test_added_at_hint_into_leaf_interior_invalidates(self):
+        doc = self._leafy_doc()
+        before = doc.atoms()
+        tree = doc.tree
+        tree.begin_bulk()
+        tree._bulk_added.append(tree.root)
+        tree.hint_bulk_added_at(1)  # offset 1 lands inside the leaf
+        tree.end_bulk()
+        assert tree._live is None
+        assert doc.atoms() == before
+        assert doc.atoms() == doc.tree.walk_atoms()
+        doc.check()
 
 
 FACTORIES = {

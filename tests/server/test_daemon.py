@@ -116,6 +116,12 @@ class TestAdminProtocol:
                 assert status["ok"] and status["site"] == 1
                 assert status["connected"] == [2]
                 assert status["frames_applied"] >= 1
+                storage = status["storage"]
+                assert set(storage) == {
+                    "array_leaves", "explodes", "partial_explodes",
+                    "cache_drops", "cache_splices",
+                }
+                assert all(value >= 0 for value in storage.values())
                 synced = await admin_request(port, "sync", peer=2)
                 assert synced["ok"]
                 # Errors are typed JSON, never closed sockets.
